@@ -1,0 +1,88 @@
+"""Experiment E1 — Figure 2: delay-estimation accuracy vs sampling rate.
+
+Regenerates the paper's Figure 2: "the accuracy with which domain X's delay
+performance is estimated as a function of X's sampling rate, for different
+levels of loss, when X uses our sampling algorithm.  Congestion is caused by a
+bursty, high-rate UDP flow."
+
+Paper series: sampling rates {5%, 1%, 0.5%, 0.1%}, loss {0%, 10%, 25%, 50%}.
+Expected shape: sub-millisecond to a-few-milliseconds accuracy; accuracy
+degrades smoothly as the sampling rate drops and as loss increases (the paper
+quotes ~2 ms at 1% sampling with 25% loss and ~5-6 ms at 0.1% with 50% loss).
+"""
+
+from __future__ import annotations
+
+import math
+
+from benchmarks.conftest import print_table
+from benchmarks.experiment_lib import run_delay_cell
+
+SAMPLING_RATES = (0.05, 0.01, 0.005, 0.001)
+LOSS_RATES = (0.0, 0.10, 0.25, 0.50)
+
+
+def _run_sweep(packets) -> dict[tuple[float, float], object]:
+    results = {}
+    for loss_index, loss_rate in enumerate(LOSS_RATES):
+        for rate_index, sampling_rate in enumerate(SAMPLING_RATES):
+            results[(sampling_rate, loss_rate)] = run_delay_cell(
+                packets,
+                sampling_rate=sampling_rate,
+                loss_rate=loss_rate,
+                seed=loss_index * 10 + rate_index,
+            )
+    return results
+
+
+def test_fig2_delay_accuracy_vs_sampling_rate(benchmark, bench_packets):
+    """Regenerate Figure 2 and check its qualitative shape."""
+    results = benchmark.pedantic(_run_sweep, args=(bench_packets,), rounds=1, iterations=1)
+
+    rows = []
+    for sampling_rate in SAMPLING_RATES:
+        row = [f"{sampling_rate * 100:g}%"]
+        for loss_rate in LOSS_RATES:
+            cell = results[(sampling_rate, loss_rate)]
+            value = (
+                f"{cell.accuracy_ms:.2f} ms ({cell.sample_count})"
+                if not math.isnan(cell.accuracy_ms)
+                else "n/a"
+            )
+            row.append(value)
+        rows.append(row)
+    print_table(
+        "Figure 2: delay accuracy [ms] (matched samples) by sampling rate x loss",
+        ["sampling rate"] + [f"{loss * 100:g}% loss" for loss in LOSS_RATES],
+        rows,
+    )
+
+    # Qualitative checks of the paper's claims:
+    # (1) at 1% sampling and 25% loss, accuracy is within a few milliseconds;
+    cell_1pct_25 = results[(0.01, 0.25)]
+    assert cell_1pct_25.accuracy_ms < 5.0
+    # (2) accuracy degrades gracefully: even the worst cell (0.1% sampling,
+    #     50% loss) stays within ~10 ms for the tens-of-ms congestion delays.
+    worst = max(
+        cell.accuracy_ms
+        for cell in results.values()
+        if not math.isnan(cell.accuracy_ms)
+    )
+    assert worst < 15.0
+    # (3) more sampling never hurts dramatically: the 5% column is at least as
+    #     good as the 0.1% column on average.
+    def mean_accuracy(rate: float) -> float:
+        values = [
+            results[(rate, loss)].accuracy_ms
+            for loss in LOSS_RATES
+            if not math.isnan(results[(rate, loss)].accuracy_ms)
+        ]
+        return sum(values) / len(values)
+
+    assert mean_accuracy(0.05) <= mean_accuracy(0.001) + 1.0
+    # (4) sample counts shrink with the sampling rate (tunability is real).
+    assert (
+        results[(0.05, 0.0)].sample_count
+        > results[(0.01, 0.0)].sample_count
+        > results[(0.001, 0.0)].sample_count
+    )

@@ -1,0 +1,165 @@
+"""Experiment runners shared by the benchmark modules.
+
+Each function runs one *cell* of an evaluation sweep — one (sampling rate,
+loss rate) combination for the Figure-2 experiment, one loss rate for the
+Figure-3 experiment, and so on — following the paper's methodology
+(Section 7.2): extract a packet sequence, congest domain X, generate the
+receipts X and its neighbors would generate, estimate X's performance from
+the receipts, and compare with ground truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.metrics import delay_accuracy_report, loss_granularity_report
+from repro.core.protocol import VPMSession
+from repro.simulation.scenario import PathScenario, SegmentCondition
+from repro.traffic.delay_models import CongestionDelayModel
+from repro.traffic.loss_models import GilbertElliottLossModel
+from repro.traffic.reordering import WindowReordering
+
+from benchmarks.conftest import PACKETS_PER_SECOND, make_hop_config
+
+# Quantiles over which Figure 2's "delay accuracy" (worst-case quantile error)
+# is evaluated.
+ACCURACY_QUANTILES = (0.5, 0.75, 0.9, 0.95)
+
+
+@dataclass(frozen=True)
+class DelayCellResult:
+    """Result of one Figure-2 / verifiability cell."""
+
+    sampling_rate: float
+    loss_rate: float
+    accuracy_ms: float
+    sample_count: int
+    independent_accuracy_ms: float | None
+    independent_sample_count: int
+    true_q90_ms: float
+    estimated_q90_ms: float
+
+
+@dataclass(frozen=True)
+class LossCellResult:
+    """Result of one Figure-3 cell."""
+
+    loss_rate: float
+    aggregate_size: int
+    nominal_granularity_s: float
+    granularity_s: float
+    computed_loss_rate: float
+    true_loss_rate: float
+
+
+def build_congested_scenario(
+    loss_rate: float,
+    seed: int,
+    reordering_window: float = 0.0,
+) -> PathScenario:
+    """The Figure-1 scenario with domain X congested by a bursty UDP flow."""
+    scenario = PathScenario(seed=seed)
+    condition = SegmentCondition(
+        delay_model=CongestionDelayModel(scenario="udp-burst", seed=seed + 1),
+        loss_model=GilbertElliottLossModel.from_target_rate(loss_rate, seed=seed + 2)
+        if loss_rate > 0
+        else GilbertElliottLossModel.from_target_rate(0.0, seed=seed + 2),
+        reordering=WindowReordering(window=reordering_window, reorder_probability=0.3, seed=seed + 3)
+        if reordering_window > 0
+        else SegmentCondition().reordering,
+    )
+    scenario.configure_domain("X", condition)
+    return scenario
+
+
+def run_delay_cell(
+    packets,
+    sampling_rate: float,
+    loss_rate: float,
+    seed: int = 0,
+    neighbor_sampling_rate: float | None = None,
+    aggregate_size: int = 5000,
+) -> DelayCellResult:
+    """One cell of the Figure-2 sweep (and of the verifiability experiment).
+
+    ``neighbor_sampling_rate`` sets the sampling rate of domains L and N (the
+    verifying neighbors); when ``None`` they use the same rate as X, which is
+    the Figure-2 setting.
+    """
+    scenario = build_congested_scenario(loss_rate, seed=seed * 1000 + 17)
+    observation = scenario.run(packets)
+    truth = observation.truth_for("X")
+
+    x_config = make_hop_config(sampling_rate=sampling_rate, aggregate_size=aggregate_size)
+    neighbor_config = make_hop_config(
+        sampling_rate=neighbor_sampling_rate or sampling_rate,
+        aggregate_size=aggregate_size,
+    )
+    configs = {
+        "S": None,
+        "L": neighbor_config,
+        "X": x_config,
+        "N": neighbor_config,
+        "D": None,
+    }
+    session = VPMSession(scenario.path, configs=configs)
+    session.run(observation)
+
+    performance = session.estimate("L", "X")
+    if performance.delay_quantiles:
+        report = delay_accuracy_report(performance, truth, quantiles=ACCURACY_QUANTILES)
+        accuracy_ms = report.max_error_ms
+        estimated_q90 = performance.delay_quantile(0.9) * 1e3
+    else:
+        accuracy_ms = float("nan")
+        estimated_q90 = float("nan")
+
+    independent = session.verifier_for("L").estimate_domain_via_neighbors("X")
+    if independent is not None and independent.delay_quantiles:
+        independent_report = delay_accuracy_report(
+            independent, truth, quantiles=ACCURACY_QUANTILES
+        )
+        independent_accuracy_ms = independent_report.max_error_ms
+        independent_samples = independent.delay_sample_count
+    else:
+        independent_accuracy_ms = None
+        independent_samples = 0
+
+    return DelayCellResult(
+        sampling_rate=sampling_rate,
+        loss_rate=loss_rate,
+        accuracy_ms=accuracy_ms,
+        sample_count=performance.delay_sample_count,
+        independent_accuracy_ms=independent_accuracy_ms,
+        independent_sample_count=independent_samples,
+        true_q90_ms=truth.delay_quantiles([0.9])[0.9] * 1e3,
+        estimated_q90_ms=estimated_q90,
+    )
+
+
+def run_loss_cell(
+    packets,
+    loss_rate: float,
+    aggregate_size: int = 5000,
+    seed: int = 0,
+) -> LossCellResult:
+    """One cell of the Figure-3 sweep (loss granularity vs loss rate)."""
+    scenario = build_congested_scenario(loss_rate, seed=seed * 1000 + 23)
+    observation = scenario.run(packets)
+    truth = observation.truth_for("X")
+
+    config = make_hop_config(sampling_rate=0.01, aggregate_size=aggregate_size)
+    configs = {"S": None, "L": None, "X": config, "N": None, "D": None}
+    session = VPMSession(scenario.path, configs=configs)
+    session.run(observation)
+
+    performance = session.estimate("X", "X")
+    report = loss_granularity_report(performance, truth)
+    return LossCellResult(
+        loss_rate=loss_rate,
+        aggregate_size=aggregate_size,
+        nominal_granularity_s=aggregate_size / PACKETS_PER_SECOND,
+        granularity_s=report.mean_granularity_seconds,
+        computed_loss_rate=report.computed_loss_rate,
+        true_loss_rate=report.true_loss_rate,
+    )

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""A multi-interval measurement campaign with fault localization.
+
+SLAs are written over long horizons ("loss below 0.1% per month"), while VPM
+receipts are produced per reporting period.  This example runs a campaign of
+several measurement intervals against a provider path, accumulates the
+receipts into campaign-level statistics, checks the campaign against the SLA,
+and uses the localization helper to name the offending provider and any link
+whose receipts disagreed.
+
+Run:  python examples/measurement_campaign.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.localization import localize_performance
+from repro.analysis.sla import SLASpec
+from repro.core.aggregation import AggregatorConfig
+from repro.core.campaign import MeasurementCampaign
+from repro.core.hop import HOPConfig
+from repro.core.protocol import VPMSession
+from repro.core.sampling import SamplerConfig
+from repro.simulation.scenario import PathScenario, SegmentCondition
+from repro.traffic.delay_models import CongestionDelayModel, JitterDelayModel
+from repro.traffic.flows import FlowGeneratorConfig
+from repro.traffic.loss_models import GilbertElliottLossModel
+from repro.traffic.trace import SyntheticTrace, TraceConfig, default_prefix_pair
+
+
+CONFIG = HOPConfig(
+    sampler=SamplerConfig(sampling_rate=0.02),
+    aggregator=AggregatorConfig(expected_aggregate_size=2000),
+)
+INTERVALS = 4
+PACKETS_PER_INTERVAL = 8000
+
+
+def interval_traces():
+    """One synthetic trace segment per measurement interval."""
+    pair = default_prefix_pair()
+    for index in range(INTERVALS):
+        config = TraceConfig(
+            packet_count=PACKETS_PER_INTERVAL,
+            packets_per_second=100_000.0,
+            flow_config=FlowGeneratorConfig(),
+        )
+        yield SyntheticTrace(config=config, prefix_pair=pair, seed=500 + index).packets()
+
+
+def main() -> None:
+    # Provider X is congested and lossy; L and N are healthy.
+    scenario = PathScenario(seed=42)
+    scenario.configure_domain(
+        "L", SegmentCondition(delay_model=JitterDelayModel(0.5e-3, 0.1e-3, seed=43))
+    )
+    scenario.configure_domain(
+        "X",
+        SegmentCondition(
+            delay_model=CongestionDelayModel(scenario="udp-burst", seed=44),
+            loss_model=GilbertElliottLossModel.from_target_rate(0.02, seed=45),
+        ),
+    )
+    scenario.configure_domain(
+        "N", SegmentCondition(delay_model=JitterDelayModel(1e-3, 0.2e-3, seed=46))
+    )
+
+    campaign = MeasurementCampaign(
+        scenario,
+        target="X",
+        observer="S",
+        configs={d.name: CONFIG for d in scenario.path.domains},
+    )
+    result = campaign.run(list(interval_traces()))
+
+    sla = SLASpec(delay_bound=15e-3, delay_quantile=0.9, loss_bound=0.005, name="monthly-gold")
+    verdict = result.check_sla(sla)
+    pooled = result.pooled_delay_quantiles()
+
+    print(f"Campaign over {result.interval_count} intervals "
+          f"({result.total_offered_packets} packets offered to X)")
+    print(f"  pooled p90 delay: {pooled[0.9] * 1e3:.2f} ms")
+    print(f"  campaign loss:    {result.loss_rate * 100:.3f}%")
+    print(f"  receipts accepted in {result.acceptance_rate * 100:.0f}% of intervals")
+    print(f"  SLA {sla.name!r}: {'COMPLIANT' if verdict.compliant else 'IN VIOLATION'}")
+
+    print("\nPer-interval history:")
+    for interval in result.intervals:
+        q90 = (
+            interval.performance.delay_quantile(0.9) * 1e3
+            if interval.performance.delay_quantiles
+            else float("nan")
+        )
+        print(
+            f"  interval {interval.index}: p90 {q90:6.2f} ms, "
+            f"loss {interval.performance.loss_rate * 100:5.2f}%, "
+            f"{'ok' if interval.accepted else 'INCONSISTENT'}"
+        )
+
+    # Localize: re-run a single interval's receipts through the path diagnosis.
+    packets = next(iter(interval_traces()))
+    observation = scenario.run(packets)
+    session = VPMSession(
+        scenario.path, configs={d.name: CONFIG for d in scenario.path.domains}
+    )
+    session.run(observation)
+    diagnosis = localize_performance(session.verifier_for("S"), sla=sla)
+    print("\nLocalization (last interval):")
+    for entry in diagnosis.domains:
+        marker = " <-- violating" if entry.violating else ""
+        print(
+            f"  {entry.domain}: delay share {entry.delay_share * 100:5.1f}%, "
+            f"loss share {entry.loss_share * 100:5.1f}%{marker}"
+        )
+    if diagnosis.suspects:
+        for suspect in diagnosis.suspects:
+            print(f"  suspect link: {suspect.upstream_domain} -> {suspect.downstream_domain} "
+                  f"({', '.join(suspect.finding_kinds)})")
+    else:
+        print("  no inconsistent links — all receipts mutually consistent")
+
+
+if __name__ == "__main__":
+    main()

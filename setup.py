@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The canonical metadata lives in ``pyproject.toml`` (PEP 621); this file exists
+so the package can also be installed in environments without the ``wheel``
+package (where ``pip install -e .`` cannot build an editable wheel) via::
+
+    python setup.py develop
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,69 @@
+"""Reproduction of "Verifiable Network-Performance Measurements" (VPM).
+
+This package implements the VPM protocol described by Argyraki, Maniatis and
+Singla (CoNEXT 2010, arXiv:1005.3148) together with every substrate the paper
+depends on: a packet/topology model, synthetic traffic generation standing in
+for the CAIDA traces, a discrete-event congestion simulator standing in for
+ns-2, the baseline protocols of Section 3, adversary models, and the resource
+accounting of Section 7.1.
+
+Public entry points
+-------------------
+The most commonly used classes are re-exported here:
+
+* :class:`repro.core.sampling.DelaySampler` — bias-resistant delay sampling
+  (Algorithm 1 of the paper).
+* :class:`repro.core.aggregation.Aggregator` — tunable aggregation
+  (Algorithm 2 of the paper).
+* :class:`repro.core.hop.HOPCollector` / :class:`repro.core.hop.HOPProcessor`
+  — the data-plane / control-plane halves of a hand-off point.
+* :class:`repro.core.verifier.Verifier` — the receipt collector that computes
+  and verifies per-domain loss and delay.
+* :class:`repro.simulation.scenario.PathScenario` — the Figure-1 scenario used
+  throughout the evaluation.
+
+See ``DESIGN.md`` for the full system inventory and ``EXPERIMENTS.md`` for the
+reproduction of every table and figure.
+"""
+
+from repro.core.aggregation import Aggregator
+from repro.core.domain import DomainAgent
+from repro.core.hop import HOPCollector, HOPProcessor
+from repro.core.protocol import VPMSession
+from repro.core.receipts import (
+    AggregateReceipt,
+    PathID,
+    SampleReceipt,
+    SampleRecord,
+)
+from repro.core.sampling import DelaySampler
+from repro.core.verifier import Verifier
+from repro.net.packet import Packet
+from repro.net.topology import Domain, HOP, HOPPath, Topology
+from repro.simulation.scenario import PathScenario
+from repro.traffic.trace import SyntheticTrace, TraceConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Aggregator",
+    "AggregateReceipt",
+    "DelaySampler",
+    "Domain",
+    "DomainAgent",
+    "HOP",
+    "HOPCollector",
+    "HOPPath",
+    "HOPProcessor",
+    "Packet",
+    "PathID",
+    "PathScenario",
+    "SampleReceipt",
+    "SampleRecord",
+    "SyntheticTrace",
+    "Topology",
+    "TraceConfig",
+    "VPMSession",
+    "Verifier",
+    "__version__",
+]

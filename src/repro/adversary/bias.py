@@ -1,0 +1,93 @@
+"""The sampling-bias (preferential treatment) attack of Section 3.2 / 5.1.
+
+A congested domain wants its *measured* delay to look good while its actual
+traffic suffers.  If the measurement protocol's sampled set is predictable
+from a packet's contents (Trajectory Sampling ++), the domain simply forwards
+the to-be-sampled packets through a fast path and lets everything else queue.
+Against VPM's delay-keyed sampling the domain cannot know, at forwarding time,
+which packets will be sampled — the best it can do is guess.
+
+:class:`BiasedTreatmentAttack` builds the ``preferential_predicate`` installed
+into the congested domain's :class:`~repro.simulation.scenario.SegmentCondition`:
+
+* for a predictable protocol, the predicate is the protocol's own measurement
+  predicate (perfect bias);
+* for VPM, the attacker falls back to a random guess at the same budget
+  (``guess_rate``), which cannot shift the estimate systematically.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.baselines.base import MeasurementProtocol
+from repro.net.hashing import MASK64, PacketDigester, splitmix64, threshold_for_rate
+from repro.net.packet import Packet
+from repro.util.validation import check_fraction
+
+__all__ = ["BiasedTreatmentAttack"]
+
+
+class BiasedTreatmentAttack:
+    """Builds the preferential-treatment predicate a biased domain applies.
+
+    Parameters
+    ----------
+    digester:
+        The protocol-wide packet digester (the attacker runs the same hash the
+        protocol runs — it is public).
+    guess_rate:
+        The fraction of traffic the attacker is willing to fast-path when it
+        cannot predict the measured set (its "budget"); matching the target
+        sampling rate makes the comparison with the predictable case fair.
+    guess_salt:
+        Salt for the attacker's blind guess.
+    """
+
+    def __init__(
+        self,
+        digester: PacketDigester | None = None,
+        guess_rate: float = 0.01,
+        guess_salt: int = 0xBAD,
+    ) -> None:
+        check_fraction("guess_rate", guess_rate)
+        self.digester = digester or PacketDigester()
+        self.guess_rate = guess_rate
+        self.guess_salt = guess_salt
+
+    def predicate_against(
+        self, protocol: MeasurementProtocol
+    ) -> Callable[[Packet], bool]:
+        """The best preferential-treatment predicate against ``protocol``."""
+        if protocol.sampling_predictable:
+            return self.predictable_predicate(protocol)
+        return self.blind_guess_predicate()
+
+    def predictable_predicate(
+        self, protocol: MeasurementProtocol
+    ) -> Callable[[Packet], bool]:
+        """Fast-path exactly the packets the protocol will measure."""
+        if not protocol.sampling_predictable:
+            raise ValueError(f"{protocol.name} has no predictable measurement set")
+        digester = self.digester
+
+        def predicate(packet: Packet) -> bool:
+            return protocol.measurement_predicate(digester.digest(packet))
+
+        return predicate
+
+    def blind_guess_predicate(self) -> Callable[[Packet], bool]:
+        """Fast-path a random ``guess_rate`` fraction of packets.
+
+        The guess is a salted hash of the packet digest, so it is a fixed
+        (but measurement-independent) subset — the strongest thing a domain
+        can do against VPM without delaying all traffic by a marker period.
+        """
+        digester = self.digester
+        threshold = threshold_for_rate(self.guess_rate)
+        salt = self.guess_salt
+
+        def predicate(packet: Packet) -> bool:
+            return splitmix64((digester.digest(packet) ^ salt) & MASK64) > threshold
+
+        return predicate

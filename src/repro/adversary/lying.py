@@ -1,0 +1,138 @@
+"""A lying domain: fabricated egress receipts (Section 3.1 / Section 4).
+
+The domain drops or delays traffic internally but wants its receipts to say
+otherwise.  The strongest lie available under the threat model is to claim
+that everything that entered the domain left it promptly: the liar copies its
+*ingress* observations (which it genuinely made) into its *egress* receipts,
+shifted by a small claimed internal delay.
+
+The point of the reproduction is that this lie cannot survive verification:
+the fabricated egress receipts claim delivery of packets (and aggregate
+counts) the downstream neighbor never saw, so the verifier's link-consistency
+check flags the X→N link, and the liar is exposed to the very neighbor it
+implicated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.domain import DomainAgent
+from repro.core.hop import HOPConfig, HOPReport
+from repro.core.receipts import (
+    AggregateReceipt,
+    PathID,
+    SampleReceipt,
+    SampleRecord,
+)
+from repro.net.topology import Domain, HOPPath
+
+__all__ = ["LyingDomainAgent"]
+
+
+class LyingDomainAgent(DomainAgent):
+    """A domain that hides its internal loss and delay in its egress receipts.
+
+    Parameters
+    ----------
+    claimed_delay:
+        The internal delay (seconds) the domain pretends to have introduced.
+    hide_loss:
+        Whether to claim delivery of packets it actually dropped (by reusing
+        its ingress counts/samples at the egress).
+    hide_delay:
+        Whether to misreport its internal delay as ``claimed_delay`` instead
+        of the truly measured egress timestamps.  (Both default to ``True`` —
+        the full "nothing went wrong here" lie.)
+    """
+
+    def __init__(
+        self,
+        domain: Domain | str,
+        path: HOPPath,
+        config: HOPConfig | None = None,
+        max_diff: float = 1e-3,
+        claimed_delay: float = 0.5e-3,
+        hide_loss: bool = True,
+        hide_delay: bool = True,
+    ) -> None:
+        super().__init__(domain, path, config=config, max_diff=max_diff)
+        if len(self.hop_ids) < 2:
+            raise ValueError(
+                "a lying transit domain needs both an ingress and an egress HOP"
+            )
+        self.claimed_delay = float(claimed_delay)
+        self.hide_loss = bool(hide_loss)
+        self.hide_delay = bool(hide_delay)
+        self.last_fabricated_report: HOPReport | None = None
+
+    # -- fabrication -----------------------------------------------------------------
+
+    def _egress_path_id(self) -> PathID:
+        egress_hop_id = self.hop_ids[-1]
+        collector = self.collector(egress_hop_id)
+        # The egress collector holds exactly one registered path in this
+        # scenario; reuse its PathID so the fabricated receipts look genuine.
+        state = collector.states()[0]
+        return state.path_id
+
+    def _fabricate_egress_report(
+        self, ingress_report: HOPReport, honest_egress: HOPReport
+    ) -> HOPReport:
+        egress_path_id = self._egress_path_id()
+        egress_hop_id = self.hop_ids[-1]
+
+        fabricated_samples: list[SampleReceipt] = []
+        source_samples = (
+            ingress_report.sample_receipts if self.hide_loss else honest_egress.sample_receipts
+        )
+        for receipt in source_samples:
+            records = tuple(
+                SampleRecord(pkt_id=record.pkt_id, time=record.time + self.claimed_delay)
+                if self.hide_delay
+                else record
+                for record in receipt.samples
+            )
+            fabricated_samples.append(
+                SampleReceipt(
+                    path_id=egress_path_id,
+                    samples=records,
+                    sampling_threshold=receipt.sampling_threshold,
+                )
+            )
+
+        fabricated_aggregates: list[AggregateReceipt] = []
+        source_aggregates = (
+            ingress_report.aggregate_receipts
+            if self.hide_loss
+            else honest_egress.aggregate_receipts
+        )
+        for receipt in source_aggregates:
+            fabricated_aggregates.append(
+                replace(
+                    receipt,
+                    path_id=egress_path_id,
+                    start_time=receipt.start_time + self.claimed_delay,
+                    end_time=receipt.end_time + self.claimed_delay,
+                    time_sum=receipt.time_sum + self.claimed_delay * receipt.pkt_count,
+                )
+            )
+
+        return HOPReport(
+            hop_id=egress_hop_id,
+            sample_receipts=tuple(fabricated_samples),
+            aggregate_receipts=tuple(fabricated_aggregates),
+        )
+
+    # -- reporting --------------------------------------------------------------------
+
+    def reports(self, flush: bool = True) -> dict[int, HOPReport]:
+        honest = super().reports(flush=flush)
+        ingress_hop_id = self.hop_ids[0]
+        egress_hop_id = self.hop_ids[-1]
+        fabricated = self._fabricate_egress_report(
+            honest[ingress_hop_id], honest[egress_hop_id]
+        )
+        honest[egress_hop_id] = fabricated
+        self.last_fabricated_report = fabricated
+        return honest

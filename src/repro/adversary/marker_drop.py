@@ -1,0 +1,77 @@
+"""The marker-dropping attack (Section 5.3).
+
+An under-performing domain could drop all marker packets, causing its
+downstream neighbor to key its sampling on the wrong packets and fail to
+produce receipts that corroborate (or refute) the attacker's performance.
+
+The paper's counter-argument, which this module lets the benchmarks quantify,
+is that the attack is self-defeating: markers are, by construction, always
+sampled and reported by every HOP that sees them, so every dropped marker is a
+sampled packet that entered the domain (per the upstream neighbor's receipts)
+and never left it (per the downstream neighbor's receipts).  The attacker must
+either admit the drops or produce receipts inconsistent with its neighbors.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.sampling import DEFAULT_MARKER_RATE
+from repro.net.hashing import PacketDigester, threshold_for_rate
+from repro.net.packet import Packet
+from repro.simulation.scenario import PathObservation
+from repro.util.validation import check_fraction
+
+__all__ = ["MarkerDropAttack", "marker_exposure_rate"]
+
+
+class MarkerDropAttack:
+    """Builds the drop predicate of a domain that targets marker packets."""
+
+    def __init__(
+        self,
+        digester: PacketDigester | None = None,
+        marker_rate: float = DEFAULT_MARKER_RATE,
+    ) -> None:
+        check_fraction("marker_rate", marker_rate)
+        self.digester = digester or PacketDigester()
+        self.marker_threshold = threshold_for_rate(marker_rate)
+
+    def is_marker(self, packet: Packet) -> bool:
+        """Whether a packet is a marker under the protocol-wide threshold."""
+        return self.digester.digest(packet) > self.marker_threshold
+
+    def drop_predicate(self) -> Callable[[Packet], bool]:
+        """Predicate installed as the attacking domain's targeted-drop rule."""
+        return self.is_marker
+
+
+def marker_exposure_rate(
+    observation: PathObservation,
+    attacker: str,
+    attack: MarkerDropAttack,
+) -> float:
+    """Fraction of the attacker's dropped markers visible to its neighbors.
+
+    A dropped marker is *exposed* when it was observed at the attacker's
+    ingress HOP (so the upstream neighbor can vouch it was handed over) and is
+    absent from the attacker's egress HOP (so the downstream neighbor cannot
+    corroborate delivery).  Because markers are always sampled, every exposed
+    marker shows up in the neighbors' receipts.
+    """
+    hops = observation.path.hops_of(attacker)
+    if len(hops) < 2:
+        raise ValueError(f"{attacker!r} is not a transit domain of the observed path")
+    truth = observation.truth_for(attacker)
+    ingress_hop, egress_hop = hops[0], hops[-1]
+
+    dropped_markers = {
+        packet.uid
+        for packet, _ in observation.at_hop(ingress_hop)
+        if packet.uid in truth.lost and attack.is_marker(packet)
+    }
+    if not dropped_markers:
+        return 1.0
+    egress_uids = {packet.uid for packet, _ in observation.at_hop(egress_hop)}
+    exposed = {uid for uid in dropped_markers if uid not in egress_uids}
+    return len(exposed) / len(dropped_markers)

@@ -1,0 +1,36 @@
+"""Analysis helpers: accuracy metrics, quantiles, SLA checking, localization."""
+
+from repro.analysis.localization import (
+    DomainDiagnosis,
+    PathDiagnosis,
+    SuspectLink,
+    identify_suspects,
+    localize_performance,
+)
+from repro.analysis.metrics import (
+    AccuracyReport,
+    delay_accuracy_report,
+    loss_granularity_report,
+    relative_error,
+)
+from repro.analysis.quantiles import empirical_quantiles, quantile_error
+from repro.analysis.sla import SLASpec, SLAVerdict, check_sla
+from repro.analysis.statistics import summarize
+
+__all__ = [
+    "AccuracyReport",
+    "DomainDiagnosis",
+    "PathDiagnosis",
+    "SLASpec",
+    "SLAVerdict",
+    "SuspectLink",
+    "check_sla",
+    "delay_accuracy_report",
+    "empirical_quantiles",
+    "identify_suspects",
+    "localize_performance",
+    "loss_granularity_report",
+    "quantile_error",
+    "relative_error",
+    "summarize",
+]

@@ -1,0 +1,172 @@
+"""Path-level performance localization.
+
+The paper's introduction motivates VPM with troubleshooting: when a customer
+cannot reach a destination (or gets bad performance), the operator needs to
+know *which* domain on the path is responsible — its own network, the
+customer's, a peer's, or the destination's.  This module turns the verifier's
+per-domain outputs into that answer:
+
+* :func:`localize_performance` ranks every transit domain of a path by its
+  contribution to end-to-end delay and loss, and flags the domains violating a
+  given SLA;
+* :func:`identify_suspects` interprets receipt inconsistencies: for every
+  inter-domain link with disagreeing receipts it names the two domains
+  involved, reflecting the paper's exposure semantics (the rest of the world
+  cannot tell which of the two is lying, but each of them knows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.analysis.sla import SLASpec, SLAVerdict, check_sla
+from repro.core.consistency import Inconsistency
+from repro.core.verifier import DomainPerformance, Verifier
+from repro.net.topology import HOPPath
+
+__all__ = [
+    "DomainDiagnosis",
+    "PathDiagnosis",
+    "SuspectLink",
+    "localize_performance",
+    "identify_suspects",
+]
+
+
+@dataclass(frozen=True)
+class DomainDiagnosis:
+    """One transit domain's contribution to the path's performance."""
+
+    domain: str
+    performance: DomainPerformance
+    sla_verdict: SLAVerdict | None
+    delay_share: float
+    loss_share: float
+
+    @property
+    def violating(self) -> bool:
+        """Whether this domain violates the SLA it was checked against."""
+        return self.sla_verdict is not None and not self.sla_verdict.compliant
+
+
+@dataclass(frozen=True)
+class SuspectLink:
+    """An inter-domain link whose two ends produced inconsistent receipts."""
+
+    upstream_domain: str
+    downstream_domain: str
+    upstream_hop: int
+    downstream_hop: int
+    findings: tuple[Inconsistency, ...]
+
+    @property
+    def finding_kinds(self) -> tuple[str, ...]:
+        """The distinct kinds of disagreement observed on this link."""
+        return tuple(sorted({finding.kind for finding in self.findings}))
+
+
+@dataclass(frozen=True)
+class PathDiagnosis:
+    """The full localization result for one path."""
+
+    path: HOPPath
+    domains: tuple[DomainDiagnosis, ...]
+    suspects: tuple[SuspectLink, ...] = ()
+
+    @property
+    def worst_delay_domain(self) -> DomainDiagnosis | None:
+        """The transit domain contributing the most delay (if measurable)."""
+        measurable = [entry for entry in self.domains if entry.performance.delay_quantiles]
+        if not measurable:
+            return None
+        return max(measurable, key=lambda entry: entry.delay_share)
+
+    @property
+    def worst_loss_domain(self) -> DomainDiagnosis | None:
+        """The transit domain contributing the most loss (if any loss at all)."""
+        lossy = [entry for entry in self.domains if entry.performance.lost_packets > 0]
+        if not lossy:
+            return None
+        return max(lossy, key=lambda entry: entry.loss_share)
+
+    @property
+    def violating_domains(self) -> tuple[str, ...]:
+        """Names of the transit domains violating the SLA."""
+        return tuple(entry.domain for entry in self.domains if entry.violating)
+
+
+def localize_performance(
+    verifier: Verifier,
+    sla: SLASpec | None = None,
+    quantile: float = 0.9,
+) -> PathDiagnosis:
+    """Rank the path's transit domains by their delay/loss contribution.
+
+    ``delay_share`` is each domain's ``quantile`` delay divided by the sum over
+    all measurable transit domains (0 when nothing is measurable);
+    ``loss_share`` likewise for lost packets.  When ``sla`` is given, each
+    domain is additionally checked against it.
+    """
+    diagnoses: list[tuple[str, DomainPerformance]] = []
+    for domain, _, _ in verifier.path.domain_segments():
+        diagnoses.append((domain.name, verifier.estimate_domain(domain)))
+
+    total_delay = sum(
+        performance.delay_quantile(quantile)
+        for _, performance in diagnoses
+        if performance.delay_quantiles
+    )
+    total_lost = sum(performance.lost_packets for _, performance in diagnoses)
+
+    entries: list[DomainDiagnosis] = []
+    for name, performance in diagnoses:
+        delay_share = 0.0
+        if performance.delay_quantiles and total_delay > 0:
+            delay_share = performance.delay_quantile(quantile) / total_delay
+        loss_share = (
+            performance.lost_packets / total_lost if total_lost > 0 else 0.0
+        )
+        verdict = check_sla(performance, sla) if sla is not None else None
+        entries.append(
+            DomainDiagnosis(
+                domain=name,
+                performance=performance,
+                sla_verdict=verdict,
+                delay_share=delay_share,
+                loss_share=loss_share,
+            )
+        )
+
+    suspects = identify_suspects(verifier.path, verifier.check_consistency())
+    return PathDiagnosis(path=verifier.path, domains=tuple(entries), suspects=suspects)
+
+
+def identify_suspects(
+    path: HOPPath, findings: Sequence[Inconsistency]
+) -> tuple[SuspectLink, ...]:
+    """Group inconsistencies per inter-domain link and name the two domains.
+
+    Per the paper, an inconsistency on a link means either the link is faulty
+    or one of its two endpoint domains is lying; both domains are notified, and
+    only they can tell which case it is.  The verifier therefore reports the
+    *pair*, not a single culprit.
+    """
+    owners = {hop.hop_id: hop.domain.name for hop in path.hops}
+    grouped: dict[tuple[int, int], list[Inconsistency]] = {}
+    for finding in findings:
+        key = (finding.upstream_hop, finding.downstream_hop)
+        grouped.setdefault(key, []).append(finding)
+
+    suspects = []
+    for (upstream_hop, downstream_hop), link_findings in sorted(grouped.items()):
+        suspects.append(
+            SuspectLink(
+                upstream_domain=owners.get(upstream_hop, f"HOP{upstream_hop}"),
+                downstream_domain=owners.get(downstream_hop, f"HOP{downstream_hop}"),
+                upstream_hop=upstream_hop,
+                downstream_hop=downstream_hop,
+                findings=tuple(link_findings),
+            )
+        )
+    return tuple(suspects)

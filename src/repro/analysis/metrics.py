@@ -1,0 +1,152 @@
+"""Accuracy metrics connecting receipt-based estimates to ground truth.
+
+These helpers compute exactly the quantities plotted in the paper's
+evaluation:
+
+* :func:`delay_accuracy_report` — Figure 2's "Delay Accuracy [msec]": the
+  worst-case error of the receipt-based delay-quantile estimates against the
+  ground-truth quantiles of the full packet population.
+* :func:`loss_granularity_report` — Figure 3's "Loss Granularity [sec]": the
+  mean time span over which a domain's loss could be computed from its
+  receipts, together with the exactness of the computed loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.core.estimation import DelayQuantileEstimate
+from repro.core.verifier import DomainPerformance
+from repro.simulation.scenario import DomainGroundTruth
+
+__all__ = [
+    "AccuracyReport",
+    "relative_error",
+    "delay_accuracy_report",
+    "loss_granularity_report",
+    "LossGranularityReport",
+]
+
+
+def relative_error(estimate: float, truth: float) -> float:
+    """Relative error ``|estimate - truth| / truth`` (0 when truth is 0 and
+    the estimate matches it; infinite otherwise)."""
+    if truth == 0.0:
+        return 0.0 if estimate == 0.0 else float("inf")
+    return abs(estimate - truth) / abs(truth)
+
+
+@dataclass(frozen=True)
+class AccuracyReport:
+    """Delay-estimation accuracy of one experiment run.
+
+    ``max_error`` (seconds) is the Figure-2 metric: the worst error across the
+    evaluated quantiles.  ``per_quantile_error`` gives the breakdown, and
+    ``sample_count`` how many commonly sampled packets supported the estimate.
+    """
+
+    per_quantile_error: dict[float, float]
+    true_quantiles: dict[float, float]
+    estimated_quantiles: dict[float, float]
+    sample_count: int
+
+    @property
+    def max_error(self) -> float:
+        """Worst-case quantile error in seconds (Figure 2's y-axis)."""
+        return max(self.per_quantile_error.values()) if self.per_quantile_error else 0.0
+
+    @property
+    def max_error_ms(self) -> float:
+        """Worst-case quantile error in milliseconds."""
+        return self.max_error * 1e3
+
+    @property
+    def mean_error(self) -> float:
+        """Mean quantile error in seconds."""
+        values = list(self.per_quantile_error.values())
+        return float(np.mean(values)) if values else 0.0
+
+
+def _as_point_estimates(
+    estimates: Mapping[float, DelayQuantileEstimate] | Mapping[float, float],
+) -> dict[float, float]:
+    points: dict[float, float] = {}
+    for quantile, value in estimates.items():
+        points[quantile] = (
+            value.estimate if isinstance(value, DelayQuantileEstimate) else float(value)
+        )
+    return points
+
+
+def delay_accuracy_report(
+    performance: DomainPerformance | Mapping[float, DelayQuantileEstimate],
+    truth: DomainGroundTruth | Mapping[float, float],
+    quantiles: Sequence[float] | None = None,
+) -> AccuracyReport:
+    """Compare receipt-based delay quantiles against ground truth.
+
+    ``performance`` may be a full :class:`DomainPerformance` (its
+    ``delay_quantiles`` are used) or a plain quantile mapping; ``truth`` may be
+    a :class:`DomainGroundTruth` (its delivered-packet delays are used) or a
+    precomputed quantile mapping.
+    """
+    if isinstance(performance, DomainPerformance):
+        estimated = _as_point_estimates(performance.delay_quantiles)
+        sample_count = performance.delay_sample_count
+    else:
+        estimated = _as_point_estimates(performance)
+        sample_count = 0
+    if not estimated:
+        raise ValueError("no delay-quantile estimates available to evaluate")
+
+    wanted = tuple(quantiles) if quantiles is not None else tuple(sorted(estimated))
+    if isinstance(truth, DomainGroundTruth):
+        true_quantiles = truth.delay_quantiles(wanted)
+    else:
+        true_quantiles = {
+            quantile: float(truth[quantile]) for quantile in wanted if quantile in truth
+        }
+
+    per_quantile = {
+        quantile: abs(estimated[quantile] - true_quantiles[quantile])
+        for quantile in wanted
+        if quantile in estimated and quantile in true_quantiles
+    }
+    if not per_quantile:
+        raise ValueError("estimates and truth share no quantiles")
+    return AccuracyReport(
+        per_quantile_error=per_quantile,
+        true_quantiles={quantile: true_quantiles[quantile] for quantile in per_quantile},
+        estimated_quantiles={quantile: estimated[quantile] for quantile in per_quantile},
+        sample_count=sample_count,
+    )
+
+
+@dataclass(frozen=True)
+class LossGranularityReport:
+    """Loss-computation quality of one experiment run (Figure 3's metric)."""
+
+    mean_granularity_seconds: float
+    granularities: tuple[float, ...]
+    computed_loss_rate: float
+    true_loss_rate: float
+
+    @property
+    def loss_rate_error(self) -> float:
+        """Absolute error of the computed loss rate."""
+        return abs(self.computed_loss_rate - self.true_loss_rate)
+
+
+def loss_granularity_report(
+    performance: DomainPerformance, truth: DomainGroundTruth
+) -> LossGranularityReport:
+    """Compare receipt-based loss accounting against ground truth."""
+    return LossGranularityReport(
+        mean_granularity_seconds=performance.mean_loss_granularity,
+        granularities=performance.loss_granularity,
+        computed_loss_rate=performance.loss_rate,
+        true_loss_rate=truth.loss_rate,
+    )

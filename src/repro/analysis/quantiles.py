@@ -1,0 +1,35 @@
+"""Quantile utilities shared by the metrics module and the benchmarks."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.util.validation import check_probability
+
+__all__ = ["empirical_quantiles", "quantile_error"]
+
+
+def empirical_quantiles(
+    values: Sequence[float] | np.ndarray, quantiles: Sequence[float]
+) -> dict[float, float]:
+    """Empirical quantiles of ``values`` as a ``{quantile: value}`` mapping."""
+    array = np.asarray(values, dtype=float)
+    if array.size == 0:
+        raise ValueError("cannot compute quantiles of an empty sample")
+    result: dict[float, float] = {}
+    for quantile in quantiles:
+        check_probability("quantile", quantile)
+        result[quantile] = float(np.quantile(array, quantile))
+    return result
+
+
+def quantile_error(
+    estimated: Mapping[float, float], truth: Mapping[float, float]
+) -> dict[float, float]:
+    """Per-quantile absolute error between two quantile mappings."""
+    common = sorted(set(estimated) & set(truth))
+    if not common:
+        raise ValueError("the two quantile mappings share no quantiles")
+    return {quantile: abs(estimated[quantile] - truth[quantile]) for quantile in common}

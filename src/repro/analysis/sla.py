@@ -1,0 +1,119 @@
+"""SLA specification and compliance checking.
+
+The paper motivates VPM with SLA verification: "today's SLAs ... typically
+promise intra-domain delays on the order of multiple tens of milliseconds"
+and "a certain level of packet loss per month".  :class:`SLASpec` captures
+such a contract (a delay bound at a quantile plus a loss-rate bound) and
+:func:`check_sla` evaluates a receipt-derived
+:class:`~repro.core.verifier.DomainPerformance` against it, taking the
+estimation confidence bounds into account so a verifier does not cry
+violation on estimation noise alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.verifier import DomainPerformance
+from repro.util.validation import check_non_negative, check_probability
+
+__all__ = ["SLASpec", "SLAVerdict", "check_sla"]
+
+
+@dataclass(frozen=True)
+class SLASpec:
+    """A (simplified) SLA between a domain and its customer or peer.
+
+    Attributes
+    ----------
+    delay_bound:
+        Maximum delay (seconds) the domain promises at ``delay_quantile``
+        (e.g. "90% of packets below 5 ms").
+    delay_quantile:
+        The quantile the delay bound applies to.
+    loss_bound:
+        Maximum loss rate the domain promises over the measurement period.
+    name:
+        Optional label for reporting.
+    """
+
+    delay_bound: float = 50e-3
+    delay_quantile: float = 0.9
+    loss_bound: float = 0.001
+    name: str = "default-sla"
+
+    def __post_init__(self) -> None:
+        check_non_negative("delay_bound", self.delay_bound)
+        check_probability("delay_quantile", self.delay_quantile)
+        check_probability("loss_bound", self.loss_bound)
+
+
+@dataclass(frozen=True)
+class SLAVerdict:
+    """The outcome of checking one domain against one SLA."""
+
+    sla: SLASpec
+    domain: str
+    delay_compliant: bool | None
+    loss_compliant: bool | None
+    measured_delay: float | None
+    measured_loss: float | None
+
+    @property
+    def compliant(self) -> bool:
+        """Overall compliance (unknown dimensions count as compliant)."""
+        return (self.delay_compliant is not False) and (self.loss_compliant is not False)
+
+    def __str__(self) -> str:
+        def render(flag: bool | None) -> str:
+            if flag is None:
+                return "unknown"
+            return "ok" if flag else "VIOLATED"
+
+        delay_text = (
+            f"{self.measured_delay * 1e3:.2f} ms" if self.measured_delay is not None else "n/a"
+        )
+        loss_text = (
+            f"{self.measured_loss * 100:.3f} %" if self.measured_loss is not None else "n/a"
+        )
+        return (
+            f"SLA {self.sla.name!r} for domain {self.domain}: "
+            f"delay {render(self.delay_compliant)} ({delay_text} at "
+            f"q={self.sla.delay_quantile}), loss {render(self.loss_compliant)} ({loss_text})"
+        )
+
+
+def check_sla(
+    performance: DomainPerformance,
+    sla: SLASpec,
+    use_confidence_bounds: bool = True,
+) -> SLAVerdict:
+    """Evaluate a receipt-derived performance estimate against an SLA.
+
+    With ``use_confidence_bounds`` the delay check uses the *lower* confidence
+    bound of the quantile estimate, i.e. the domain is flagged only when even
+    the optimistic end of the interval exceeds the promised bound; without it
+    the point estimate is compared directly.
+    """
+    delay_compliant: bool | None = None
+    measured_delay: float | None = None
+    estimate = performance.delay_quantiles.get(sla.delay_quantile)
+    if estimate is not None:
+        measured_delay = estimate.estimate
+        compared = estimate.lower if use_confidence_bounds else estimate.estimate
+        delay_compliant = compared <= sla.delay_bound
+
+    loss_compliant: bool | None = None
+    measured_loss: float | None = None
+    if performance.offered_packets > 0:
+        measured_loss = performance.loss_rate
+        loss_compliant = measured_loss <= sla.loss_bound
+
+    return SLAVerdict(
+        sla=sla,
+        domain=performance.domain,
+        delay_compliant=delay_compliant,
+        loss_compliant=loss_compliant,
+        measured_delay=measured_delay,
+        measured_loss=measured_loss,
+    )

@@ -1,0 +1,54 @@
+"""Small summary-statistics helpers used by examples and benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["Summary", "summarize"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-style summary of a sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    median: float
+    p90: float
+    p99: float
+    maximum: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat dictionary form, convenient for printing benchmark tables."""
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "median": self.median,
+            "p90": self.p90,
+            "p99": self.p99,
+            "max": self.maximum,
+        }
+
+
+def summarize(values: Sequence[float] | np.ndarray) -> Summary:
+    """Summarize a sample (count, mean, std, min/median/p90/p99/max)."""
+    array = np.asarray(values, dtype=float)
+    if array.size == 0:
+        raise ValueError("cannot summarize an empty sample")
+    return Summary(
+        count=int(array.size),
+        mean=float(array.mean()),
+        std=float(array.std()),
+        minimum=float(array.min()),
+        median=float(np.quantile(array, 0.5)),
+        p90=float(np.quantile(array, 0.9)),
+        p99=float(np.quantile(array, 0.99)),
+        maximum=float(array.max()),
+    )

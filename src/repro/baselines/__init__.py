@@ -1,0 +1,25 @@
+"""The baseline protocols of Section 3.
+
+Each baseline implements the same two-monitor interface
+(:class:`~repro.baselines.base.MeasurementProtocol`): observe the packets at a
+domain's ingress and egress HOPs and estimate the domain's loss and delay.
+The point of implementing them is to reproduce Section 3's comparison — which
+properties (computability, verifiability, tunability) each strawman satisfies
+and where it fails — and to serve as the baselines of the comparison and
+ablation benchmarks.
+"""
+
+from repro.baselines.base import MeasurementProtocol, ProtocolEstimate
+from repro.baselines.difference_aggregator import DifferenceAggregatorPlusPlus
+from repro.baselines.strawman import StrawmanProtocol
+from repro.baselines.trajectory_sampling import TrajectorySamplingPlusPlus
+from repro.baselines.vpm_adapter import VPMProtocolAdapter
+
+__all__ = [
+    "DifferenceAggregatorPlusPlus",
+    "MeasurementProtocol",
+    "ProtocolEstimate",
+    "StrawmanProtocol",
+    "TrajectorySamplingPlusPlus",
+    "VPMProtocolAdapter",
+]

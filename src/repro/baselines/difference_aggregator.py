@@ -1,0 +1,119 @@
+"""Difference Aggregator ++ (Section 3.3).
+
+Each HOP breaks the packet stream into aggregates at hash-selected cutting
+points and keeps, per aggregate, a packet count and a timestamp sum (the Lossy
+Difference Aggregator state).  Comparing the counts of the same aggregate at
+the two monitors gives exact loss; comparing the timestamp sums of *loss-free*
+aggregates gives average delay.  The protocol is tunable (aggregate size is a
+local knob) but fails computability in two ways Section 3.3 spells out:
+
+* it cannot produce delay **quantiles** — only averages over loss-free
+  aggregates;
+* packet reordering around a cutting point makes the two monitors disagree on
+  aggregate membership, breaking the count comparison (there is no AggTrans
+  patch-up here — adding one is exactly VPM's contribution on this axis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.baselines.base import MeasurementProtocol, ProtocolEstimate
+from repro.core.receipts import AGGREGATE_RECEIPT_BYTES
+from repro.net.hashing import threshold_for_rate
+from repro.util.validation import check_positive
+
+__all__ = ["DifferenceAggregatorPlusPlus"]
+
+
+@dataclass
+class _LDAAggregate:
+    """One aggregate's Lossy-Difference-Aggregator state."""
+
+    first_digest: int
+    pkt_count: int = 0
+    time_sum: float = 0.0
+
+    def add(self, time: float) -> None:
+        self.pkt_count += 1
+        self.time_sum += time
+
+
+@dataclass
+class _Monitor:
+    """One monitor's aggregate list."""
+
+    threshold: int
+    aggregates: list[_LDAAggregate] = field(default_factory=list)
+    observed: int = 0
+
+    def observe(self, digest: int, time: float) -> None:
+        self.observed += 1
+        if not self.aggregates or digest > self.threshold:
+            self.aggregates.append(_LDAAggregate(first_digest=digest))
+        self.aggregates[-1].add(time)
+
+
+class DifferenceAggregatorPlusPlus(MeasurementProtocol):
+    """Per-aggregate counts and timestamp sums at both monitors."""
+
+    name = "difference-aggregator++"
+    # Every packet is counted, so there is no sampled subset to favour.
+    sampling_predictable = False
+
+    def __init__(self, expected_aggregate_size: int = 1000) -> None:
+        check_positive("expected_aggregate_size", expected_aggregate_size)
+        self.expected_aggregate_size = int(expected_aggregate_size)
+        threshold = threshold_for_rate(1.0 / self.expected_aggregate_size)
+        self._ingress = _Monitor(threshold=threshold)
+        self._egress = _Monitor(threshold=threshold)
+
+    def observe_ingress(self, digest: int, time: float) -> None:
+        self._ingress.observe(digest, time)
+
+    def observe_egress(self, digest: int, time: float) -> None:
+        self._egress.observe(digest, time)
+
+    def estimate(self) -> ProtocolEstimate:
+        ingress_aggs = self._ingress.aggregates
+        egress_aggs = self._egress.aggregates
+
+        # Align aggregates on their cutting-point digests (first digest of
+        # each aggregate); only aggregates whose boundaries match at both
+        # monitors are comparable — lost or reordered cutting points silently
+        # coarsen or break the alignment, which is the failure mode Section
+        # 3.3 describes.
+        egress_by_boundary = {agg.first_digest: agg for agg in egress_aggs}
+        matched: list[tuple[_LDAAggregate, _LDAAggregate]] = []
+        for aggregate in ingress_aggs:
+            other = egress_by_boundary.get(aggregate.first_digest)
+            if other is not None:
+                matched.append((aggregate, other))
+
+        offered = sum(up.pkt_count for up, _ in matched)
+        lost = sum(max(up.pkt_count - down.pkt_count, 0) for up, down in matched)
+        loss_rate = (lost / offered) if offered else None
+
+        # Average delay from loss-free aggregates (the LDA estimator): the
+        # difference of the timestamp sums divided by the (equal) counts.
+        lossless = [
+            (up, down) for up, down in matched if up.pkt_count == down.pkt_count > 0
+        ]
+        if lossless:
+            total_packets = sum(up.pkt_count for up, _ in lossless)
+            delay_sum = sum(down.time_sum - up.time_sum for up, down in lossless)
+            mean_delay = delay_sum / total_packets
+        else:
+            mean_delay = None
+
+        receipt_bytes = (len(ingress_aggs) + len(egress_aggs)) * AGGREGATE_RECEIPT_BYTES
+        return ProtocolEstimate(
+            protocol=self.name,
+            loss_rate=loss_rate,
+            mean_delay=mean_delay,
+            delay_quantiles=None,
+            receipt_bytes=receipt_bytes,
+            observed_packets=self._ingress.observed,
+            notes="exact loss and average delay only; no quantiles; "
+            "breaks under reordering around cutting points",
+        )

@@ -1,0 +1,58 @@
+"""The strawman: per-packet receipts (Section 3.1).
+
+Every HOP produces a receipt (digest + timestamp) for every packet it
+observes.  Computability and verifiability are trivially satisfied — the
+verifier knows the fate and delay of every packet — but the protocol is not
+tunable: the receipt volume is proportional to the traffic, which is the
+failure Section 3.1 ends on.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import MeasurementProtocol, ProtocolEstimate, quantiles_from_delays
+from repro.core.estimation import DEFAULT_QUANTILES
+from repro.core.receipts import SAMPLE_RECORD_BYTES
+
+__all__ = ["StrawmanProtocol"]
+
+
+class StrawmanProtocol(MeasurementProtocol):
+    """Per-packet receipts at both monitors."""
+
+    name = "strawman"
+    # The domain knows every packet counts toward its measured performance, so
+    # there is no *subset* it can favour — biasing is meaningless, not
+    # predictable in the exploitable sense.
+    sampling_predictable = False
+
+    def __init__(self, quantiles: tuple[float, ...] = DEFAULT_QUANTILES) -> None:
+        self.quantiles = quantiles
+        self._ingress: dict[int, float] = {}
+        self._egress: dict[int, float] = {}
+
+    def observe_ingress(self, digest: int, time: float) -> None:
+        self._ingress[digest] = time
+
+    def observe_egress(self, digest: int, time: float) -> None:
+        self._egress[digest] = time
+
+    def estimate(self) -> ProtocolEstimate:
+        observed = len(self._ingress)
+        delivered = [
+            (digest, self._egress[digest])
+            for digest in self._ingress
+            if digest in self._egress
+        ]
+        lost = observed - len(delivered)
+        delays = [time - self._ingress[digest] for digest, time in delivered]
+        mean_delay = sum(delays) / len(delays) if delays else None
+        receipt_bytes = (len(self._ingress) + len(self._egress)) * SAMPLE_RECORD_BYTES
+        return ProtocolEstimate(
+            protocol=self.name,
+            loss_rate=(lost / observed) if observed else None,
+            mean_delay=mean_delay,
+            delay_quantiles=quantiles_from_delays(delays, self.quantiles) or None,
+            receipt_bytes=receipt_bytes,
+            observed_packets=observed,
+            notes="exact per-packet accounting; receipt volume grows with traffic",
+        )

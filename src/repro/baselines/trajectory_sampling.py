@@ -1,0 +1,90 @@
+"""Trajectory Sampling ++ (Section 3.2).
+
+Each HOP applies a hash function to a fixed portion of every packet and keeps
+a receipt (digest + timestamp) only for packets whose hash exceeds a
+threshold.  Because both monitors hash the same bytes, they sample the same
+packets, and the verifier estimates loss and delay quantiles from the sampled
+subset — the protocol is tunable and computable.
+
+Its failure is verifiability: the sampling decision is computable from the
+packet alone *before* the packet is forwarded, so a domain (or a pair of
+colluding domains) can treat the to-be-sampled packets preferentially and
+exaggerate its measured performance.  That predictability is exposed through
+:meth:`TrajectorySamplingPlusPlus.measurement_predicate` and exploited by the
+bias adversary in the A1 ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import MeasurementProtocol, ProtocolEstimate, quantiles_from_delays
+from repro.core.estimation import DEFAULT_QUANTILES
+from repro.core.receipts import SAMPLE_RECORD_BYTES
+from repro.net.hashing import MASK64, splitmix64, threshold_for_rate
+from repro.util.validation import check_fraction
+
+__all__ = ["TrajectorySamplingPlusPlus"]
+
+
+class TrajectorySamplingPlusPlus(MeasurementProtocol):
+    """Hash-selected per-packet sampling at both monitors."""
+
+    name = "trajectory-sampling++"
+    sampling_predictable = True
+
+    def __init__(
+        self,
+        sampling_rate: float = 0.01,
+        quantiles: tuple[float, ...] = DEFAULT_QUANTILES,
+        hash_salt: int = 0x5EED,
+    ) -> None:
+        check_fraction("sampling_rate", sampling_rate)
+        self.sampling_rate = sampling_rate
+        self.quantiles = quantiles
+        self.hash_salt = hash_salt
+        self._threshold = threshold_for_rate(sampling_rate)
+        self._ingress: dict[int, float] = {}
+        self._egress: dict[int, float] = {}
+        self._ingress_observed = 0
+
+    # -- sampling decision (the predictable part) ---------------------------------
+
+    def measurement_predicate(self, digest: int) -> bool:
+        """Whether a packet with this digest is sampled — knowable in advance."""
+        return self._sample_value(digest) > self._threshold
+
+    def _sample_value(self, digest: int) -> int:
+        return splitmix64((digest ^ self.hash_salt) & MASK64)
+
+    # -- observation ----------------------------------------------------------------
+
+    def observe_ingress(self, digest: int, time: float) -> None:
+        self._ingress_observed += 1
+        if self.measurement_predicate(digest):
+            self._ingress[digest] = time
+
+    def observe_egress(self, digest: int, time: float) -> None:
+        if self.measurement_predicate(digest):
+            self._egress[digest] = time
+
+    # -- estimation -------------------------------------------------------------------
+
+    def estimate(self) -> ProtocolEstimate:
+        sampled = len(self._ingress)
+        delivered = [
+            (digest, self._egress[digest])
+            for digest in self._ingress
+            if digest in self._egress
+        ]
+        lost_samples = sampled - len(delivered)
+        delays = [time - self._ingress[digest] for digest, time in delivered]
+        mean_delay = sum(delays) / len(delays) if delays else None
+        receipt_bytes = (len(self._ingress) + len(self._egress)) * SAMPLE_RECORD_BYTES
+        return ProtocolEstimate(
+            protocol=self.name,
+            loss_rate=(lost_samples / sampled) if sampled else None,
+            mean_delay=mean_delay,
+            delay_quantiles=quantiles_from_delays(delays, self.quantiles) or None,
+            receipt_bytes=receipt_bytes,
+            observed_packets=self._ingress_observed,
+            notes="sampled estimates; sampling decision predictable by the domain",
+        )

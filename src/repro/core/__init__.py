@@ -1,0 +1,92 @@
+"""The VPM core: the paper's primary contribution.
+
+Modules
+-------
+``receipts``
+    Traffic-receipt data structures (Section 4): ``PathID``, sample receipts,
+    aggregate receipts, and receipt combination.
+``consistency``
+    Receipt-consistency rules across inter-domain links (Section 4).
+``sampling``
+    Bias-resistant, tunable delay sampling — Algorithm 1 (Section 5).
+``aggregation``
+    Tunable aggregation — Algorithm 2 plus the AggTrans reordering patch-up
+    (Section 6).
+``partition``
+    The partition algebra (coarser/finer, join) of Section 6.1.
+``estimation``
+    Delay-quantile and loss estimation from receipts (the role of [20]).
+``hop``
+    The collector (data-plane) and processor (control-plane) modules of a
+    hand-off point (Section 7's implementation model).
+``domain``
+    A domain's honest reporting behaviour across its HOPs.
+``verifier``
+    The receipt collector: computes a domain's performance from its receipts
+    and verifies them against the receipts of the other on-path domains.
+``protocol``
+    ``VPMSession`` — end-to-end orchestration of collectors, receipt
+    dissemination and verification over one HOP path.
+"""
+
+from repro.core.aggregation import Aggregator, AggregatorConfig
+from repro.core.campaign import CampaignResult, IntervalResult, MeasurementCampaign
+from repro.core.consistency import (
+    Inconsistency,
+    check_aggregate_consistency,
+    check_link_consistency,
+    check_sample_consistency,
+)
+from repro.core.domain import DomainAgent
+from repro.core.estimation import (
+    DelayQuantileEstimate,
+    estimate_delay_quantiles,
+    estimate_loss_rate,
+    quantile_confidence_bounds,
+)
+from repro.core.hop import HOPCollector, HOPConfig, HOPProcessor
+from repro.core.partition import PartitionSet, join_partitions
+from repro.core.protocol import VPMSession
+from repro.core.receipts import (
+    AggregateReceipt,
+    PathID,
+    SampleReceipt,
+    SampleRecord,
+    combine_aggregate_receipts,
+    combine_sample_receipts,
+)
+from repro.core.sampling import DelaySampler, SamplerConfig
+from repro.core.verifier import DomainPerformance, Verifier
+
+__all__ = [
+    "AggregateReceipt",
+    "Aggregator",
+    "AggregatorConfig",
+    "CampaignResult",
+    "DelayQuantileEstimate",
+    "DelaySampler",
+    "DomainAgent",
+    "DomainPerformance",
+    "HOPCollector",
+    "HOPConfig",
+    "HOPProcessor",
+    "Inconsistency",
+    "IntervalResult",
+    "MeasurementCampaign",
+    "PartitionSet",
+    "PathID",
+    "SampleReceipt",
+    "SampleRecord",
+    "SamplerConfig",
+    "VPMSession",
+    "Verifier",
+    "check_aggregate_consistency",
+    "check_link_consistency",
+    "check_sample_consistency",
+    "combine_aggregate_receipts",
+    "combine_sample_receipts",
+    "estimate_delay_quantiles",
+    "estimate_loss_rate",
+    "join_partitions",
+    "quantile_confidence_bounds",
+]

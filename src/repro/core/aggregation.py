@@ -1,0 +1,243 @@
+"""Tunable aggregation — Algorithm 2 plus the AggTrans patch-up (Section 6).
+
+Each HOP breaks the packet stream of a path into **aggregates** at
+hash-selected cutting points: a packet whose digest exceeds the partition
+threshold ``δ`` closes the current aggregate and starts a new one.  Because a
+HOP with a lower ``δ`` cuts at (at least) all the points a HOP with a higher
+``δ`` cuts at, independently tuned HOPs "never produce partially overlapping
+aggregate sets" (Section 6.2), which keeps their receipts joinable.
+
+To survive bounded reordering (Section 6.3), every closed aggregate's receipt
+also carries ``AggTrans``: the packet IDs observed within the safety window
+``J`` on either side of the cutting point.  A verifier uses these windows to
+migrate packets across misaligned boundaries (see
+:func:`repro.core.partition.aligned_aggregates`).
+
+:class:`Aggregator` keeps constant state per open aggregate plus a sliding
+window of the last ``J`` seconds of packet IDs; per-packet work is constant.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.receipts import AggregateReceipt, PathID
+from repro.net.hashing import MASK64, threshold_for_rate
+from repro.util.validation import check_non_negative, check_positive
+
+__all__ = ["AggregatorConfig", "Aggregator"]
+
+
+@dataclass(frozen=True)
+class AggregatorConfig:
+    """Configuration of a HOP's aggregator.
+
+    Attributes
+    ----------
+    expected_aggregate_size:
+        Target number of packets per aggregate.  The partition threshold ``δ``
+        is set so a packet becomes a cutting point with probability
+        ``1 / expected_aggregate_size`` (the paper's evaluation uses one
+        aggregate per 100,000 packets).
+    reorder_window:
+        The safety inter-arrival threshold ``J`` (seconds): packets observed
+        more than ``J`` apart are assumed never to be reordered.  The paper
+        conservatively suggests 10 ms.
+    """
+
+    expected_aggregate_size: int = 100_000
+    reorder_window: float = 0.01
+
+    def __post_init__(self) -> None:
+        check_positive("expected_aggregate_size", self.expected_aggregate_size)
+        check_non_negative("reorder_window", self.reorder_window)
+
+    @property
+    def partition_rate(self) -> float:
+        """Probability that a packet is a cutting point."""
+        return 1.0 / self.expected_aggregate_size
+
+    @property
+    def partition_threshold(self) -> int:
+        """The 64-bit threshold ``δ`` for the configured aggregate size."""
+        return threshold_for_rate(self.partition_rate)
+
+
+@dataclass
+class _OpenAggregate:
+    """Mutable state of the aggregate currently being filled."""
+
+    first_pkt_id: int
+    last_pkt_id: int
+    pkt_count: int = 0
+    start_time: float = 0.0
+    end_time: float = 0.0
+    time_sum: float = 0.0
+
+    def add(self, digest: int, time: float) -> None:
+        if self.pkt_count == 0:
+            self.start_time = time
+        self.last_pkt_id = digest
+        self.pkt_count += 1
+        self.end_time = time
+        self.time_sum += time
+
+
+@dataclass
+class _PendingReceipt:
+    """A closed aggregate waiting for its post-cut AggTrans window to fill."""
+
+    aggregate: _OpenAggregate
+    cut_time: float
+    trans_before: tuple[int, ...]
+    trans_after: list[int] = field(default_factory=list)
+
+
+class Aggregator:
+    """Per-path implementation of Algorithm 2 (``Partition``) with AggTrans.
+
+    Call :meth:`observe` for every packet of the path in observation order
+    (passing the packet digest and the HOP's local timestamp), then
+    :meth:`receipts` to drain the finalized aggregate receipts, and
+    :meth:`flush` at the end of a reporting period to close the open
+    aggregate.
+    """
+
+    def __init__(self, config: AggregatorConfig | None = None) -> None:
+        self.config = config or AggregatorConfig()
+        self._partition_threshold = self.config.partition_threshold
+        self._window = self.config.reorder_window
+        self._open: _OpenAggregate | None = None
+        self._recent: deque[tuple[int, float]] = deque()
+        self._pending: list[_PendingReceipt] = []
+        self._finalized: list[_PendingReceipt] = []
+        self._observed_packets = 0
+        self._cut_count = 0
+        self._max_window_occupancy = 0
+
+    # -- observation ---------------------------------------------------------
+
+    def observe(self, digest: int, time: float) -> bool:
+        """Process one observed packet.
+
+        Returns ``True`` if the packet was a cutting point (started a new
+        aggregate).
+        """
+        if not 0 <= digest <= MASK64:
+            raise ValueError(f"digest must be a 64-bit value, got {digest!r}")
+        self._observed_packets += 1
+        self._finalize_pending(time)
+
+        is_cut = digest > self._partition_threshold
+        if is_cut and self._open is not None and self._open.pkt_count > 0:
+            self._cut_count += 1
+            trans_before = tuple(
+                pkt_id for pkt_id, seen in self._recent if seen >= time - self._window
+            )
+            self._pending.append(
+                _PendingReceipt(
+                    aggregate=self._open, cut_time=time, trans_before=trans_before
+                )
+            )
+            self._open = _OpenAggregate(first_pkt_id=digest, last_pkt_id=digest)
+        elif self._open is None:
+            self._open = _OpenAggregate(first_pkt_id=digest, last_pkt_id=digest)
+
+        self._open.add(digest, time)
+
+        # Feed the post-cut window of any aggregate closed less than J ago.
+        for pending in self._pending:
+            if time <= pending.cut_time + self._window:
+                pending.trans_after.append(digest)
+
+        # Maintain the sliding window of the last J seconds of packet IDs.
+        self._recent.append((digest, time))
+        while self._recent and self._recent[0][1] < time - self._window:
+            self._recent.popleft()
+        if len(self._recent) > self._max_window_occupancy:
+            self._max_window_occupancy = len(self._recent)
+        return is_cut
+
+    def _finalize_pending(self, now: float) -> None:
+        """Move pending receipts whose post-cut window has elapsed to finalized."""
+        still_pending: list[_PendingReceipt] = []
+        for pending in self._pending:
+            if now > pending.cut_time + self._window:
+                self._finalized.append(pending)
+            else:
+                still_pending.append(pending)
+        self._pending = still_pending
+
+    # -- reporting -------------------------------------------------------------
+
+    def flush(self) -> None:
+        """Close the open aggregate and finalize all pending receipts.
+
+        Called at the end of a reporting period (or of the simulation); the
+        final, possibly partial aggregate is reported like any other.
+        """
+        if self._open is not None and self._open.pkt_count > 0:
+            trans_before = tuple(pkt_id for pkt_id, _ in self._recent)
+            self._finalized.extend(self._pending)
+            self._pending = []
+            self._finalized.append(
+                _PendingReceipt(
+                    aggregate=self._open,
+                    cut_time=self._open.end_time,
+                    trans_before=trans_before,
+                )
+            )
+            self._open = None
+        else:
+            self._finalized.extend(self._pending)
+            self._pending = []
+
+    def receipts(self, path_id: PathID, reset: bool = True) -> list[AggregateReceipt]:
+        """Return the finalized aggregate receipts accumulated so far."""
+        receipts = [
+            AggregateReceipt(
+                path_id=path_id,
+                first_pkt_id=pending.aggregate.first_pkt_id,
+                last_pkt_id=pending.aggregate.last_pkt_id,
+                pkt_count=pending.aggregate.pkt_count,
+                start_time=pending.aggregate.start_time,
+                end_time=pending.aggregate.end_time,
+                time_sum=pending.aggregate.time_sum,
+                trans_before=pending.trans_before,
+                trans_after=tuple(pending.trans_after),
+            )
+            for pending in self._finalized
+        ]
+        if reset:
+            self._finalized = []
+        return receipts
+
+    # -- introspection ----------------------------------------------------------
+
+    @property
+    def observed_packets(self) -> int:
+        """Total packets observed."""
+        return self._observed_packets
+
+    @property
+    def cut_count(self) -> int:
+        """Number of cutting points observed (closed aggregates)."""
+        return self._cut_count
+
+    @property
+    def open_aggregate_size(self) -> int:
+        """Packets in the currently open aggregate."""
+        return self._open.pkt_count if self._open is not None else 0
+
+    @property
+    def max_window_occupancy(self) -> int:
+        """Largest sliding-window occupancy seen (packets within J seconds)."""
+        return self._max_window_occupancy
+
+    def __repr__(self) -> str:
+        return (
+            f"Aggregator(expected_aggregate_size={self.config.expected_aggregate_size}, "
+            f"reorder_window={self.config.reorder_window}, "
+            f"observed={self._observed_packets}, cuts={self._cut_count})"
+        )

@@ -1,0 +1,197 @@
+"""Multi-interval measurement campaigns.
+
+SLAs are contracted over long horizons ("a certain level of packet loss per
+month"), while receipts are produced per reporting period.  A
+:class:`MeasurementCampaign` runs the VPM pipeline over a sequence of
+measurement intervals — each interval is one trace segment driven through the
+path scenario and one round of receipt generation/verification — and
+accumulates the per-interval results into campaign-level statistics a customer
+would actually hold a provider to:
+
+* pooled delay quantiles over all matched samples of the campaign;
+* total loss over all aligned aggregates;
+* the fraction of intervals in which the target domain's receipts survived
+  verification;
+* per-interval history for trending and debugging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.analysis.sla import SLASpec, SLAVerdict, check_sla
+from repro.core.estimation import DEFAULT_QUANTILES, estimate_delay_quantiles
+from repro.core.hop import HOPConfig
+from repro.core.protocol import VPMSession
+from repro.core.verifier import DomainPerformance
+from repro.net.packet import Packet
+from repro.net.topology import HOPPath
+from repro.simulation.scenario import PathObservation, PathScenario
+
+__all__ = ["IntervalResult", "CampaignResult", "MeasurementCampaign"]
+
+
+@dataclass(frozen=True)
+class IntervalResult:
+    """Outcome of one measurement interval for the target domain."""
+
+    index: int
+    performance: DomainPerformance
+    accepted: bool
+    observed_packets: int
+    receipt_bytes: int
+    delay_samples: tuple[float, ...] = ()
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """Accumulated outcome of a whole campaign for the target domain."""
+
+    domain: str
+    intervals: tuple[IntervalResult, ...]
+    quantiles: tuple[float, ...] = DEFAULT_QUANTILES
+
+    @property
+    def interval_count(self) -> int:
+        return len(self.intervals)
+
+    @property
+    def total_offered_packets(self) -> int:
+        """Packets offered to the domain across the campaign."""
+        return sum(interval.performance.offered_packets for interval in self.intervals)
+
+    @property
+    def total_lost_packets(self) -> int:
+        """Packets the domain lost across the campaign."""
+        return sum(interval.performance.lost_packets for interval in self.intervals)
+
+    @property
+    def loss_rate(self) -> float:
+        """Campaign-wide loss rate (exact, from the aligned aggregates)."""
+        offered = self.total_offered_packets
+        return self.total_lost_packets / offered if offered else 0.0
+
+    @property
+    def acceptance_rate(self) -> float:
+        """Fraction of intervals whose receipts survived verification."""
+        if not self.intervals:
+            return 1.0
+        return sum(interval.accepted for interval in self.intervals) / len(self.intervals)
+
+    def pooled_delay_quantiles(self) -> dict[float, float]:
+        """Delay quantiles over every matched sample of the campaign."""
+        samples: list[float] = []
+        for interval in self.intervals:
+            samples.extend(interval.delay_samples)
+        if not samples:
+            return {}
+        estimates = estimate_delay_quantiles(np.asarray(samples), self.quantiles)
+        return {quantile: estimate.estimate for quantile, estimate in estimates.items()}
+
+    def check_sla(self, sla: SLASpec) -> SLAVerdict:
+        """Evaluate the campaign totals against an SLA."""
+        pooled = self.pooled_delay_quantiles()
+        samples = [
+            delay for interval in self.intervals for delay in interval.delay_samples
+        ]
+        if pooled:
+            estimates = estimate_delay_quantiles(np.asarray(samples), self.quantiles)
+        else:
+            estimates = {}
+        synthetic = DomainPerformance(
+            domain=self.domain,
+            delay_quantiles=estimates,
+            delay_sample_count=len(samples),
+            offered_packets=self.total_offered_packets,
+            lost_packets=self.total_lost_packets,
+        )
+        return check_sla(synthetic, sla)
+
+
+class MeasurementCampaign:
+    """Runs repeated measurement intervals against one target domain.
+
+    Parameters
+    ----------
+    scenario:
+        The (already configured) path scenario to drive each interval through.
+        The same scenario object is reused so domain conditions persist across
+        intervals; its internal randomness advances naturally.
+    target:
+        The transit domain whose performance the campaign tracks.
+    observer:
+        The domain acting as receipt collector/verifier.
+    configs:
+        Per-domain HOP configurations (as for :class:`VPMSession`).
+    agents_factory:
+        Optional callable returning fresh per-interval adversarial agents
+        (keyed by domain name); honest agents are rebuilt per interval
+        otherwise.
+    """
+
+    def __init__(
+        self,
+        scenario: PathScenario,
+        target: str,
+        observer: str = "S",
+        configs: dict[str, HOPConfig | None] | None = None,
+        agents_factory: Callable[[HOPPath], dict[str, object]] | None = None,
+    ) -> None:
+        self.scenario = scenario
+        self.target = target
+        self.observer = observer
+        self.configs = configs or {
+            domain.name: HOPConfig() for domain in scenario.path.domains
+        }
+        self.agents_factory = agents_factory
+        self._intervals: list[IntervalResult] = []
+
+    def run_interval(self, packets: Sequence[Packet]) -> IntervalResult:
+        """Run one measurement interval over ``packets`` and record it."""
+        observation: PathObservation = self.scenario.run(packets)
+        agents = self.agents_factory(self.scenario.path) if self.agents_factory else {}
+        session = VPMSession(self.scenario.path, configs=self.configs, agents=agents)
+        session.run(observation)
+
+        verifier = session.verifier_for(self.observer)
+        performance = verifier.estimate_domain(self.target)
+        verification = verifier.verify_domain(self.target)
+
+        target_hops = self.scenario.path.hops_of(self.target)
+        ingress_hop = target_hops[0].hop_id if len(target_hops) >= 2 else None
+        egress_hop = target_hops[-1].hop_id if len(target_hops) >= 2 else None
+        delay_samples: tuple[float, ...] = ()
+        if ingress_hop is not None:
+            from repro.core.estimation import match_sample_delays
+
+            ingress_receipt = verifier.sample_receipt_for(ingress_hop)
+            egress_receipt = verifier.sample_receipt_for(egress_hop)
+            if ingress_receipt is not None and egress_receipt is not None:
+                delay_samples = tuple(
+                    match_sample_delays(ingress_receipt, egress_receipt).tolist()
+                )
+
+        overhead = session.overhead()
+        result = IntervalResult(
+            index=len(self._intervals),
+            performance=performance,
+            accepted=verification.accepted,
+            observed_packets=overhead.observed_packets,
+            receipt_bytes=overhead.receipt_bytes,
+            delay_samples=delay_samples,
+        )
+        self._intervals.append(result)
+        return result
+
+    def run(self, interval_traces: Sequence[Sequence[Packet]]) -> CampaignResult:
+        """Run every interval and return the accumulated campaign result."""
+        for packets in interval_traces:
+            self.run_interval(packets)
+        return self.result()
+
+    def result(self) -> CampaignResult:
+        """The campaign result over all intervals run so far."""
+        return CampaignResult(domain=self.target, intervals=tuple(self._intervals))

@@ -1,0 +1,250 @@
+"""The HOP collector and processor modules (Section 7's implementation model).
+
+The paper implements HOP functionality "as part of a NetFlow-like monitoring
+platform that operates partly in the router's data-plane and partly in its
+control plane":
+
+* the **collector** module (:class:`HOPCollector`) handles per-packet
+  operations — path classification, digest computation, the delay sampler's
+  temporary buffer and the aggregator's per-aggregate state — and corresponds
+  to the data-plane/monitoring-cache half;
+* the **processor** module (:class:`HOPProcessor`) periodically reads the
+  collector's state and turns it into disseminable receipts — the
+  control-plane half.
+
+Resource counters (packets processed, buffer occupancies, receipt bytes) are
+exposed so the overhead model of Section 7.1 can be evaluated against the
+running implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.aggregation import Aggregator, AggregatorConfig
+from repro.core.receipts import AggregateReceipt, PathID, SampleReceipt
+from repro.core.sampling import DelaySampler, SamplerConfig
+from repro.net.hashing import PacketDigester
+from repro.net.packet import Packet
+from repro.net.topology import HOP, HOPPath
+
+__all__ = ["HOPConfig", "HOPReport", "HOPCollector", "HOPProcessor"]
+
+
+@dataclass(frozen=True)
+class HOPConfig:
+    """Per-HOP configuration: the locally tunable knobs of the protocol.
+
+    Every field except ``digester`` and ``sampler.marker_rate`` is a local
+    choice; the digest parameters and the marker rate are protocol-wide
+    constants that all HOPs of a path must share.
+    """
+
+    sampler: SamplerConfig = SamplerConfig()
+    aggregator: AggregatorConfig = AggregatorConfig()
+    digester: PacketDigester = PacketDigester()
+
+
+@dataclass
+class _PathState:
+    """Collector state for one active path."""
+
+    path_id: PathID
+    sampler: DelaySampler
+    aggregator: Aggregator
+    observed_packets: int = 0
+    observed_bytes: int = 0
+
+
+@dataclass(frozen=True)
+class HOPReport:
+    """All receipts produced by one HOP for one reporting period."""
+
+    hop_id: int
+    sample_receipts: tuple[SampleReceipt, ...] = ()
+    aggregate_receipts: tuple[AggregateReceipt, ...] = ()
+
+    @property
+    def wire_bytes(self) -> int:
+        """Total dissemination size of the report."""
+        return sum(receipt.wire_bytes for receipt in self.sample_receipts) + sum(
+            receipt.wire_bytes for receipt in self.aggregate_receipts
+        )
+
+
+class HOPCollector:
+    """The data-plane half of a HOP: per-packet processing and state.
+
+    Parameters
+    ----------
+    hop:
+        The topological HOP this collector runs at (provides the local clock
+        and the HOP id written into PathIDs).
+    config:
+        The HOP's sampling/aggregation configuration.
+    """
+
+    def __init__(self, hop: HOP, config: HOPConfig | None = None) -> None:
+        self.hop = hop
+        self.config = config or HOPConfig()
+        self._paths: dict[object, _PathState] = {}
+        self._classifier_cache: dict[tuple[int, int], _PathState | None] = {}
+        self._unclassified_packets = 0
+
+    # -- path registration -----------------------------------------------------
+
+    def register_path(self, path: HOPPath, max_diff: float = 1e-3) -> PathID:
+        """Register an active path crossing this HOP.
+
+        ``max_diff`` is the MaxDiff agreed for this HOP's adjacent
+        inter-domain link (the upstream link for an ingress HOP, the
+        downstream link for an egress HOP).
+        """
+        position = None
+        for index, hop in enumerate(path.hops):
+            if hop == self.hop:
+                position = index
+                break
+        if position is None:
+            raise ValueError(f"{self.hop} is not on path {path}")
+        previous_hop = path.hops[position - 1].hop_id if position > 0 else None
+        next_hop = (
+            path.hops[position + 1].hop_id if position + 1 < len(path.hops) else None
+        )
+        path_id = PathID(
+            prefix_pair=path.prefix_pair,
+            reporting_hop=self.hop.hop_id,
+            previous_hop=previous_hop,
+            next_hop=next_hop,
+            max_diff=max_diff,
+        )
+        self._paths[path.prefix_pair] = _PathState(
+            path_id=path_id,
+            sampler=DelaySampler(self.config.sampler),
+            aggregator=Aggregator(self.config.aggregator),
+        )
+        self._classifier_cache.clear()
+        return path_id
+
+    # -- per-packet processing ---------------------------------------------------
+
+    def _classify(self, packet: Packet) -> _PathState | None:
+        key = (packet.headers.src_ip, packet.headers.dst_ip)
+        if key in self._classifier_cache:
+            return self._classifier_cache[key]
+        state: _PathState | None = None
+        for prefix_pair, candidate in self._paths.items():
+            if prefix_pair.matches(packet.headers.src_ip, packet.headers.dst_ip):
+                state = candidate
+                break
+        self._classifier_cache[key] = state
+        return state
+
+    def observe(self, packet: Packet, true_time: float) -> None:
+        """Process one packet observed at this HOP at ``true_time``.
+
+        The packet is classified into its path, digested once, and fed to both
+        the delay sampler and the aggregator with the HOP's *local* timestamp.
+        Packets that match no registered path are counted and ignored, as a
+        real collector would treat traffic it is not configured to monitor.
+        """
+        state = self._classify(packet)
+        if state is None:
+            self._unclassified_packets += 1
+            return
+        local_time = self.hop.clock.read(true_time)
+        digest = self.config.digester.digest(packet)
+        state.sampler.observe(digest, local_time)
+        state.aggregator.observe(digest, local_time)
+        state.observed_packets += 1
+        state.observed_bytes += packet.size
+
+    def observe_sequence(self, observations: list[tuple[Packet, float]]) -> None:
+        """Convenience wrapper: observe an already-ordered (packet, time) list."""
+        for packet, true_time in observations:
+            self.observe(packet, true_time)
+
+    # -- state access ---------------------------------------------------------------
+
+    def path_state(self, path: HOPPath | PathID) -> _PathState:
+        """Return the internal state for a registered path (mainly for tests)."""
+        prefix_pair = (
+            path.prefix_pair if isinstance(path, (HOPPath, PathID)) else path
+        )
+        return self._paths[prefix_pair]
+
+    @property
+    def active_paths(self) -> int:
+        """Number of registered (active) paths."""
+        return len(self._paths)
+
+    @property
+    def observed_packets(self) -> int:
+        """Total packets observed across all registered paths."""
+        return sum(state.observed_packets for state in self._paths.values())
+
+    @property
+    def observed_bytes(self) -> int:
+        """Total bytes observed across all registered paths."""
+        return sum(state.observed_bytes for state in self._paths.values())
+
+    @property
+    def unclassified_packets(self) -> int:
+        """Packets that matched no registered path."""
+        return self._unclassified_packets
+
+    @property
+    def max_temp_buffer_occupancy(self) -> int:
+        """Largest delay-sampling temporary-buffer occupancy (packets)."""
+        return max(
+            (state.sampler.max_buffer_occupancy for state in self._paths.values()),
+            default=0,
+        )
+
+    def states(self) -> list[_PathState]:
+        """All per-path states (used by the processor)."""
+        return list(self._paths.values())
+
+
+class HOPProcessor:
+    """The control-plane half of a HOP: turns collector state into receipts."""
+
+    def __init__(self, collector: HOPCollector) -> None:
+        self.collector = collector
+        self._reports_generated = 0
+        self._bytes_reported = 0
+
+    def generate_report(self, flush: bool = False) -> HOPReport:
+        """Read the collector's state and produce this period's receipts.
+
+        ``flush`` closes every open aggregate first; use it at the end of a
+        simulation or measurement interval so the final partial aggregate is
+        reported too.
+        """
+        sample_receipts: list[SampleReceipt] = []
+        aggregate_receipts: list[AggregateReceipt] = []
+        for state in self.collector.states():
+            if flush:
+                state.aggregator.flush()
+            sample_receipt = state.sampler.receipt(state.path_id)
+            if sample_receipt.samples:
+                sample_receipts.append(sample_receipt)
+            aggregate_receipts.extend(state.aggregator.receipts(state.path_id))
+        report = HOPReport(
+            hop_id=self.collector.hop.hop_id,
+            sample_receipts=tuple(sample_receipts),
+            aggregate_receipts=tuple(aggregate_receipts),
+        )
+        self._reports_generated += 1
+        self._bytes_reported += report.wire_bytes
+        return report
+
+    @property
+    def reports_generated(self) -> int:
+        """Number of reporting periods processed."""
+        return self._reports_generated
+
+    @property
+    def bytes_reported(self) -> int:
+        """Total receipt bytes produced so far."""
+        return self._bytes_reported

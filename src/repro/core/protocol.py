@@ -1,0 +1,157 @@
+"""End-to-end VPM orchestration over one HOP path.
+
+:class:`VPMSession` wires the pieces together for one measurement interval:
+
+1. each participating domain runs a :class:`~repro.core.domain.DomainAgent`
+   over the traffic its HOPs observed (a :class:`PathObservation` produced by
+   the path scenario);
+2. the domains' receipts are disseminated (Assumption 2 of the paper: an
+   authenticated channel exists; here an in-memory
+   :class:`~repro.reporting.dissemination.ReceiptBus`);
+3. any domain can instantiate a :class:`~repro.core.verifier.Verifier` over
+   the receipts it is entitled to see and estimate/verify its neighbors.
+
+The session also exposes the resource accounting needed by the Section 7.1
+overhead analysis (receipt bytes per observed byte, buffer occupancies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.core.domain import DomainAgent
+from repro.core.hop import HOPConfig, HOPReport
+from repro.core.verifier import DomainPerformance, VerificationResult, Verifier
+from repro.net.topology import Domain, HOPPath
+from repro.reporting.dissemination import ReceiptBus
+from repro.simulation.scenario import PathObservation
+
+__all__ = ["SessionOverhead", "VPMSession"]
+
+
+@dataclass(frozen=True)
+class SessionOverhead:
+    """Aggregate resource accounting of one measurement interval."""
+
+    observed_packets: int
+    observed_bytes: int
+    receipt_bytes: int
+    max_temp_buffer_packets: int
+
+    @property
+    def receipt_bytes_per_packet(self) -> float:
+        """Receipt bytes produced per observed packet (Section 7.1's 0.2 B/pkt)."""
+        return self.receipt_bytes / self.observed_packets if self.observed_packets else 0.0
+
+    @property
+    def bandwidth_overhead(self) -> float:
+        """Receipt bytes relative to observed traffic bytes (the 0.046% figure)."""
+        return self.receipt_bytes / self.observed_bytes if self.observed_bytes else 0.0
+
+
+class VPMSession:
+    """Runs VPM for one measurement interval on one path.
+
+    Parameters
+    ----------
+    path:
+        The HOP path being monitored.
+    configs:
+        Mapping of domain name to the :class:`HOPConfig` the domain uses for
+        its HOPs; domains absent from the mapping use the default config.
+        A domain mapped to ``None`` has *not deployed VPM* and produces no
+        receipts (the partial-deployment scenario of Section 8).
+    agents:
+        Optional pre-built agents (e.g. adversarial ones from
+        :mod:`repro.adversary`) keyed by domain name; they override the
+        default honest agents.
+    max_diff:
+        The MaxDiff written into all PathIDs (assumed uniform across links
+        unless agents are built by hand).
+    """
+
+    def __init__(
+        self,
+        path: HOPPath,
+        configs: Mapping[str, HOPConfig | None] | None = None,
+        agents: Mapping[str, DomainAgent] | None = None,
+        max_diff: float = 1e-3,
+    ) -> None:
+        self.path = path
+        self.max_diff = float(max_diff)
+        configs = dict(configs or {})
+        agents = dict(agents or {})
+
+        self.agents: dict[str, DomainAgent] = {}
+        for domain in path.domains:
+            name = domain.name
+            if name in agents:
+                self.agents[name] = agents[name]
+                continue
+            if name in configs and configs[name] is None:
+                continue  # domain has not deployed VPM
+            config = configs.get(name) or HOPConfig()
+            self.agents[name] = DomainAgent(
+                domain, path, config=config, max_diff=self.max_diff
+            )
+
+        self.bus = ReceiptBus(path)
+        self._last_reports: dict[int, HOPReport] = {}
+        self._last_observation: PathObservation | None = None
+
+    # -- execution --------------------------------------------------------------------
+
+    def run(self, observation: PathObservation) -> dict[int, HOPReport]:
+        """Feed one interval's observations to every agent and collect reports."""
+        self._last_observation = observation
+        reports: dict[int, HOPReport] = {}
+        for agent in self.agents.values():
+            agent.observe(observation)
+            for hop_id, report in agent.reports(flush=True).items():
+                reports[hop_id] = report
+                self.bus.publish(agent.domain_name, report)
+        self._last_reports = reports
+        return reports
+
+    # -- verification helpers ------------------------------------------------------------
+
+    def verifier_for(self, observer: Domain | str) -> Verifier:
+        """Build a verifier over the receipts ``observer`` is entitled to see.
+
+        Receipts are only made available to domains that observed the
+        corresponding traffic; every domain on the path qualifies, so the
+        distinction only matters for off-path observers (who get nothing).
+        """
+        verifier = Verifier(self.path)
+        verifier.add_reports(self.bus.reports_visible_to(observer))
+        return verifier
+
+    def estimate(self, observer: Domain | str, target: Domain | str) -> DomainPerformance:
+        """One-call estimation of ``target``'s performance by ``observer``."""
+        return self.verifier_for(observer).estimate_domain(target)
+
+    def verify(self, observer: Domain | str, target: Domain | str) -> VerificationResult:
+        """One-call verification of ``target``'s receipts by ``observer``."""
+        return self.verifier_for(observer).verify_domain(target)
+
+    # -- accounting ----------------------------------------------------------------------
+
+    def overhead(self) -> SessionOverhead:
+        """Resource accounting for the last interval."""
+        observed_packets = 0
+        observed_bytes = 0
+        max_buffer = 0
+        for agent in self.agents.values():
+            for hop_id in agent.hop_ids:
+                collector = agent.collector(hop_id)
+                observed_packets += collector.observed_packets
+                observed_bytes += collector.observed_bytes
+                max_buffer = max(max_buffer, collector.max_temp_buffer_occupancy)
+        receipt_bytes = sum(report.wire_bytes for report in self._last_reports.values())
+        return SessionOverhead(
+            observed_packets=observed_packets,
+            observed_bytes=observed_bytes,
+            receipt_bytes=receipt_bytes,
+            max_temp_buffer_packets=max_buffer,
+        )

@@ -1,0 +1,36 @@
+"""Network substrate: packets, hashing, prefixes, clocks, links, topology."""
+
+from repro.net.clock import Clock, ClockModel, PerfectClock
+from repro.net.hashing import (
+    PacketDigester,
+    bob_hash,
+    fnv1a_64,
+    sample_function,
+    splitmix64,
+)
+from repro.net.link import InterDomainLink, LinkSpec
+from repro.net.packet import Packet, PacketHeaders
+from repro.net.prefixes import OriginPrefix, PrefixPair, random_prefix
+from repro.net.topology import Domain, HOP, HOPPath, Topology
+
+__all__ = [
+    "Clock",
+    "ClockModel",
+    "Domain",
+    "HOP",
+    "HOPPath",
+    "InterDomainLink",
+    "LinkSpec",
+    "OriginPrefix",
+    "Packet",
+    "PacketDigester",
+    "PacketHeaders",
+    "PerfectClock",
+    "PrefixPair",
+    "Topology",
+    "bob_hash",
+    "fnv1a_64",
+    "random_prefix",
+    "sample_function",
+    "splitmix64",
+]

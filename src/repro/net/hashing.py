@@ -1,0 +1,210 @@
+"""Packet-digest hash functions.
+
+The paper's prototype uses the "Bob" hash (Bob Jenkins' ``lookup2`` hash),
+reported by Molina et al. to mix Internet header bytes well.  We implement
+``lookup2`` from scratch (:func:`bob_hash`), plus FNV-1a and splitmix64 as
+auxiliary mixers, and two higher-level constructions used by the VPM
+algorithms:
+
+* :class:`PacketDigester` — computes a 64-bit digest of a packet's IP and
+  transport headers (plus a small payload prefix), the quantity written as
+  ``Digest(p)`` in Algorithms 1 and 2.
+* :func:`sample_function` — the keyed ``SampleFcn(Digest(q), Digest(p))`` of
+  Algorithm 1, which combines the digest of a buffered packet with the digest
+  of the *marker* packet observed later on the same path.  Keying the decision
+  on future traffic is what makes the sampling bias-resistant.
+
+All digests are uniform 64-bit integers; thresholds are expressed as fractions
+of the 64-bit space via :func:`threshold_for_rate`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "MASK32",
+    "MASK64",
+    "bob_hash",
+    "fnv1a_64",
+    "splitmix64",
+    "combine64",
+    "sample_function",
+    "threshold_for_rate",
+    "rate_for_threshold",
+    "PacketDigester",
+]
+
+MASK32 = 0xFFFFFFFF
+MASK64 = 0xFFFFFFFFFFFFFFFF
+
+_GOLDEN_RATIO_32 = 0x9E3779B9
+
+
+def _mix(a: int, b: int, c: int) -> tuple[int, int, int]:
+    """The 96-bit mixing step of Bob Jenkins' lookup2 hash."""
+    a = (a - b - c) & MASK32
+    a ^= (c >> 13)
+    b = (b - c - a) & MASK32
+    b ^= (a << 8) & MASK32
+    c = (c - a - b) & MASK32
+    c ^= (b >> 13)
+    a = (a - b - c) & MASK32
+    a ^= (c >> 12)
+    b = (b - c - a) & MASK32
+    b ^= (a << 16) & MASK32
+    c = (c - a - b) & MASK32
+    c ^= (b >> 5)
+    a = (a - b - c) & MASK32
+    a ^= (c >> 3)
+    b = (b - c - a) & MASK32
+    b ^= (a << 10) & MASK32
+    c = (c - a - b) & MASK32
+    c ^= (b >> 15)
+    return a, b, c
+
+
+def bob_hash(data: bytes, initval: int = 0) -> int:
+    """Bob Jenkins' lookup2 hash of ``data`` (32-bit output).
+
+    This is the "Bob" hash referenced by the paper's prototype [19].  The
+    implementation follows the original C routine: the input is consumed in
+    12-byte blocks, each block mixed into a 96-bit internal state, with the
+    length and ``initval`` folded into the tail block.
+    """
+    if initval < 0:
+        raise ValueError(f"initval must be non-negative, got {initval}")
+    length = len(data)
+    a = b = _GOLDEN_RATIO_32
+    c = initval & MASK32
+
+    i = 0
+    remaining = length
+    while remaining >= 12:
+        a = (a + int.from_bytes(data[i : i + 4], "little")) & MASK32
+        b = (b + int.from_bytes(data[i + 4 : i + 8], "little")) & MASK32
+        c = (c + int.from_bytes(data[i + 8 : i + 12], "little")) & MASK32
+        a, b, c = _mix(a, b, c)
+        i += 12
+        remaining -= 12
+
+    c = (c + length) & MASK32
+    tail = data[i:]
+    # The original routine adds the tail bytes into a/b/c with per-byte shifts;
+    # byte 8 of the tail is skipped for c because the length occupies its slot.
+    for offset, byte in enumerate(tail):
+        if offset < 4:
+            a = (a + (byte << (8 * offset))) & MASK32
+        elif offset < 8:
+            b = (b + (byte << (8 * (offset - 4)))) & MASK32
+        else:
+            c = (c + (byte << (8 * (offset - 7)))) & MASK32
+    a, b, c = _mix(a, b, c)
+    return c
+
+
+def fnv1a_64(data: bytes) -> int:
+    """64-bit FNV-1a hash, used as a second independent mixer."""
+    value = 0xCBF29CE484222325
+    for byte in data:
+        value ^= byte
+        value = (value * 0x100000001B3) & MASK64
+    return value
+
+
+def splitmix64(value: int) -> int:
+    """SplitMix64 finalizer: a cheap, high-quality 64-bit integer mixer."""
+    value = (value + 0x9E3779B97F4A7C15) & MASK64
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & MASK64
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & MASK64
+    return (value ^ (value >> 31)) & MASK64
+
+
+def combine64(first: int, second: int) -> int:
+    """Combine two 64-bit values into one, order-sensitively."""
+    return splitmix64((first ^ splitmix64(second)) & MASK64)
+
+
+def sample_function(buffered_digest: int, marker_digest: int) -> int:
+    """``SampleFcn(Digest(q), Digest(p))`` from Algorithm 1.
+
+    ``buffered_digest`` is the digest of a packet ``q`` held in the temporary
+    buffer; ``marker_digest`` is the digest of the marker packet ``p`` observed
+    later on the same path.  The output is a uniform 64-bit value that every
+    HOP on the path computes identically, but which no HOP can predict before
+    the marker has been forwarded.
+    """
+    return combine64(buffered_digest & MASK64, marker_digest & MASK64)
+
+
+def threshold_for_rate(rate: float) -> int:
+    """Threshold ``t`` such that ``P(uniform 64-bit digest > t) == rate``.
+
+    Used to turn a human-friendly sampling/marker/partition *rate* into the
+    threshold compared against digests in Algorithms 1 and 2.
+
+    >>> threshold_for_rate(1.0)
+    0
+    >>> threshold_for_rate(0.0) == MASK64
+    True
+    """
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError(f"rate must be in [0, 1], got {rate!r}")
+    # Clamp: floating-point rounding of (1 - rate) * MASK64 can land one past
+    # the 64-bit range for rates very close to zero.
+    return min(int(round((1.0 - rate) * MASK64)), MASK64)
+
+
+def rate_for_threshold(threshold: int) -> float:
+    """Inverse of :func:`threshold_for_rate` (the expected exceedance rate)."""
+    if not 0 <= threshold <= MASK64:
+        raise ValueError(f"threshold must be a 64-bit value, got {threshold!r}")
+    return 1.0 - threshold / MASK64
+
+
+@dataclass(frozen=True)
+class PacketDigester:
+    """Computes the per-packet digest ``Digest(p)`` used by all HOPs on a path.
+
+    The digest covers the packet's invariant header fields (addresses, ports,
+    protocol, IP identification) and the first ``payload_prefix`` bytes of the
+    payload, mirroring the paper's prototype which hashes "each packet's IP and
+    transport headers".  Mutable fields such as TTL are deliberately excluded
+    so every HOP on the path computes the same digest for the same packet.
+
+    Parameters
+    ----------
+    seed:
+        Folded into the hash as the lookup2 ``initval``.  All HOPs on a path
+        must share the same seed (it is a system-wide constant in VPM);
+        distinct seeds model protocol variants in tests.
+    payload_prefix:
+        Number of payload bytes included in the digest (default 8, "a small
+        portion of packet payload" per the paper's Assumption 3).
+    """
+
+    seed: int = 0
+    payload_prefix: int = 8
+
+    def digest(self, packet: "Packet") -> int:  # noqa: F821 - forward ref
+        """Return the 64-bit digest of ``packet``.
+
+        Digests are memoized on the packet (keyed by the digester's seed and
+        payload prefix): every HOP on a path uses the same system-wide digest
+        parameters, so in the simulation the same value would otherwise be
+        recomputed once per HOP.
+        """
+        cache = packet._invariant_cache
+        key = ("digest", self.seed, self.payload_prefix)
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+        material = packet.invariant_bytes(self.payload_prefix)
+        low = bob_hash(material, initval=self.seed & MASK32)
+        high = bob_hash(material, initval=(self.seed + 1) & MASK32)
+        value = combine64((high << 32) | low, fnv1a_64(material))
+        cache[key] = value
+        return value
+
+    def __call__(self, packet: "Packet") -> int:  # noqa: F821 - forward ref
+        return self.digest(packet)

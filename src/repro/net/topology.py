@@ -1,0 +1,287 @@
+"""Domains, hand-off points (HOPs), HOP paths and the topology graph.
+
+Terminology follows Section 2 of the paper:
+
+* A **domain** is a contiguous network under one administrative entity (an
+  edge network or a single AS).
+* A **HOP** (hand-off point) is an ingress/egress point on a domain's
+  perimeter; adjacent domains' HOPs are connected by inter-domain links.
+* A **HOP path** is the sequence of HOPs traversed by all traffic between a
+  given (source, destination) origin-prefix pair; per Assumption 1, it is
+  stable over the time scales VPM operates on.
+
+The running example (Figure 1) — domains ``S``, ``L``, ``X``, ``N``, ``D``
+connected through HOPs 1..8 — is constructed by :func:`figure1_topology`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.net.clock import Clock, PerfectClock
+from repro.net.link import InterDomainLink, LinkSpec
+from repro.net.prefixes import PrefixPair
+
+__all__ = ["Domain", "HOP", "HOPPath", "Topology", "figure1_topology"]
+
+
+@dataclass(frozen=True)
+class Domain:
+    """An administrative domain (AS or edge network)."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("domain name must be non-empty")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, eq=False)
+class HOP:
+    """A hand-off point on a domain's perimeter.
+
+    ``hop_id`` is globally unique within a topology (the integer labels of
+    Figure 1).  ``role`` records whether the HOP is the ingress or egress of
+    its domain for the paths it serves; domains with a single HOP on a path
+    (stub source/destination domains) use ``"edge"``.
+    """
+
+    hop_id: int
+    domain: Domain
+    role: str = "edge"
+    clock: Clock = field(default_factory=PerfectClock)
+
+    def __post_init__(self) -> None:
+        if self.hop_id < 0:
+            raise ValueError(f"hop_id must be non-negative, got {self.hop_id}")
+        if self.role not in ("ingress", "egress", "edge"):
+            raise ValueError(f"role must be ingress/egress/edge, got {self.role!r}")
+
+    def __hash__(self) -> int:
+        return hash(self.hop_id)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, HOP):
+            return NotImplemented
+        return self.hop_id == other.hop_id
+
+    def __str__(self) -> str:
+        return f"HOP{self.hop_id}({self.domain.name}/{self.role})"
+
+
+@dataclass(frozen=True)
+class HOPPath:
+    """An ordered sequence of HOPs between a source and destination prefix.
+
+    The path is the unit over which receipts are classified (its identity is
+    carried in every receipt's ``PathID``).  Consecutive HOPs belonging to
+    *different* domains are connected by inter-domain links; consecutive HOPs
+    of the same domain delimit that domain's internal segment.
+    """
+
+    prefix_pair: PrefixPair
+    hops: tuple[HOP, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.hops) < 2:
+            raise ValueError("a HOP path needs at least two HOPs")
+        ids = [hop.hop_id for hop in self.hops]
+        if len(set(ids)) != len(ids):
+            raise ValueError(f"HOP path contains duplicate HOPs: {ids}")
+
+    def __len__(self) -> int:
+        return len(self.hops)
+
+    def __iter__(self) -> Iterator[HOP]:
+        return iter(self.hops)
+
+    @property
+    def domains(self) -> tuple[Domain, ...]:
+        """The distinct domains traversed, in path order."""
+        seen: list[Domain] = []
+        for hop in self.hops:
+            if not seen or seen[-1] != hop.domain:
+                seen.append(hop.domain)
+        return tuple(seen)
+
+    def hops_of(self, domain: Domain | str) -> tuple[HOP, ...]:
+        """Return the HOPs on this path that belong to ``domain``."""
+        name = domain.name if isinstance(domain, Domain) else domain
+        return tuple(hop for hop in self.hops if hop.domain.name == name)
+
+    def domain_segments(self) -> list[tuple[Domain, HOP, HOP]]:
+        """Return (domain, ingress HOP, egress HOP) for every transit domain.
+
+        A transit domain exposes two HOPs on the path; its loss and delay are
+        measured between them.  Stub domains (one HOP) are excluded since the
+        path does not cross them edge-to-edge.
+        """
+        segments: list[tuple[Domain, HOP, HOP]] = []
+        index = 0
+        while index < len(self.hops) - 1:
+            first = self.hops[index]
+            second = self.hops[index + 1]
+            if first.domain == second.domain:
+                segments.append((first.domain, first, second))
+                index += 2
+            else:
+                index += 1
+        return segments
+
+    def inter_domain_pairs(self) -> list[tuple[HOP, HOP]]:
+        """Return the adjacent HOP pairs connected by inter-domain links."""
+        pairs: list[tuple[HOP, HOP]] = []
+        for first, second in zip(self.hops, self.hops[1:]):
+            if first.domain != second.domain:
+                pairs.append((first, second))
+        return pairs
+
+    def neighbor_of(self, domain: Domain | str, side: str) -> Domain | None:
+        """Return the previous/next domain of ``domain`` on this path."""
+        if side not in ("previous", "next"):
+            raise ValueError(f"side must be 'previous' or 'next', got {side!r}")
+        name = domain.name if isinstance(domain, Domain) else domain
+        order = self.domains
+        for index, entry in enumerate(order):
+            if entry.name == name:
+                if side == "previous":
+                    return order[index - 1] if index > 0 else None
+                return order[index + 1] if index + 1 < len(order) else None
+        raise ValueError(f"domain {name!r} is not on this path")
+
+    def __str__(self) -> str:
+        chain = " -> ".join(str(hop.hop_id) for hop in self.hops)
+        return f"HOPPath[{self.prefix_pair}: {chain}]"
+
+
+class Topology:
+    """A collection of domains, HOPs, inter-domain links and HOP paths."""
+
+    def __init__(self) -> None:
+        self._domains: dict[str, Domain] = {}
+        self._hops: dict[int, HOP] = {}
+        self._links: dict[tuple[int, int], InterDomainLink] = {}
+        self._paths: dict[PrefixPair, HOPPath] = {}
+
+    # -- construction -----------------------------------------------------
+
+    def add_domain(self, name: str) -> Domain:
+        """Create (or return an existing) domain by name."""
+        if name not in self._domains:
+            self._domains[name] = Domain(name)
+        return self._domains[name]
+
+    def add_hop(
+        self,
+        hop_id: int,
+        domain: Domain | str,
+        role: str = "edge",
+        clock: Clock | None = None,
+    ) -> HOP:
+        """Register a HOP with a globally unique identifier."""
+        if hop_id in self._hops:
+            raise ValueError(f"HOP id {hop_id} already registered")
+        owner = self.add_domain(domain) if isinstance(domain, str) else domain
+        hop = HOP(hop_id=hop_id, domain=owner, role=role, clock=clock or PerfectClock())
+        self._hops[hop_id] = hop
+        return hop
+
+    def add_link(
+        self,
+        first: HOP | int,
+        second: HOP | int,
+        link: InterDomainLink | None = None,
+    ) -> InterDomainLink:
+        """Connect two HOPs of different domains with an inter-domain link."""
+        hop_a = self.hop(first)
+        hop_b = self.hop(second)
+        if hop_a.domain == hop_b.domain:
+            raise ValueError(
+                f"inter-domain links connect different domains; both HOPs are in "
+                f"{hop_a.domain.name}"
+            )
+        edge = link or InterDomainLink(spec=LinkSpec())
+        key = (min(hop_a.hop_id, hop_b.hop_id), max(hop_a.hop_id, hop_b.hop_id))
+        self._links[key] = edge
+        return edge
+
+    def add_path(self, prefix_pair: PrefixPair, hops: Iterable[HOP | int]) -> HOPPath:
+        """Register the HOP path followed by traffic of ``prefix_pair``."""
+        resolved = tuple(self.hop(entry) for entry in hops)
+        path = HOPPath(prefix_pair=prefix_pair, hops=resolved)
+        self._paths[prefix_pair] = path
+        return path
+
+    # -- lookups ----------------------------------------------------------
+
+    def domain(self, name: str) -> Domain:
+        """Return a domain by name, raising ``KeyError`` if unknown."""
+        return self._domains[name]
+
+    def hop(self, ref: HOP | int) -> HOP:
+        """Resolve a HOP reference (object or id) to the registered HOP."""
+        if isinstance(ref, HOP):
+            if ref.hop_id not in self._hops:
+                raise KeyError(f"HOP {ref.hop_id} is not part of this topology")
+            return self._hops[ref.hop_id]
+        return self._hops[ref]
+
+    def link_between(self, first: HOP | int, second: HOP | int) -> InterDomainLink:
+        """Return the inter-domain link connecting two HOPs."""
+        hop_a = self.hop(first)
+        hop_b = self.hop(second)
+        key = (min(hop_a.hop_id, hop_b.hop_id), max(hop_a.hop_id, hop_b.hop_id))
+        return self._links[key]
+
+    def path(self, prefix_pair: PrefixPair) -> HOPPath:
+        """Return the HOP path registered for a prefix pair."""
+        return self._paths[prefix_pair]
+
+    @property
+    def domains(self) -> tuple[Domain, ...]:
+        return tuple(self._domains.values())
+
+    @property
+    def hops(self) -> tuple[HOP, ...]:
+        return tuple(self._hops.values())
+
+    @property
+    def paths(self) -> tuple[HOPPath, ...]:
+        return tuple(self._paths.values())
+
+
+def figure1_topology(prefix_pair: PrefixPair | None = None) -> tuple[Topology, HOPPath]:
+    """Build the Figure-1 topology and its main HOP path.
+
+    Domain ``S`` sends to domain ``D`` via HOPs 1..8:
+    ``S``(1) → ``L``(2, 3) → ``X``(4, 5) → ``N``(6, 7) → ``D``(8).
+
+    Returns the topology and the registered path.
+    """
+    from repro.net.prefixes import OriginPrefix  # local import avoids cycle at import time
+
+    pair = prefix_pair or PrefixPair(
+        source=OriginPrefix.parse("10.1.0.0/16"),
+        destination=OriginPrefix.parse("10.2.0.0/16"),
+    )
+    topology = Topology()
+    layout = [
+        (1, "S", "edge"),
+        (2, "L", "ingress"),
+        (3, "L", "egress"),
+        (4, "X", "ingress"),
+        (5, "X", "egress"),
+        (6, "N", "ingress"),
+        (7, "N", "egress"),
+        (8, "D", "edge"),
+    ]
+    for hop_id, domain, role in layout:
+        topology.add_hop(hop_id, domain, role)
+    for first, second in ((1, 2), (3, 4), (5, 6), (7, 8)):
+        topology.add_link(first, second)
+    path = topology.add_path(pair, [hop_id for hop_id, _, _ in layout])
+    return topology, path

@@ -1,0 +1,92 @@
+"""Receipt dissemination.
+
+The paper assumes (Assumption 2) "there exists a way for a domain in path P
+to disseminate receipts to all other domains in P, such that the authenticity
+and integrity of each received receipt is guaranteed" — e.g. an HTTPS
+administrative web site.  :class:`ReceiptBus` is the in-memory stand-in for
+that channel: domains publish their HOP reports, and any *on-path* domain may
+retrieve them; off-path observers get nothing, reflecting the privacy rule
+that "a receipt is made available only to the domains that observed the
+corresponding traffic".
+
+Integrity is modelled by the bus storing the published report objects
+verbatim (a publishing domain can publish dishonest content, but nobody can
+tamper with another domain's published receipts in transit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.hop import HOPReport
+from repro.net.topology import Domain, HOPPath
+
+__all__ = ["ReceiptBus"]
+
+
+@dataclass
+class _Publication:
+    """One published report with its publisher recorded."""
+
+    publisher: str
+    report: HOPReport
+
+
+class ReceiptBus:
+    """An authenticated, path-scoped receipt distribution channel."""
+
+    def __init__(self, path: HOPPath) -> None:
+        self.path = path
+        self._on_path = {domain.name for domain in path.domains}
+        self._publications: list[_Publication] = []
+
+    def publish(self, publisher: Domain | str, report: HOPReport) -> None:
+        """Publish one HOP report.
+
+        Only domains on the path may publish (a domain cannot produce receipts
+        for traffic it never observed), and the publishing domain must own the
+        reporting HOP.
+        """
+        name = publisher.name if isinstance(publisher, Domain) else publisher
+        if name not in self._on_path:
+            raise PermissionError(f"domain {name!r} is not on path {self.path}")
+        owner = next(
+            (hop.domain.name for hop in self.path.hops if hop.hop_id == report.hop_id),
+            None,
+        )
+        if owner != name:
+            raise PermissionError(
+                f"domain {name!r} cannot publish receipts for HOP {report.hop_id} "
+                f"(owned by {owner!r})"
+            )
+        self._publications.append(_Publication(publisher=name, report=report))
+
+    def reports_visible_to(self, observer: Domain | str) -> list[HOPReport]:
+        """All reports an observer is entitled to retrieve.
+
+        Every domain that observed the path's traffic (i.e. every on-path
+        domain) sees all receipts for that path; anybody else sees nothing.
+        """
+        name = observer.name if isinstance(observer, Domain) else observer
+        if name not in self._on_path:
+            return []
+        return [publication.report for publication in self._publications]
+
+    def reports_from(self, publisher: Domain | str) -> list[HOPReport]:
+        """All reports published by one domain."""
+        name = publisher.name if isinstance(publisher, Domain) else publisher
+        return [
+            publication.report
+            for publication in self._publications
+            if publication.publisher == name
+        ]
+
+    @property
+    def publication_count(self) -> int:
+        """Number of reports published so far."""
+        return len(self._publications)
+
+    @property
+    def total_bytes(self) -> int:
+        """Total bytes of receipts carried by the bus."""
+        return sum(publication.report.wire_bytes for publication in self._publications)

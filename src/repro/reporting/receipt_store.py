@@ -1,0 +1,100 @@
+"""Per-domain receipt storage.
+
+A :class:`ReceiptStore` is what a domain's processor module writes into and
+what its operators (or an automated verifier) later query: receipts indexed by
+reporting HOP and by path, with simple retention accounting so the memory cost
+of keeping receipts around (part of the Section 7.1 tunability story) can be
+inspected.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.core.hop import HOPReport
+from repro.core.receipts import AggregateReceipt, PathID, SampleReceipt
+from repro.net.prefixes import PrefixPair
+
+__all__ = ["ReceiptStore"]
+
+
+@dataclass(frozen=True)
+class _StoreStats:
+    """Summary of a store's contents."""
+
+    reports: int
+    sample_receipts: int
+    aggregate_receipts: int
+    sample_records: int
+    stored_bytes: int
+
+
+class ReceiptStore:
+    """Indexes HOP reports by reporting HOP and by path."""
+
+    def __init__(self) -> None:
+        self._by_hop: dict[int, list[HOPReport]] = defaultdict(list)
+        self._sample_by_path: dict[PrefixPair, list[SampleReceipt]] = defaultdict(list)
+        self._aggregate_by_path: dict[PrefixPair, list[AggregateReceipt]] = defaultdict(list)
+        self._report_count = 0
+
+    def add(self, report: HOPReport) -> None:
+        """Store one HOP report."""
+        self._by_hop[report.hop_id].append(report)
+        self._report_count += 1
+        for receipt in report.sample_receipts:
+            self._sample_by_path[receipt.path_id.prefix_pair].append(receipt)
+        for receipt in report.aggregate_receipts:
+            self._aggregate_by_path[receipt.path_id.prefix_pair].append(receipt)
+
+    def reports_for_hop(self, hop_id: int) -> list[HOPReport]:
+        """All reports produced by one HOP."""
+        return list(self._by_hop.get(hop_id, []))
+
+    def sample_receipts_for_path(self, prefix_pair: PrefixPair) -> list[SampleReceipt]:
+        """All sample receipts stored for one path."""
+        return list(self._sample_by_path.get(prefix_pair, []))
+
+    def aggregate_receipts_for_path(self, prefix_pair: PrefixPair) -> list[AggregateReceipt]:
+        """All aggregate receipts stored for one path."""
+        return list(self._aggregate_by_path.get(prefix_pair, []))
+
+    def paths(self) -> list[PrefixPair]:
+        """All paths with stored receipts."""
+        return sorted(set(self._sample_by_path) | set(self._aggregate_by_path))
+
+    def stats(self) -> _StoreStats:
+        """Content summary (receipt counts and stored bytes)."""
+        sample_receipts = sum(len(receipts) for receipts in self._sample_by_path.values())
+        aggregate_receipts = sum(
+            len(receipts) for receipts in self._aggregate_by_path.values()
+        )
+        sample_records = sum(
+            len(receipt.samples)
+            for receipts in self._sample_by_path.values()
+            for receipt in receipts
+        )
+        stored_bytes = sum(
+            receipt.wire_bytes
+            for receipts in self._sample_by_path.values()
+            for receipt in receipts
+        ) + sum(
+            receipt.wire_bytes
+            for receipts in self._aggregate_by_path.values()
+            for receipt in receipts
+        )
+        return _StoreStats(
+            reports=self._report_count,
+            sample_receipts=sample_receipts,
+            aggregate_receipts=aggregate_receipts,
+            sample_records=sample_records,
+            stored_bytes=stored_bytes,
+        )
+
+    def clear(self) -> None:
+        """Drop all stored receipts (end of a retention period)."""
+        self._by_hop.clear()
+        self._sample_by_path.clear()
+        self._aggregate_by_path.clear()
+        self._report_count = 0

@@ -1,0 +1,23 @@
+"""Discrete-event simulation substrate: engine, queueing, congestion, scenarios."""
+
+from repro.simulation.congestion import CongestionScenario
+from repro.simulation.engine import Event, EventScheduler
+from repro.simulation.queueing import BottleneckQueue, QueueStats
+from repro.simulation.scenario import (
+    DomainGroundTruth,
+    PathObservation,
+    PathScenario,
+    SegmentCondition,
+)
+
+__all__ = [
+    "BottleneckQueue",
+    "CongestionScenario",
+    "DomainGroundTruth",
+    "Event",
+    "EventScheduler",
+    "PathObservation",
+    "PathScenario",
+    "QueueStats",
+    "SegmentCondition",
+]

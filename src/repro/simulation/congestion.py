@@ -1,0 +1,162 @@
+"""Congestion scenarios (the ns-2 substitution).
+
+A :class:`CongestionScenario` congests the internal path of a domain by
+sharing a bottleneck queue between the monitored packet sequence and
+scenario-specific cross-traffic:
+
+* ``"udp-burst"`` — a bursty, high-rate UDP flow periodically saturates the
+  bottleneck (the paper's headline scenario: "a bursty, high-rate UDP flow",
+  chosen because it "introduced the highest delay variance in the shortest
+  time scale").
+* ``"tcp-mix"`` — long-lived TCP flows with AIMD sawtooth rates.
+* ``"mixed"`` — both of the above.
+
+The output is the per-packet delay series of the monitored sequence, used as
+the delay ground truth in the Figure-2 experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.simulation.queueing import (
+    BottleneckQueue,
+    QueueStats,
+    TCPSawtoothSource,
+    UDPBurstSource,
+)
+from repro.util.rng import make_rng
+from repro.util.validation import check_positive
+
+__all__ = ["CongestionScenario"]
+
+# When the caller does not fix a bottleneck bandwidth, size it so the
+# monitored sequence alone uses this fraction of the link; the cross-traffic
+# then decides how congested the domain becomes.
+_AUTO_MONITORED_SHARE = 0.6
+
+
+class CongestionScenario:
+    """Generates the delay experienced inside a congested domain.
+
+    Parameters
+    ----------
+    bandwidth_bps:
+        Bottleneck capacity; ``None`` auto-sizes it from the monitored load
+        (monitored traffic occupies ~60% of the link).
+    scenario:
+        ``"udp-burst"``, ``"tcp-mix"`` or ``"mixed"``.
+    utilization:
+        Intensity knob for the cross-traffic.  For the UDP burst it scales the
+        burst peak rate; for TCP it scales the aggregate target rate.  Values
+        around 1.0 reproduce heavy congestion with multi-millisecond delay
+        spikes.
+    queue_capacity_packets:
+        Tail-drop threshold for cross-traffic packets; bounds the worst-case
+        queueing delay.
+    """
+
+    def __init__(
+        self,
+        bandwidth_bps: float | None = None,
+        scenario: str = "udp-burst",
+        utilization: float = 0.95,
+        queue_capacity_packets: int = 2000,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        if scenario not in ("udp-burst", "tcp-mix", "mixed"):
+            raise ValueError(
+                f"scenario must be one of 'udp-burst', 'tcp-mix', 'mixed'; got {scenario!r}"
+            )
+        if bandwidth_bps is not None:
+            check_positive("bandwidth_bps", bandwidth_bps)
+        check_positive("utilization", utilization)
+        check_positive("queue_capacity_packets", queue_capacity_packets)
+        self.bandwidth_bps = bandwidth_bps
+        self.scenario = scenario
+        self.utilization = float(utilization)
+        self.queue_capacity_packets = int(queue_capacity_packets)
+        self._rng = make_rng(seed)
+        self.last_stats: QueueStats | None = None
+
+    # -- internals ----------------------------------------------------------
+
+    def _resolve_bandwidth(
+        self, arrival_times: np.ndarray, packet_size: float
+    ) -> float:
+        if self.bandwidth_bps is not None:
+            return float(self.bandwidth_bps)
+        duration = max(float(arrival_times[-1] - arrival_times[0]), 1e-6)
+        monitored_load = len(arrival_times) * packet_size * 8.0 / duration
+        return monitored_load / _AUTO_MONITORED_SHARE
+
+    def _cross_traffic(
+        self, bandwidth_bps: float, start: float, end: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        arrivals_parts: list[np.ndarray] = []
+        sizes_parts: list[np.ndarray] = []
+        if self.scenario in ("udp-burst", "mixed"):
+            udp = UDPBurstSource(
+                bandwidth_bps=bandwidth_bps,
+                peak_fraction=0.9 * self.utilization,
+                mean_on_time=0.02,
+                mean_off_time=0.03,
+                packet_size=1000,
+                seed=self._rng,
+            )
+            arrivals, sizes = udp.arrivals(start, end)
+            arrivals_parts.append(arrivals)
+            sizes_parts.append(sizes)
+        if self.scenario in ("tcp-mix", "mixed"):
+            tcp = TCPSawtoothSource(
+                bandwidth_bps=bandwidth_bps,
+                target_utilization=0.5 * self.utilization,
+                flow_count=8,
+                rtt=0.04,
+                packet_size=1500,
+                seed=self._rng,
+            )
+            arrivals, sizes = tcp.arrivals(start, end)
+            arrivals_parts.append(arrivals)
+            sizes_parts.append(sizes)
+        if not arrivals_parts:
+            return np.zeros(0), np.zeros(0)
+        return np.concatenate(arrivals_parts), np.concatenate(sizes_parts)
+
+    # -- public API ---------------------------------------------------------
+
+    def monitored_delays(
+        self, arrival_times: np.ndarray, packet_size: float = 400.0
+    ) -> np.ndarray:
+        """Return per-packet delays for the monitored sequence.
+
+        Parameters
+        ----------
+        arrival_times:
+            Times (seconds, sorted) at which the monitored packets enter the
+            congested domain.
+        packet_size:
+            Either a scalar applied to all monitored packets or an array of
+            per-packet sizes in bytes.
+        """
+        arrival_times = np.asarray(arrival_times, dtype=float)
+        if len(arrival_times) == 0:
+            return np.zeros(0, dtype=float)
+        if np.any(np.diff(arrival_times) < 0):
+            raise ValueError("arrival_times must be sorted in non-decreasing order")
+        sizes = np.asarray(packet_size, dtype=float)
+        if sizes.ndim == 0:
+            sizes = np.full(len(arrival_times), float(sizes))
+        elif len(sizes) != len(arrival_times):
+            raise ValueError("packet_size array must match arrival_times in length")
+
+        bandwidth = self._resolve_bandwidth(arrival_times, float(sizes.mean()))
+        start = float(arrival_times[0])
+        end = float(arrival_times[-1]) + 1e-6
+        cross_arrivals, cross_sizes = self._cross_traffic(bandwidth, start, end)
+        queue = BottleneckQueue(
+            bandwidth_bps=bandwidth, capacity_packets=self.queue_capacity_packets
+        )
+        delays, stats = queue.run(arrival_times, sizes, cross_arrivals, cross_sizes)
+        self.last_stats = stats
+        return delays

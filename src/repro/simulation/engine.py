@@ -1,0 +1,101 @@
+"""A minimal discrete-event scheduler.
+
+The congestion simulator and a few tests need ordered event processing with
+virtual time.  :class:`EventScheduler` is a classic priority-queue event loop:
+events carry a timestamp, a monotone tie-breaking sequence number, and a
+callback.  It is intentionally small — the heavy lifting of the reproduction
+happens in the queueing and scenario modules built on top of it.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["Event", "EventScheduler"]
+
+
+@dataclass(order=True, frozen=True)
+class Event:
+    """A scheduled event: fires ``action`` at virtual ``time``.
+
+    Ordering is by ``(time, sequence)``; the sequence number makes ordering
+    total and FIFO among simultaneous events.
+    """
+
+    time: float
+    sequence: int
+    action: Callable[[], None] = field(compare=False)
+
+
+class EventScheduler:
+    """A priority-queue discrete-event loop with virtual time."""
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._counter = itertools.count()
+        self._now = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time (the timestamp of the last processed event)."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events processed so far."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of events still queued."""
+        return len(self._queue)
+
+    def schedule(self, time: float, action: Callable[[], None]) -> Event:
+        """Schedule ``action`` to run at virtual ``time``.
+
+        Scheduling in the past (relative to the current virtual time) is a
+        logic error in the caller and raises ``ValueError``.
+        """
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule event at {time} before current time {self._now}"
+            )
+        event = Event(time=float(time), sequence=next(self._counter), action=action)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_after(self, delay: float, action: Callable[[], None]) -> Event:
+        """Schedule ``action`` to run ``delay`` seconds from the current time."""
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        return self.schedule(self._now + delay, action)
+
+    def step(self) -> bool:
+        """Process one event.  Returns ``False`` when the queue is empty."""
+        if not self._queue:
+            return False
+        event = heapq.heappop(self._queue)
+        self._now = event.time
+        event.action()
+        self._processed += 1
+        return True
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> int:
+        """Run the loop until the queue drains, ``until`` is reached, or
+        ``max_events`` events have been processed.  Returns the number of
+        events processed by this call."""
+        processed = 0
+        while self._queue:
+            if until is not None and self._queue[0].time > until:
+                break
+            if max_events is not None and processed >= max_events:
+                break
+            self.step()
+            processed += 1
+        if until is not None and self._now < until:
+            self._now = until
+        return processed

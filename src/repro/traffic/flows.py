@@ -1,0 +1,188 @@
+"""Flow-level traffic synthesis.
+
+The paper drives its evaluation from CAIDA Tier-1 backbone traces; since those
+traces are not redistributable, we synthesize traffic with the statistical
+properties the VPM mechanisms are sensitive to:
+
+* many concurrent five-tuples (so digests are diverse and hash-selected
+  markers / cutting points are spread uniformly across the stream);
+* heavy-tailed flow sizes (a few elephants, many mice), matching backbone
+  flow-size distributions;
+* a realistic packet-size mix (small ACK-sized, medium, and MTU-sized modes
+  averaging roughly 400 bytes, the figure Section 7.1 assumes).
+
+:class:`FlowGenerator` produces :class:`Flow` descriptors; the trace module
+expands them into interleaved packet sequences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.net.prefixes import PrefixPair
+from repro.util.rng import make_rng
+from repro.util.validation import check_positive, check_probability
+
+__all__ = ["Flow", "FlowGeneratorConfig", "FlowGenerator", "PACKET_SIZE_MODES"]
+
+# (size in bytes, probability) — a three-mode approximation of the classic
+# Internet packet-size distribution: TCP ACKs, default-MSS segments and
+# MTU-sized segments.  The mean is ~400 bytes, matching Section 7.1.
+PACKET_SIZE_MODES: tuple[tuple[int, float], ...] = (
+    (40, 0.50),
+    (576, 0.25),
+    (1500, 0.25),
+)
+
+
+@dataclass(frozen=True)
+class Flow:
+    """A single five-tuple flow.
+
+    Attributes
+    ----------
+    flow_id:
+        Simulation-unique identifier.
+    src_ip, dst_ip, src_port, dst_port, protocol:
+        The five-tuple; addresses are drawn from the path's prefix pair.
+    packet_count:
+        Number of packets the flow contributes.
+    start_time:
+        Time (seconds) of the flow's first packet.
+    mean_interarrival:
+        Mean spacing between this flow's packets (seconds).
+    """
+
+    flow_id: int
+    src_ip: int
+    dst_ip: int
+    src_port: int
+    dst_port: int
+    protocol: int
+    packet_count: int
+    start_time: float
+    mean_interarrival: float
+
+    def __post_init__(self) -> None:
+        if self.packet_count <= 0:
+            raise ValueError(f"packet_count must be positive, got {self.packet_count}")
+        if self.mean_interarrival <= 0:
+            raise ValueError(
+                f"mean_interarrival must be positive, got {self.mean_interarrival}"
+            )
+
+
+@dataclass(frozen=True)
+class FlowGeneratorConfig:
+    """Configuration of the flow synthesizer.
+
+    Attributes
+    ----------
+    mean_flow_size:
+        Mean packets per flow.  Flow sizes follow a bounded Pareto whose mean
+        is calibrated to this value, producing the heavy tail observed in
+        backbone traffic.
+    pareto_alpha:
+        Tail index of the bounded-Pareto flow-size distribution (1 < α < 2
+        gives the classic heavy tail).
+    max_flow_size:
+        Upper bound on the number of packets in one flow.
+    tcp_fraction:
+        Fraction of flows carried over TCP (the rest are UDP).
+    duration:
+        Time span (seconds) over which flows start.
+    """
+
+    mean_flow_size: float = 20.0
+    pareto_alpha: float = 1.3
+    max_flow_size: int = 10_000
+    tcp_fraction: float = 0.85
+    duration: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_positive("mean_flow_size", self.mean_flow_size)
+        check_positive("pareto_alpha", self.pareto_alpha)
+        check_positive("max_flow_size", self.max_flow_size)
+        check_probability("tcp_fraction", self.tcp_fraction)
+        check_positive("duration", self.duration)
+
+
+class FlowGenerator:
+    """Synthesizes a population of flows for one (source, destination) prefix pair."""
+
+    def __init__(
+        self,
+        prefix_pair: PrefixPair,
+        config: FlowGeneratorConfig | None = None,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        self.prefix_pair = prefix_pair
+        self.config = config or FlowGeneratorConfig()
+        self._rng = make_rng(seed)
+        self._next_flow_id = 0
+
+    def _flow_sizes(self, count: int) -> np.ndarray:
+        """Draw heavy-tailed flow sizes (packets per flow)."""
+        config = self.config
+        # Bounded Pareto with minimum 1 packet; scale so the mean approximates
+        # mean_flow_size, then clip at max_flow_size.
+        alpha = config.pareto_alpha
+        raw = (self._rng.pareto(alpha, size=count) + 1.0)
+        if alpha > 1.0:
+            theoretical_mean = alpha / (alpha - 1.0)
+        else:
+            theoretical_mean = 10.0
+        sizes = raw * (config.mean_flow_size / theoretical_mean)
+        sizes = np.clip(np.round(sizes), 1, config.max_flow_size)
+        return sizes.astype(int)
+
+    def generate(self, total_packets: int) -> list[Flow]:
+        """Generate flows whose sizes sum to at least ``total_packets``."""
+        if total_packets <= 0:
+            raise ValueError(f"total_packets must be positive, got {total_packets}")
+        config = self.config
+        flows: list[Flow] = []
+        generated = 0
+        expected_flows = max(4, int(total_packets / config.mean_flow_size))
+        while generated < total_packets:
+            batch = max(4, expected_flows // 4)
+            sizes = self._flow_sizes(batch)
+            for size in sizes:
+                if generated >= total_packets:
+                    break
+                size = int(min(size, total_packets - generated)) or 1
+                flow = self._make_flow(size)
+                flows.append(flow)
+                generated += size
+        return flows
+
+    def _make_flow(self, packet_count: int) -> Flow:
+        config = self.config
+        rng = self._rng
+        flow_id = self._next_flow_id
+        self._next_flow_id += 1
+        protocol = 6 if rng.random() < config.tcp_fraction else 17
+        start_time = float(rng.uniform(0.0, config.duration))
+        # Spread the flow's packets over a window proportional to its size so
+        # elephants persist and mice are short-lived.
+        flow_span = min(config.duration, 0.01 + 0.002 * packet_count)
+        mean_interarrival = max(flow_span / packet_count, 1e-6)
+        return Flow(
+            flow_id=flow_id,
+            src_ip=self.prefix_pair.source.host(int(rng.integers(0, 1 << 16))),
+            dst_ip=self.prefix_pair.destination.host(int(rng.integers(0, 1 << 16))),
+            src_port=int(rng.integers(1024, 65536)),
+            dst_port=int(rng.choice([80, 443, 53, 25, 8080, int(rng.integers(1024, 65536))])),
+            protocol=protocol,
+            packet_count=packet_count,
+            start_time=start_time,
+            mean_interarrival=mean_interarrival,
+        )
+
+    def draw_packet_sizes(self, count: int) -> np.ndarray:
+        """Draw packet sizes from the three-mode Internet size distribution."""
+        sizes = np.array([mode for mode, _ in PACKET_SIZE_MODES])
+        probabilities = np.array([weight for _, weight in PACKET_SIZE_MODES])
+        return self._rng.choice(sizes, size=count, p=probabilities)

@@ -1,0 +1,92 @@
+"""Packet-reordering models.
+
+The paper assumes (based on the measurement study it cites [10]) that "packets
+transmitted more than half a millisecond apart were not reordered", and defines
+a per-path *safety inter-arrival threshold* ``J`` such that only packets
+observed less than ``J`` apart can be reordered.  :class:`WindowReordering`
+implements exactly that: it perturbs packet order only within a bounded time
+window, so the assumption VPM's ``AggTrans`` patch-up relies on holds by
+construction (and can be deliberately violated in tests by configuring a
+window larger than the protocol's ``J``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import make_rng
+from repro.util.validation import check_non_negative, check_probability
+
+__all__ = ["ReorderingModel", "NoReordering", "WindowReordering"]
+
+
+class ReorderingModel:
+    """Permutes the arrival order (and times) of a packet sequence."""
+
+    def apply(self, arrival_times: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Reorder a sequence of arrival times.
+
+        Parameters
+        ----------
+        arrival_times:
+            Monotone non-decreasing arrival times of the original sequence.
+
+        Returns
+        -------
+        (order, new_times):
+            ``order`` is an index array: position ``k`` of the output sequence
+            is the packet originally at index ``order[k]``.  ``new_times`` are
+            the corresponding (sorted, possibly perturbed) observation times.
+        """
+        raise NotImplementedError
+
+
+class NoReordering(ReorderingModel):
+    """Identity reordering model."""
+
+    def apply(self, arrival_times: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        arrival_times = np.asarray(arrival_times, dtype=float)
+        return np.arange(len(arrival_times)), arrival_times.copy()
+
+
+class WindowReordering(ReorderingModel):
+    """Reordering bounded by a time window.
+
+    Each packet is, with probability ``reorder_probability``, given a random
+    positive time offset up to ``window`` seconds; the sequence is then
+    re-sorted by the perturbed times.  Because the offset never exceeds
+    ``window``, two packets can only swap if their original arrival times were
+    within ``window`` of each other — the paper's reordering assumption with
+    ``J = window``.
+    """
+
+    def __init__(
+        self,
+        window: float = 0.5e-3,
+        reorder_probability: float = 0.05,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        self.window = check_non_negative("window", window)
+        self.reorder_probability = check_probability(
+            "reorder_probability", reorder_probability
+        )
+        self._rng = make_rng(seed)
+
+    def apply(self, arrival_times: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        arrival_times = np.asarray(arrival_times, dtype=float)
+        count = len(arrival_times)
+        if count == 0 or self.window == 0.0 or self.reorder_probability == 0.0:
+            return np.arange(count), arrival_times.copy()
+        offsets = np.zeros(count, dtype=float)
+        affected = self._rng.random(count) < self.reorder_probability
+        offsets[affected] = self._rng.uniform(0.0, self.window, size=int(affected.sum()))
+        perturbed = arrival_times + offsets
+        # Stable sort keeps the original order for untouched packets.
+        order = np.argsort(perturbed, kind="stable")
+        return order, perturbed[order]
+
+    def __repr__(self) -> str:
+        return (
+            f"WindowReordering(window={self.window!r}, "
+            f"reorder_probability={self.reorder_probability!r})"
+        )

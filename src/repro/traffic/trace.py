@@ -1,0 +1,199 @@
+"""Synthetic packet traces.
+
+This module is the substitution for the CAIDA Tier-1 traces the paper uses
+(documented in ``DESIGN.md``).  A :class:`SyntheticTrace` produces the packet
+sequence observed on one HOP path — i.e. "all packets that carry a given
+source and destination origin-prefix pair", which is exactly what the paper
+extracts from its traces — with:
+
+* a configurable aggregate packet rate (the paper's headline sequence runs at
+  100,000 packets per second);
+* many interleaved five-tuple flows with heavy-tailed sizes;
+* the three-mode packet-size distribution averaging ~400 bytes;
+* strictly increasing send timestamps with Poisson-like spacing.
+
+The VPM algorithms consume only header bytes, observation order and
+timestamps, so this synthetic sequence exercises the same code paths as a real
+backbone trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.net.packet import Packet, PacketHeaders
+from repro.net.prefixes import OriginPrefix, PrefixPair
+from repro.traffic.flows import FlowGenerator, FlowGeneratorConfig
+from repro.util.rng import make_rng
+from repro.util.validation import check_positive
+
+__all__ = ["TraceConfig", "SyntheticTrace", "default_prefix_pair"]
+
+
+def default_prefix_pair() -> PrefixPair:
+    """The prefix pair used by examples and benchmarks unless overridden."""
+    return PrefixPair(
+        source=OriginPrefix.parse("10.1.0.0/16"),
+        destination=OriginPrefix.parse("10.2.0.0/16"),
+    )
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    """Configuration of a synthetic trace.
+
+    Attributes
+    ----------
+    packet_count:
+        Number of packets in the sequence.
+    packets_per_second:
+        Aggregate packet rate of the sequence (100,000/s in the paper's
+        evaluation sequence).
+    arrival_process:
+        ``"poisson"`` for exponential inter-arrivals, ``"cbr"`` for constant
+        spacing, or ``"mmpp"`` for a two-state modulated Poisson process that
+        adds burstiness.
+    payload_bytes:
+        Number of payload bytes attached to each packet (only a prefix is ever
+        hashed; 16 keeps memory bounded).
+    """
+
+    packet_count: int = 100_000
+    packets_per_second: float = 100_000.0
+    arrival_process: str = "poisson"
+    payload_bytes: int = 16
+    flow_config: FlowGeneratorConfig = FlowGeneratorConfig()
+
+    def __post_init__(self) -> None:
+        check_positive("packet_count", self.packet_count)
+        check_positive("packets_per_second", self.packets_per_second)
+        if self.arrival_process not in ("poisson", "cbr", "mmpp"):
+            raise ValueError(
+                "arrival_process must be 'poisson', 'cbr' or 'mmpp'; "
+                f"got {self.arrival_process!r}"
+            )
+        if self.payload_bytes < 0:
+            raise ValueError(f"payload_bytes must be >= 0, got {self.payload_bytes}")
+
+    @property
+    def duration(self) -> float:
+        """Nominal duration of the trace in seconds."""
+        return self.packet_count / self.packets_per_second
+
+
+class SyntheticTrace:
+    """Generates the packet sequence of one HOP path.
+
+    Parameters
+    ----------
+    config:
+        Trace parameters; see :class:`TraceConfig`.
+    prefix_pair:
+        The (source, destination) origin prefixes the packets carry.
+    seed:
+        Seed for all randomness in the trace.
+    """
+
+    def __init__(
+        self,
+        config: TraceConfig | None = None,
+        prefix_pair: PrefixPair | None = None,
+        seed: int | np.random.Generator | None = None,
+    ) -> None:
+        self.config = config or TraceConfig()
+        self.prefix_pair = prefix_pair or default_prefix_pair()
+        self._rng = make_rng(seed)
+
+    # -- timestamp synthesis ----------------------------------------------
+
+    def _interarrival_times(self, count: int) -> np.ndarray:
+        config = self.config
+        mean_gap = 1.0 / config.packets_per_second
+        rng = self._rng
+        if config.arrival_process == "cbr":
+            return np.full(count, mean_gap)
+        if config.arrival_process == "poisson":
+            return rng.exponential(mean_gap, size=count)
+        # MMPP(2): alternate between a calm state (0.5x rate) and a bursty
+        # state (3x rate); dwell times are geometric in packets.
+        gaps = np.empty(count, dtype=float)
+        index = 0
+        bursty = False
+        while index < count:
+            dwell = int(rng.geometric(0.002))
+            dwell = min(dwell, count - index)
+            rate_multiplier = 3.0 if bursty else 0.5
+            gaps[index : index + dwell] = rng.exponential(
+                mean_gap / rate_multiplier, size=dwell
+            )
+            index += dwell
+            bursty = not bursty
+        # Normalize so the overall mean rate matches the configured rate.
+        gaps *= mean_gap / gaps.mean()
+        return gaps
+
+    # -- packet synthesis ---------------------------------------------------
+
+    def packets(self) -> list[Packet]:
+        """Generate the full packet sequence, ordered by send time."""
+        config = self.config
+        rng = self._rng
+        count = config.packet_count
+
+        flow_generator = FlowGenerator(
+            self.prefix_pair, config=config.flow_config, seed=rng
+        )
+        flows = flow_generator.generate(count)
+
+        # Assign each packet slot to a flow proportionally to flow size, then
+        # interleave flows by drawing a random permutation of slots — this
+        # approximates the natural interleaving of concurrent flows without a
+        # per-flow arrival process (which the protocol is insensitive to).
+        flow_ids = np.concatenate(
+            [np.full(flow.packet_count, flow.flow_id) for flow in flows]
+        )[:count]
+        rng.shuffle(flow_ids)
+
+        send_times = np.cumsum(self._interarrival_times(count))
+        sizes = flow_generator.draw_packet_sizes(count)
+        flows_by_id = {flow.flow_id: flow for flow in flows}
+
+        # Per-flow sequence counters feed ip_id so repeated packets of a flow
+        # still have distinct digests.
+        per_flow_counter: dict[int, int] = {}
+        packets: list[Packet] = []
+        payload_words = rng.integers(0, 1 << 32, size=count, dtype=np.uint64)
+        for index in range(count):
+            flow = flows_by_id[int(flow_ids[index])]
+            sequence = per_flow_counter.get(flow.flow_id, 0)
+            per_flow_counter[flow.flow_id] = sequence + 1
+            headers = PacketHeaders(
+                src_ip=flow.src_ip,
+                dst_ip=flow.dst_ip,
+                src_port=flow.src_port,
+                dst_port=flow.dst_port,
+                protocol=flow.protocol,
+                ip_id=(flow.flow_id * 7919 + sequence) & 0xFFFF,
+                length=int(sizes[index]),
+            )
+            payload = int(payload_words[index]).to_bytes(8, "big") + bytes(
+                max(0, config.payload_bytes - 8)
+            )
+            packets.append(
+                Packet(
+                    headers=headers,
+                    payload=payload[: config.payload_bytes],
+                    uid=index,
+                    send_time=float(send_times[index]),
+                    flow_id=flow.flow_id,
+                )
+            )
+        return packets
+
+    def __repr__(self) -> str:
+        return (
+            f"SyntheticTrace(packets={self.config.packet_count}, "
+            f"rate={self.config.packets_per_second}/s, pair={self.prefix_pair})"
+        )

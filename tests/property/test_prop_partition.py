@@ -1,0 +1,101 @@
+"""Property-based tests for the partition algebra (Section 6.1)."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.partition import PartitionSet, is_coarser, join_partitions
+
+
+@st.composite
+def partition_pair(draw):
+    """Two random partitions of the same ordered packet set."""
+    size = draw(st.integers(min_value=1, max_value=30))
+    items = tuple(range(size))
+
+    def random_partition() -> PartitionSet:
+        cuts = draw(
+            st.sets(st.integers(min_value=1, max_value=size - 1), max_size=size)
+        ) if size > 1 else set()
+        return PartitionSet.from_cut_indices(items, cuts)
+
+    return random_partition(), random_partition()
+
+
+@st.composite
+def partition_triple(draw):
+    size = draw(st.integers(min_value=1, max_value=20))
+    items = tuple(range(size))
+    partitions = []
+    for _ in range(3):
+        cuts = draw(
+            st.sets(st.integers(min_value=1, max_value=size - 1), max_size=size)
+        ) if size > 1 else set()
+        partitions.append(PartitionSet.from_cut_indices(items, cuts))
+    return tuple(partitions)
+
+
+class TestPartitionInvariants:
+    @given(partition_pair())
+    def test_partition_preserves_items(self, pair):
+        a, b = pair
+        assert a.items == b.items
+        assert sum(len(aggregate) for aggregate in a) == len(a.items)
+
+    @given(partition_pair())
+    def test_join_is_coarser_than_both_inputs(self, pair):
+        a, b = pair
+        joined = join_partitions(a, b)
+        assert is_coarser(joined, a)
+        assert is_coarser(joined, b)
+
+    @given(partition_pair())
+    def test_join_is_commutative(self, pair):
+        a, b = pair
+        assert join_partitions(a, b) == join_partitions(b, a)
+
+    @given(partition_pair())
+    def test_join_is_idempotent(self, pair):
+        a, b = pair
+        joined = join_partitions(a, b)
+        assert join_partitions(joined, joined) == joined
+        assert join_partitions(a, a) == a
+
+    @given(partition_pair())
+    def test_join_absorbs_coarser_partition(self, pair):
+        """If A is coarser than B, Join(A, B) == A."""
+        a, b = pair
+        if is_coarser(a, b):
+            assert join_partitions(a, b) == a
+
+    @given(partition_triple())
+    def test_join_is_associative(self, triple):
+        a, b, c = triple
+        assert join_partitions(join_partitions(a, b), c) == join_partitions(
+            a, join_partitions(b, c)
+        )
+
+    @given(partition_pair())
+    def test_join_is_finest_common_coarsening(self, pair):
+        """No strictly finer partition than the join is coarser than both inputs.
+
+        Equivalent formulation: the join's cut set is exactly the intersection
+        of the inputs' cut sets, so any common coarsening must be coarser than
+        (or equal to) the join.
+        """
+        a, b = pair
+        joined = join_partitions(a, b)
+        assert set(joined.cut_indices) == set(a.cut_indices) & set(b.cut_indices)
+
+    @given(partition_pair())
+    def test_coarser_relation_antisymmetric(self, pair):
+        a, b = pair
+        if is_coarser(a, b) and is_coarser(b, a):
+            assert a == b
+
+    @given(partition_triple())
+    def test_coarser_relation_transitive(self, triple):
+        a, b, c = triple
+        if is_coarser(a, b) and is_coarser(b, c):
+            assert is_coarser(a, c)

@@ -1,0 +1,185 @@
+"""Unit tests for the Section-3 baseline protocols."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import MeasurementProtocol
+from repro.baselines.difference_aggregator import DifferenceAggregatorPlusPlus
+from repro.baselines.strawman import StrawmanProtocol
+from repro.baselines.trajectory_sampling import TrajectorySamplingPlusPlus
+from repro.baselines.vpm_adapter import VPMProtocolAdapter
+from repro.net.hashing import MASK64
+
+
+def make_observations(
+    count: int = 20_000,
+    loss_rate: float = 0.1,
+    delay: float = 5e-3,
+    seed: int = 0,
+) -> tuple[list[tuple[int, float]], list[tuple[int, float]], float]:
+    """Synthetic ingress/egress observations with known loss and delay."""
+    rng = np.random.default_rng(seed)
+    digests = rng.integers(0, MASK64, size=count, dtype=np.uint64)
+    times = np.arange(count) / 100_000.0
+    ingress = [(int(digest), float(time)) for digest, time in zip(digests, times)]
+    keep = rng.random(count) >= loss_rate
+    egress = [
+        (int(digest), float(time) + delay)
+        for digest, time, kept in zip(digests, times, keep)
+        if kept
+    ]
+    true_loss = 1.0 - keep.mean()
+    return ingress, egress, float(true_loss)
+
+
+class TestStrawman:
+    def test_exact_loss_and_delay(self):
+        ingress, egress, true_loss = make_observations(seed=1)
+        estimate = StrawmanProtocol().run(ingress, egress)
+        assert estimate.loss_rate == pytest.approx(true_loss, abs=1e-9)
+        assert estimate.mean_delay == pytest.approx(5e-3, abs=1e-9)
+        assert estimate.delay_quantiles[0.9] == pytest.approx(5e-3, abs=1e-9)
+
+    def test_receipt_cost_is_per_packet(self):
+        ingress, egress, _ = make_observations(count=1000, seed=2)
+        estimate = StrawmanProtocol().run(ingress, egress)
+        assert estimate.receipt_bytes == 7 * (len(ingress) + len(egress))
+        assert estimate.receipt_bytes_per_packet > 10
+
+    def test_not_predictable(self):
+        assert StrawmanProtocol.sampling_predictable is False
+        with pytest.raises(NotImplementedError):
+            StrawmanProtocol().measurement_predicate(1)
+
+    def test_empty_observations(self):
+        estimate = StrawmanProtocol().run([], [])
+        assert estimate.loss_rate is None
+        assert estimate.mean_delay is None
+
+
+class TestTrajectorySampling:
+    def test_loss_and_delay_estimated_from_samples(self):
+        ingress, egress, true_loss = make_observations(seed=3)
+        estimate = TrajectorySamplingPlusPlus(sampling_rate=0.05).run(ingress, egress)
+        assert estimate.loss_rate == pytest.approx(true_loss, abs=0.03)
+        assert estimate.mean_delay == pytest.approx(5e-3, abs=1e-6)
+        assert estimate.delay_quantiles is not None
+
+    def test_receipt_cost_scales_with_sampling_rate(self):
+        ingress, egress, _ = make_observations(seed=4)
+        low = TrajectorySamplingPlusPlus(sampling_rate=0.01).run(ingress, egress)
+        high = TrajectorySamplingPlusPlus(sampling_rate=0.1).run(ingress, egress)
+        assert high.receipt_bytes > 5 * low.receipt_bytes
+        assert low.receipt_bytes_per_packet < 1.0
+
+    def test_sampling_is_predictable(self):
+        protocol = TrajectorySamplingPlusPlus(sampling_rate=0.5)
+        assert protocol.sampling_predictable is True
+        # The predicate is a pure function of the digest, so it can be
+        # evaluated before the packet is forwarded.
+        values = [protocol.measurement_predicate(digest) for digest in range(1000)]
+        assert any(values) and not all(values)
+
+    def test_sampled_fraction_near_rate(self):
+        protocol = TrajectorySamplingPlusPlus(sampling_rate=0.1)
+        rng = np.random.default_rng(5)
+        digests = rng.integers(0, MASK64, size=50_000, dtype=np.uint64)
+        fraction = np.mean([protocol.measurement_predicate(int(d)) for d in digests])
+        assert fraction == pytest.approx(0.1, rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrajectorySamplingPlusPlus(sampling_rate=0.0)
+
+
+class TestDifferenceAggregator:
+    def test_exact_loss_when_aligned(self):
+        ingress, egress, true_loss = make_observations(seed=6)
+        estimate = DifferenceAggregatorPlusPlus(expected_aggregate_size=500).run(
+            ingress, egress
+        )
+        assert estimate.loss_rate == pytest.approx(true_loss, abs=0.02)
+
+    def test_mean_delay_from_lossless_aggregates(self):
+        ingress, egress, _ = make_observations(loss_rate=0.0, delay=3e-3, seed=7)
+        estimate = DifferenceAggregatorPlusPlus(expected_aggregate_size=500).run(
+            ingress, egress
+        )
+        assert estimate.mean_delay == pytest.approx(3e-3, abs=1e-6)
+
+    def test_no_delay_quantiles(self):
+        ingress, egress, _ = make_observations(seed=8)
+        estimate = DifferenceAggregatorPlusPlus().run(ingress, egress)
+        assert estimate.delay_quantiles is None
+
+    def test_cheap_receipts(self):
+        ingress, egress, _ = make_observations(seed=9)
+        estimate = DifferenceAggregatorPlusPlus(expected_aggregate_size=1000).run(
+            ingress, egress
+        )
+        assert estimate.receipt_bytes_per_packet < 0.2
+
+    def test_reordering_breaks_alignment(self):
+        # Reorder egress observations within a window large enough to move
+        # cutting points: many aggregates become unmatched, and the loss
+        # estimate degrades or disappears (the Section 3.3 failure).
+        ingress, egress, _ = make_observations(count=20_000, loss_rate=0.0, seed=10)
+        rng = np.random.default_rng(11)
+        perturbed = sorted(
+            ((digest, time + rng.uniform(0, 2e-3)) for digest, time in egress),
+            key=lambda item: item[1],
+        )
+        aligned = DifferenceAggregatorPlusPlus(expected_aggregate_size=200).run(
+            ingress, egress
+        )
+        broken = DifferenceAggregatorPlusPlus(expected_aggregate_size=200).run(
+            ingress, perturbed
+        )
+        assert aligned.loss_rate == pytest.approx(0.0, abs=1e-9)
+        # Under reordering the protocol either loses comparable aggregates or
+        # reports spurious loss.
+        assert broken.loss_rate is None or broken.loss_rate > 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DifferenceAggregatorPlusPlus(expected_aggregate_size=0)
+
+
+class TestVPMAdapter:
+    def test_estimates_loss_and_quantiles(self):
+        ingress, egress, true_loss = make_observations(seed=12)
+        estimate = VPMProtocolAdapter(
+            sampling_rate=0.05, expected_aggregate_size=500
+        ).run(ingress, egress)
+        assert estimate.loss_rate == pytest.approx(true_loss, abs=0.02)
+        assert estimate.delay_quantiles is not None
+        assert estimate.delay_quantiles[0.9] == pytest.approx(5e-3, abs=1e-4)
+
+    def test_not_predictable(self):
+        adapter = VPMProtocolAdapter()
+        assert adapter.sampling_predictable is False
+        with pytest.raises(NotImplementedError):
+            adapter.measurement_predicate(1)
+
+    def test_receipt_cost_between_lda_and_strawman(self):
+        ingress, egress, _ = make_observations(seed=13)
+        strawman = StrawmanProtocol().run(ingress, egress)
+        lda = DifferenceAggregatorPlusPlus(expected_aggregate_size=1000).run(ingress, egress)
+        vpm = VPMProtocolAdapter(sampling_rate=0.01, expected_aggregate_size=1000).run(
+            ingress, egress
+        )
+        assert lda.receipt_bytes < vpm.receipt_bytes < strawman.receipt_bytes
+
+
+class TestProtocolInterface:
+    def test_all_protocols_share_interface(self):
+        for protocol in (
+            StrawmanProtocol(),
+            TrajectorySamplingPlusPlus(),
+            DifferenceAggregatorPlusPlus(),
+            VPMProtocolAdapter(),
+        ):
+            assert isinstance(protocol, MeasurementProtocol)
+            assert isinstance(protocol.name, str) and protocol.name

@@ -1,0 +1,93 @@
+"""Unit tests for repro.traffic.delay_models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.traffic.delay_models import (
+    CongestionDelayModel,
+    ConstantDelayModel,
+    EmpiricalDelayModel,
+    JitterDelayModel,
+)
+
+
+def _arrivals(count: int = 2000, rate: float = 100_000.0) -> np.ndarray:
+    return np.arange(count) / rate
+
+
+class TestConstantDelay:
+    def test_all_delays_equal(self):
+        delays = ConstantDelayModel(2e-3).delays(_arrivals(100))
+        assert np.all(delays == 2e-3)
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantDelayModel(-1.0)
+
+
+class TestJitterDelay:
+    def test_delays_at_least_base(self):
+        model = JitterDelayModel(base_delay=1e-3, jitter_std=0.5e-3, seed=1)
+        delays = model.delays(_arrivals(500))
+        assert np.all(delays >= 1e-3)
+
+    def test_zero_jitter_is_constant(self):
+        model = JitterDelayModel(base_delay=1e-3, jitter_std=0.0, seed=1)
+        assert np.allclose(model.delays(_arrivals(10)), 1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JitterDelayModel(base_delay=-1.0)
+
+
+class TestEmpiricalDelay:
+    def test_replays_and_cycles(self):
+        model = EmpiricalDelayModel(series=np.array([1e-3, 2e-3, 3e-3]))
+        delays = model.delays(_arrivals(7))
+        assert delays.tolist() == pytest.approx([1e-3, 2e-3, 3e-3, 1e-3, 2e-3, 3e-3, 1e-3])
+
+    def test_rejects_empty_or_negative(self):
+        with pytest.raises(ValueError):
+            EmpiricalDelayModel(series=np.array([]))
+        with pytest.raises(ValueError):
+            EmpiricalDelayModel(series=np.array([-1e-3]))
+
+
+class TestCongestionDelay:
+    def test_produces_positive_variable_delays(self):
+        model = CongestionDelayModel(seed=2)
+        delays = model.delays(_arrivals(4000))
+        assert np.all(delays > 0)
+        assert delays.std() > 0  # congestion produces variance
+
+    def test_includes_propagation_delay_floor(self):
+        model = CongestionDelayModel(propagation_delay=3e-3, seed=3)
+        delays = model.delays(_arrivals(1000))
+        assert delays.min() >= 3e-3
+
+    def test_udp_burst_has_delay_spikes(self):
+        # The headline scenario must produce large delay variation over a
+        # window covering several burst cycles: the high quantiles should sit
+        # well above the low ones.
+        model = CongestionDelayModel(scenario="udp-burst", seed=4)
+        delays = model.delays(_arrivals(20_000))
+        assert np.quantile(delays, 0.9) > 1.5 * np.quantile(delays, 0.1)
+        assert delays.max() > 3.0 * delays.min()
+
+    def test_empty_input(self):
+        assert CongestionDelayModel(seed=5).delays(np.array([])).size == 0
+
+    def test_scenario_validation(self):
+        with pytest.raises(ValueError):
+            CongestionDelayModel(scenario="warp-drive")
+
+    def test_explicit_bandwidth_accepted(self):
+        model = CongestionDelayModel(bottleneck_bandwidth_bps=1e9, seed=6)
+        delays = model.delays(_arrivals(1000))
+        assert np.all(delays > 0)
+
+    def test_invalid_bandwidth_rejected(self):
+        with pytest.raises(ValueError):
+            CongestionDelayModel(bottleneck_bandwidth_bps=0.0)

@@ -1,0 +1,182 @@
+"""Unit tests for repro.core.domain and repro.core.verifier."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.aggregation import AggregatorConfig
+from repro.core.domain import DomainAgent
+from repro.core.hop import HOPConfig
+from repro.core.sampling import SamplerConfig
+from repro.core.verifier import Verifier
+from repro.simulation.scenario import PathScenario, SegmentCondition
+from repro.traffic.delay_models import ConstantDelayModel, JitterDelayModel
+from repro.traffic.loss_models import BernoulliLossModel
+
+
+TEST_CONFIG = HOPConfig(
+    sampler=SamplerConfig(sampling_rate=0.2, marker_rate=0.02),
+    aggregator=AggregatorConfig(expected_aggregate_size=200),
+)
+
+
+@pytest.fixture(scope="module")
+def congested_observation(small_trace_packets):
+    """An observation where X adds 5 ms (+/- jitter) delay and 10% loss."""
+    scenario = PathScenario(seed=21)
+    scenario.configure_domain(
+        "X",
+        SegmentCondition(
+            delay_model=JitterDelayModel(base_delay=5e-3, jitter_std=1e-3, seed=22),
+            loss_model=BernoulliLossModel(0.1, seed=23),
+        ),
+    )
+    return scenario.run(small_trace_packets)
+
+
+@pytest.fixture(scope="module")
+def small_trace_packets(prefix_pair):
+    # Module-local override: a slightly smaller trace keeps this module fast.
+    from repro.traffic.flows import FlowGeneratorConfig
+    from repro.traffic.trace import SyntheticTrace, TraceConfig
+
+    config = TraceConfig(
+        packet_count=2000, packets_per_second=100_000.0, flow_config=FlowGeneratorConfig()
+    )
+    return SyntheticTrace(config=config, prefix_pair=prefix_pair, seed=31).packets()
+
+
+@pytest.fixture(scope="module")
+def all_reports(path, congested_observation):
+    reports = {}
+    for domain in path.domains:
+        agent = DomainAgent(domain, path, config=TEST_CONFIG)
+        agent.observe(congested_observation)
+        reports.update(agent.reports(flush=True))
+    return reports
+
+
+class TestDomainAgent:
+    def test_agent_owns_its_hops(self, path):
+        agent = DomainAgent("X", path, config=TEST_CONFIG)
+        assert agent.hop_ids == (4, 5)
+        assert DomainAgent("S", path, config=TEST_CONFIG).hop_ids == (1,)
+
+    def test_unknown_domain_rejected(self, path):
+        with pytest.raises(ValueError):
+            DomainAgent("Z", path)
+
+    def test_reports_cover_all_owned_hops(self, path, congested_observation):
+        agent = DomainAgent("N", path, config=TEST_CONFIG)
+        agent.observe(congested_observation)
+        reports = agent.reports(flush=True)
+        assert set(reports) == {6, 7}
+        for report in reports.values():
+            assert report.aggregate_receipts
+
+    def test_per_hop_config_override(self, path, congested_observation):
+        fine = HOPConfig(
+            sampler=SamplerConfig(sampling_rate=0.5, marker_rate=0.02),
+            aggregator=AggregatorConfig(expected_aggregate_size=200),
+        )
+        agent = DomainAgent(
+            "X", path, config=TEST_CONFIG, per_hop_config={5: fine}
+        )
+        agent.observe(congested_observation)
+        reports = agent.reports(flush=True)
+        ingress_samples = sum(len(r) for r in reports[4].sample_receipts)
+        egress_samples = sum(len(r) for r in reports[5].sample_receipts)
+        # The egress HOP samples at a higher rate despite 10% loss.
+        assert egress_samples > ingress_samples * 1.5
+
+    def test_repr(self, path):
+        assert "X" in repr(DomainAgent("X", path, config=TEST_CONFIG))
+
+
+class TestVerifierEstimation:
+    def test_delay_estimate_close_to_truth(self, path, all_reports, congested_observation):
+        verifier = Verifier(path)
+        verifier.add_reports(all_reports)
+        performance = verifier.estimate_domain("X")
+        truth = congested_observation.truth_for("X")
+        assert performance.delay_sample_count > 50
+        true_median = truth.delay_quantiles([0.5])[0.5]
+        assert performance.delay_quantile(0.5) == pytest.approx(true_median, rel=0.2)
+
+    def test_loss_exactly_computed(self, path, all_reports, congested_observation):
+        verifier = Verifier(path)
+        verifier.add_reports(all_reports)
+        performance = verifier.estimate_domain("X")
+        truth = congested_observation.truth_for("X")
+        assert performance.offered_packets == truth.offered_packets
+        assert performance.lost_packets == len(truth.lost)
+        assert performance.loss_rate == pytest.approx(truth.loss_rate)
+
+    def test_healthy_domain_shows_no_loss(self, path, all_reports, congested_observation):
+        verifier = Verifier(path)
+        verifier.add_reports(all_reports)
+        performance = verifier.estimate_domain("L")
+        assert performance.lost_packets == 0
+        assert performance.loss_rate == 0.0
+
+    def test_granularity_reported(self, path, all_reports):
+        verifier = Verifier(path)
+        verifier.add_reports(all_reports)
+        performance = verifier.estimate_domain("X")
+        assert performance.loss_granularity
+        assert performance.mean_loss_granularity > 0
+
+    def test_stub_domain_rejected(self, path, all_reports):
+        verifier = Verifier(path)
+        verifier.add_reports(all_reports)
+        with pytest.raises(ValueError):
+            verifier.estimate_domain("S")
+
+    def test_estimate_via_neighbors(self, path, all_reports, congested_observation):
+        verifier = Verifier(path)
+        verifier.add_reports(all_reports)
+        independent = verifier.estimate_domain_via_neighbors("X")
+        truth = congested_observation.truth_for("X")
+        assert independent is not None
+        # The neighbor-based estimate includes two healthy inter-domain links,
+        # so it slightly exceeds the domain's own contribution but stays close.
+        true_median = truth.delay_quantiles([0.5])[0.5]
+        assert independent.delay_quantile(0.5) >= true_median
+        assert independent.delay_quantile(0.5) == pytest.approx(true_median, rel=0.3)
+
+    def test_missing_reports_give_empty_estimates(self, path):
+        verifier = Verifier(path)
+        performance = verifier.estimate_domain("X")
+        assert performance.delay_sample_count == 0
+        assert performance.offered_packets == 0
+        assert performance.delay_quantiles == {}
+
+    def test_sample_receipt_for_unknown_hop_is_none(self, path):
+        assert Verifier(path).sample_receipt_for(4) is None
+
+
+class TestVerifierConsistency:
+    def test_honest_reports_are_consistent(self, path, all_reports):
+        verifier = Verifier(path)
+        verifier.add_reports(all_reports)
+        assert verifier.check_consistency() == []
+
+    def test_verify_domain_accepts_honest_domain(self, path, all_reports):
+        verifier = Verifier(path)
+        verifier.add_reports(all_reports)
+        result = verifier.verify_domain("X")
+        assert result.accepted
+        assert result.claimed.loss_rate > 0
+        assert result.independent is not None
+
+    def test_partial_receipts_skip_missing_links(self, path, all_reports):
+        verifier = Verifier(path)
+        # Only domain X's receipts: no link has both ends, nothing to check.
+        verifier.add_reports({hop: all_reports[hop] for hop in (4, 5)})
+        assert verifier.check_consistency() == []
+
+    def test_add_reports_accepts_iterable(self, path, all_reports):
+        verifier = Verifier(path)
+        verifier.add_reports(list(all_reports.values()))
+        assert verifier.estimate_domain("X").offered_packets > 0

@@ -1,0 +1,147 @@
+"""Unit tests for repro.traffic.flows and repro.traffic.trace."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.traffic.flows import Flow, FlowGenerator, FlowGeneratorConfig
+from repro.traffic.trace import SyntheticTrace, TraceConfig, default_prefix_pair
+from repro.traffic.workload import WORKLOADS, make_workload
+
+
+class TestFlowGenerator:
+    def test_generates_enough_packets(self, prefix_pair):
+        generator = FlowGenerator(prefix_pair, seed=1)
+        flows = generator.generate(5000)
+        assert sum(flow.packet_count for flow in flows) >= 5000
+
+    def test_flow_addresses_inside_prefixes(self, prefix_pair):
+        generator = FlowGenerator(prefix_pair, seed=2)
+        for flow in generator.generate(500):
+            assert prefix_pair.source.contains(flow.src_ip)
+            assert prefix_pair.destination.contains(flow.dst_ip)
+
+    def test_flow_sizes_heavy_tailed(self, prefix_pair):
+        generator = FlowGenerator(prefix_pair, seed=3)
+        sizes = np.array([flow.packet_count for flow in generator.generate(20000)])
+        # A heavy-tailed distribution has max far above the mean.
+        assert sizes.max() > 5 * sizes.mean()
+
+    def test_tcp_fraction_respected(self, prefix_pair):
+        config = FlowGeneratorConfig(tcp_fraction=1.0)
+        generator = FlowGenerator(prefix_pair, config=config, seed=4)
+        assert all(flow.protocol == 6 for flow in generator.generate(1000))
+
+    def test_packet_sizes_from_modes(self, prefix_pair):
+        generator = FlowGenerator(prefix_pair, seed=5)
+        sizes = set(generator.draw_packet_sizes(500).tolist())
+        assert sizes <= {40, 576, 1500}
+
+    def test_invalid_total_rejected(self, prefix_pair):
+        with pytest.raises(ValueError):
+            FlowGenerator(prefix_pair, seed=6).generate(0)
+
+    def test_flow_validation(self):
+        with pytest.raises(ValueError):
+            Flow(
+                flow_id=1, src_ip=1, dst_ip=2, src_port=3, dst_port=4, protocol=6,
+                packet_count=0, start_time=0.0, mean_interarrival=1e-3,
+            )
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            FlowGeneratorConfig(tcp_fraction=1.5)
+        with pytest.raises(ValueError):
+            FlowGeneratorConfig(mean_flow_size=0)
+
+
+class TestSyntheticTrace:
+    def test_packet_count_and_ordering(self):
+        config = TraceConfig(packet_count=3000, packets_per_second=100_000.0)
+        packets = SyntheticTrace(config=config, seed=1).packets()
+        assert len(packets) == 3000
+        times = [packet.send_time for packet in packets]
+        assert times == sorted(times)
+
+    def test_uids_unique_and_sequential(self):
+        config = TraceConfig(packet_count=1000)
+        packets = SyntheticTrace(config=config, seed=2).packets()
+        assert [packet.uid for packet in packets] == list(range(1000))
+
+    def test_rate_approximately_configured(self):
+        config = TraceConfig(packet_count=20_000, packets_per_second=100_000.0)
+        packets = SyntheticTrace(config=config, seed=3).packets()
+        duration = packets[-1].send_time - packets[0].send_time
+        measured_rate = len(packets) / duration
+        assert measured_rate == pytest.approx(100_000.0, rel=0.1)
+
+    def test_addresses_match_prefix_pair(self):
+        pair = default_prefix_pair()
+        config = TraceConfig(packet_count=500)
+        packets = SyntheticTrace(config=config, prefix_pair=pair, seed=4).packets()
+        for packet in packets:
+            assert pair.matches(packet.headers.src_ip, packet.headers.dst_ip)
+
+    def test_digests_are_diverse(self, digester):
+        config = TraceConfig(packet_count=2000)
+        packets = SyntheticTrace(config=config, seed=5).packets()
+        digests = {digester.digest(packet) for packet in packets}
+        # Payload randomization should make virtually every digest unique.
+        assert len(digests) > 1990
+
+    def test_deterministic_for_seed(self):
+        config = TraceConfig(packet_count=200)
+        a = SyntheticTrace(config=config, seed=6).packets()
+        b = SyntheticTrace(config=config, seed=6).packets()
+        assert [p.headers for p in a] == [p.headers for p in b]
+        assert [p.send_time for p in a] == [p.send_time for p in b]
+
+    def test_mean_packet_size_near_400(self):
+        config = TraceConfig(packet_count=20_000)
+        packets = SyntheticTrace(config=config, seed=7).packets()
+        mean_size = np.mean([packet.size for packet in packets])
+        assert 300 <= mean_size <= 550
+
+    @pytest.mark.parametrize("process", ["poisson", "cbr", "mmpp"])
+    def test_arrival_processes_supported(self, process):
+        config = TraceConfig(packet_count=2000, arrival_process=process)
+        packets = SyntheticTrace(config=config, seed=8).packets()
+        assert len(packets) == 2000
+
+    def test_mmpp_burstier_than_cbr(self):
+        cbr = SyntheticTrace(
+            config=TraceConfig(packet_count=10_000, arrival_process="cbr"), seed=9
+        ).packets()
+        mmpp = SyntheticTrace(
+            config=TraceConfig(packet_count=10_000, arrival_process="mmpp"), seed=9
+        ).packets()
+
+        def gap_cv(packets) -> float:
+            gaps = np.diff([packet.send_time for packet in packets])
+            return gaps.std() / gaps.mean()
+
+        assert gap_cv(mmpp) > gap_cv(cbr)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TraceConfig(packet_count=0)
+        with pytest.raises(ValueError):
+            TraceConfig(arrival_process="fractal")
+        with pytest.raises(ValueError):
+            TraceConfig(payload_bytes=-1)
+
+
+class TestWorkloads:
+    def test_known_workloads_materialize(self):
+        trace = make_workload("smoke-sequence", seed=1)
+        assert trace.config.packet_count == WORKLOADS["smoke-sequence"].packet_count
+
+    def test_unknown_workload_raises_with_hint(self):
+        with pytest.raises(KeyError, match="known workloads"):
+            make_workload("no-such-workload")
+
+    def test_paper_sequence_rate(self):
+        spec = WORKLOADS["paper-sequence"]
+        assert spec.packets_per_second == 100_000.0
+        assert spec.packet_count == 100_000

@@ -1,0 +1,185 @@
+"""Unit tests for repro.analysis.localization and repro.core.campaign."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.lying import LyingDomainAgent
+from repro.analysis.localization import identify_suspects, localize_performance
+from repro.analysis.sla import SLASpec
+from repro.core.aggregation import AggregatorConfig
+from repro.core.campaign import MeasurementCampaign
+from repro.core.consistency import Inconsistency
+from repro.core.hop import HOPConfig
+from repro.core.protocol import VPMSession
+from repro.core.sampling import SamplerConfig
+from repro.simulation.scenario import PathScenario, SegmentCondition
+from repro.traffic.delay_models import ConstantDelayModel, JitterDelayModel
+from repro.traffic.flows import FlowGeneratorConfig
+from repro.traffic.loss_models import BernoulliLossModel
+from repro.traffic.trace import SyntheticTrace, TraceConfig
+
+
+TEST_CONFIG = HOPConfig(
+    sampler=SamplerConfig(sampling_rate=0.2, marker_rate=0.02),
+    aggregator=AggregatorConfig(expected_aggregate_size=300),
+)
+
+
+@pytest.fixture(scope="module")
+def trace_packets(prefix_pair):
+    config = TraceConfig(
+        packet_count=2500, packets_per_second=100_000.0, flow_config=FlowGeneratorConfig()
+    )
+    return SyntheticTrace(config=config, prefix_pair=prefix_pair, seed=81).packets()
+
+
+def configured_scenario(seed: int) -> PathScenario:
+    """X is slow and lossy; L and N are healthy."""
+    scenario = PathScenario(seed=seed)
+    scenario.configure_domain(
+        "L", SegmentCondition(delay_model=JitterDelayModel(0.5e-3, 0.1e-3, seed=seed + 1))
+    )
+    scenario.configure_domain(
+        "X",
+        SegmentCondition(
+            delay_model=ConstantDelayModel(12e-3),
+            loss_model=BernoulliLossModel(0.1, seed=seed + 2),
+        ),
+    )
+    scenario.configure_domain(
+        "N", SegmentCondition(delay_model=JitterDelayModel(1e-3, 0.2e-3, seed=seed + 3))
+    )
+    return scenario
+
+
+class TestLocalization:
+    @pytest.fixture(scope="class")
+    def verifier(self, path, trace_packets):
+        scenario = configured_scenario(seed=82)
+        observation = scenario.run(trace_packets)
+        session = VPMSession(path, configs={d.name: TEST_CONFIG for d in path.domains})
+        session.run(observation)
+        return session.verifier_for("S")
+
+    def test_worst_domains_identified(self, verifier):
+        diagnosis = localize_performance(verifier)
+        assert diagnosis.worst_delay_domain.domain == "X"
+        assert diagnosis.worst_loss_domain.domain == "X"
+        assert diagnosis.worst_delay_domain.delay_share > 0.5
+        assert diagnosis.worst_loss_domain.loss_share == pytest.approx(1.0)
+
+    def test_delay_shares_sum_to_one(self, verifier):
+        diagnosis = localize_performance(verifier)
+        assert sum(entry.delay_share for entry in diagnosis.domains) == pytest.approx(1.0)
+
+    def test_sla_violations_flagged(self, verifier):
+        sla = SLASpec(delay_bound=5e-3, delay_quantile=0.9, loss_bound=0.01)
+        diagnosis = localize_performance(verifier, sla=sla)
+        assert diagnosis.violating_domains == ("X",)
+        healthy = next(entry for entry in diagnosis.domains if entry.domain == "L")
+        assert not healthy.violating
+
+    def test_no_sla_means_no_verdicts(self, verifier):
+        diagnosis = localize_performance(verifier)
+        assert all(entry.sla_verdict is None for entry in diagnosis.domains)
+        assert diagnosis.violating_domains == ()
+
+    def test_no_suspects_for_honest_path(self, verifier):
+        assert localize_performance(verifier).suspects == ()
+
+    def test_suspects_named_for_lying_domain(self, path, trace_packets):
+        scenario = configured_scenario(seed=83)
+        observation = scenario.run(trace_packets)
+        liar = LyingDomainAgent("X", path, config=TEST_CONFIG)
+        session = VPMSession(
+            path, configs={d.name: TEST_CONFIG for d in path.domains}, agents={"X": liar}
+        )
+        session.run(observation)
+        diagnosis = localize_performance(session.verifier_for("L"))
+        assert len(diagnosis.suspects) == 1
+        suspect = diagnosis.suspects[0]
+        assert (suspect.upstream_domain, suspect.downstream_domain) == ("X", "N")
+        assert suspect.finding_kinds
+
+    def test_identify_suspects_groups_by_link(self, path):
+        findings = [
+            Inconsistency(kind="count-mismatch", upstream_hop=5, downstream_hop=6),
+            Inconsistency(kind="missing-downstream", upstream_hop=5, downstream_hop=6, pkt_id=1),
+            Inconsistency(kind="count-mismatch", upstream_hop=7, downstream_hop=8),
+        ]
+        suspects = identify_suspects(path, findings)
+        assert len(suspects) == 2
+        assert suspects[0].upstream_domain == "X"
+        assert suspects[0].finding_kinds == ("count-mismatch", "missing-downstream")
+        assert suspects[1].upstream_domain == "N"
+        assert suspects[1].downstream_domain == "D"
+
+
+class TestMeasurementCampaign:
+    def _interval_traces(self, prefix_pair, count: int, size: int = 1500):
+        traces = []
+        for index in range(count):
+            config = TraceConfig(
+                packet_count=size,
+                packets_per_second=100_000.0,
+                flow_config=FlowGeneratorConfig(),
+            )
+            traces.append(
+                SyntheticTrace(config=config, prefix_pair=prefix_pair, seed=900 + index).packets()
+            )
+        return traces
+
+    def test_campaign_accumulates_intervals(self, prefix_pair):
+        scenario = configured_scenario(seed=91)
+        campaign = MeasurementCampaign(
+            scenario,
+            target="X",
+            observer="S",
+            configs={d.name: TEST_CONFIG for d in scenario.path.domains},
+        )
+        result = campaign.run(self._interval_traces(prefix_pair, count=3))
+        assert result.interval_count == 3
+        assert result.total_offered_packets > 0
+        assert result.loss_rate == pytest.approx(0.1, abs=0.05)
+        assert result.acceptance_rate == 1.0
+        pooled = result.pooled_delay_quantiles()
+        assert pooled[0.9] == pytest.approx(12e-3, rel=0.1)
+
+    def test_campaign_sla_check(self, prefix_pair):
+        scenario = configured_scenario(seed=92)
+        campaign = MeasurementCampaign(
+            scenario,
+            target="X",
+            configs={d.name: TEST_CONFIG for d in scenario.path.domains},
+        )
+        result = campaign.run(self._interval_traces(prefix_pair, count=2))
+        strict = SLASpec(delay_bound=5e-3, delay_quantile=0.9, loss_bound=0.01)
+        relaxed = SLASpec(delay_bound=50e-3, delay_quantile=0.9, loss_bound=0.5)
+        assert not result.check_sla(strict).compliant
+        assert result.check_sla(relaxed).compliant
+
+    def test_campaign_detects_lying_intervals(self, prefix_pair):
+        scenario = configured_scenario(seed=93)
+
+        def liar_factory(path):
+            return {"X": LyingDomainAgent("X", path, config=TEST_CONFIG)}
+
+        campaign = MeasurementCampaign(
+            scenario,
+            target="X",
+            observer="L",
+            configs={d.name: TEST_CONFIG for d in scenario.path.domains},
+            agents_factory=liar_factory,
+        )
+        result = campaign.run(self._interval_traces(prefix_pair, count=2))
+        assert result.acceptance_rate == 0.0
+
+    def test_empty_campaign_is_benign(self):
+        scenario = configured_scenario(seed=94)
+        campaign = MeasurementCampaign(scenario, target="X")
+        result = campaign.result()
+        assert result.interval_count == 0
+        assert result.loss_rate == 0.0
+        assert result.acceptance_rate == 1.0
+        assert result.pooled_delay_quantiles() == {}

@@ -1,0 +1,99 @@
+"""Unit tests for repro.traffic.loss_models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.traffic.loss_models import (
+    BernoulliLossModel,
+    GilbertElliottLossModel,
+    NoLossModel,
+)
+
+
+def _measured_rate(model, packets: int = 20000) -> float:
+    return sum(1 for index in range(packets) if model.drops(index)) / packets
+
+
+class TestNoLoss:
+    def test_never_drops(self):
+        model = NoLossModel()
+        assert not any(model.drops(index) for index in range(1000))
+        assert model.expected_loss_rate() == 0.0
+
+
+class TestBernoulli:
+    def test_zero_rate_never_drops(self):
+        assert _measured_rate(BernoulliLossModel(0.0, seed=1), 2000) == 0.0
+
+    def test_measured_rate_close_to_nominal(self):
+        assert _measured_rate(BernoulliLossModel(0.25, seed=2)) == pytest.approx(
+            0.25, abs=0.02
+        )
+
+    def test_expected_rate_reported(self):
+        assert BernoulliLossModel(0.1).expected_loss_rate() == 0.1
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            BernoulliLossModel(1.2)
+
+    def test_deterministic_for_seed(self):
+        a = BernoulliLossModel(0.3, seed=5)
+        b = BernoulliLossModel(0.3, seed=5)
+        assert [a.drops(i) for i in range(100)] == [b.drops(i) for i in range(100)]
+
+
+class TestGilbertElliott:
+    def test_from_target_rate_matches_long_run(self):
+        for target in (0.1, 0.25, 0.5):
+            model = GilbertElliottLossModel.from_target_rate(target, seed=3)
+            assert model.expected_loss_rate() == pytest.approx(target, rel=1e-6)
+            assert _measured_rate(model) == pytest.approx(target, abs=0.05)
+
+    def test_zero_target_never_drops(self):
+        model = GilbertElliottLossModel.from_target_rate(0.0, seed=4)
+        assert _measured_rate(model, 2000) == 0.0
+
+    def test_losses_are_bursty(self):
+        # With a mean burst of 20 packets, consecutive drops should be common;
+        # compare the number of loss runs against an independent model at the
+        # same rate: the bursty model has far fewer, longer runs.
+        bursty = GilbertElliottLossModel.from_target_rate(
+            0.3, mean_burst_length=20, seed=5
+        )
+        independent = BernoulliLossModel(0.3, seed=5)
+
+        def runs(model) -> int:
+            count, previous = 0, False
+            for index in range(20000):
+                current = model.drops(index)
+                if current and not previous:
+                    count += 1
+                previous = current
+            return count
+
+        assert runs(bursty) < runs(independent) * 0.5
+
+    def test_reset_returns_to_good_state(self):
+        model = GilbertElliottLossModel(p=1.0, r=0.0, seed=6)
+        model.drops(0)
+        model.reset()
+        assert model._in_bad_state is False
+
+    def test_unachievable_target_rejected(self):
+        with pytest.raises(ValueError):
+            GilbertElliottLossModel.from_target_rate(0.9, loss_bad=0.5)
+
+    def test_burst_length_validation(self):
+        with pytest.raises(ValueError):
+            GilbertElliottLossModel.from_target_rate(0.1, mean_burst_length=0.5)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            GilbertElliottLossModel(p=1.5, r=0.1)
+
+    def test_expected_rate_formula(self):
+        model = GilbertElliottLossModel(p=0.1, r=0.3, loss_good=0.0, loss_bad=1.0)
+        assert model.expected_loss_rate() == pytest.approx(0.1 / 0.4)

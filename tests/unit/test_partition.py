@@ -1,0 +1,222 @@
+"""Unit tests for repro.core.partition (partition algebra + receipt alignment)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.partition import (
+    AlignedAggregates,
+    PartitionSet,
+    align_aggregate_receipts,
+    aligned_aggregates,
+    is_coarser,
+    join_partitions,
+)
+from repro.core.receipts import AggregateReceipt, PathID
+
+
+@pytest.fixture()
+def path_id(prefix_pair) -> PathID:
+    return PathID(
+        prefix_pair=prefix_pair, reporting_hop=4, previous_hop=3, next_hop=5, max_diff=1e-3
+    )
+
+
+def make_receipt(
+    path_id: PathID,
+    first: int,
+    last: int,
+    count: int,
+    start: float,
+    end: float,
+    trans_before: tuple[int, ...] = (),
+    trans_after: tuple[int, ...] = (),
+) -> AggregateReceipt:
+    return AggregateReceipt(
+        path_id=path_id,
+        first_pkt_id=first,
+        last_pkt_id=last,
+        pkt_count=count,
+        start_time=start,
+        end_time=end,
+        time_sum=count * (start + end) / 2,
+        trans_before=trans_before,
+        trans_after=trans_after,
+    )
+
+
+class TestPartitionAlgebra:
+    """The Table-1 examples from Section 6.1."""
+
+    def test_table1_coarser_relations(self):
+        items = ("p1", "p2", "p3", "p4")
+        a1 = PartitionSet.from_lists([["p1"], ["p2"], ["p3"], ["p4"]])
+        a2 = PartitionSet.from_lists([["p1", "p2"], ["p3", "p4"]])
+        a3 = PartitionSet.from_lists([["p1"], ["p2", "p3"], ["p4"]])
+        a3_prime = PartitionSet.from_lists([["p1"], ["p2"], ["p3", "p4"]])
+        a4 = PartitionSet.from_lists([["p1", "p2", "p3", "p4"]])
+        assert is_coarser(a2, a1)
+        assert is_coarser(a3, a1)
+        assert is_coarser(a4, a2)
+        assert is_coarser(a4, a3)
+        assert not is_coarser(a2, a3)
+        assert not is_coarser(a3, a2)
+        # A'3 = {{p1},{p2},{p3,p4}} is finer than A2 = {{p1,p2},{p3,p4}}:
+        # every aggregate of A2 is a union of A'3 aggregates.
+        assert is_coarser(a2, a3_prime)
+        assert set(a2.cut_indices) <= set(a3_prime.cut_indices)
+        assert a1.items == items
+
+    def test_table1_joins(self):
+        a1 = PartitionSet.from_lists([["p1"], ["p2"], ["p3"], ["p4"]])
+        a2 = PartitionSet.from_lists([["p1", "p2"], ["p3", "p4"]])
+        a3 = PartitionSet.from_lists([["p1"], ["p2", "p3"], ["p4"]])
+        a3_prime = PartitionSet.from_lists([["p1"], ["p2"], ["p3", "p4"]])
+        a4 = PartitionSet.from_lists([["p1", "p2", "p3", "p4"]])
+        assert join_partitions(a1, a2) == a2
+        assert join_partitions(a2, a3) == a4
+        assert join_partitions(a2, a3_prime) == a2
+
+    def test_join_is_coarser_than_inputs(self):
+        a2 = PartitionSet.from_lists([["p1", "p2"], ["p3", "p4"]])
+        a3 = PartitionSet.from_lists([["p1"], ["p2", "p3"], ["p4"]])
+        joined = join_partitions(a2, a3)
+        assert is_coarser(joined, a2)
+        assert is_coarser(joined, a3)
+
+    def test_join_single_partition_is_identity(self):
+        a3 = PartitionSet.from_lists([["p1"], ["p2", "p3"], ["p4"]])
+        assert join_partitions(a3) == a3
+
+    def test_from_cut_indices(self):
+        partition = PartitionSet.from_cut_indices(["a", "b", "c", "d"], [2])
+        assert partition.aggregates == (("a", "b"), ("c", "d"))
+        assert partition.cutting_points == ("a", "c")
+
+    def test_from_cut_indices_validation(self):
+        with pytest.raises(ValueError):
+            PartitionSet.from_cut_indices(["a", "b"], [5])
+
+    def test_empty_aggregate_rejected(self):
+        with pytest.raises(ValueError):
+            PartitionSet.from_lists([[]])
+
+    def test_mismatched_underlying_sets_rejected(self):
+        a = PartitionSet.from_lists([["p1", "p2"]])
+        b = PartitionSet.from_lists([["p1", "p3"]])
+        with pytest.raises(ValueError):
+            is_coarser(a, b)
+        with pytest.raises(ValueError):
+            join_partitions(a, b)
+
+    def test_join_requires_at_least_one(self):
+        with pytest.raises(ValueError):
+            join_partitions()
+
+    def test_iteration_and_len(self):
+        partition = PartitionSet.from_lists([["p1"], ["p2", "p3"]])
+        assert len(partition) == 2
+        assert list(partition) == [("p1",), ("p2", "p3")]
+
+
+class TestReceiptAlignment:
+    def test_identical_partitions_align_one_to_one(self, path_id):
+        upstream = [
+            make_receipt(path_id, 1, 9, 10, 0.0, 0.1),
+            make_receipt(path_id, 10, 19, 10, 0.1, 0.2),
+        ]
+        downstream = [
+            make_receipt(path_id, 1, 9, 10, 0.0, 0.1),
+            make_receipt(path_id, 10, 19, 10, 0.1, 0.2),
+        ]
+        pairs = align_aggregate_receipts(upstream, downstream)
+        assert len(pairs) == 2
+        for up, down in pairs:
+            assert up.pkt_count == down.pkt_count
+
+    def test_coarser_downstream_combines_upstream(self, path_id):
+        # Downstream lost the second cutting point: its middle aggregates merge.
+        upstream = [
+            make_receipt(path_id, 1, 9, 10, 0.0, 0.1),
+            make_receipt(path_id, 10, 19, 10, 0.1, 0.2),
+            make_receipt(path_id, 20, 29, 10, 0.2, 0.3),
+        ]
+        downstream = [
+            make_receipt(path_id, 1, 9, 10, 0.0, 0.1),
+            make_receipt(path_id, 10, 29, 19, 0.1, 0.3),  # one packet lost too
+        ]
+        pairs = aligned_aggregates(upstream, downstream)
+        assert len(pairs) == 2
+        assert pairs[0].lost_packets == 0
+        assert pairs[1].upstream.pkt_count == 20
+        assert pairs[1].downstream.pkt_count == 19
+        assert pairs[1].lost_packets == 1
+
+    def test_no_common_boundary_collapses_to_single_pair(self, path_id):
+        upstream = [
+            make_receipt(path_id, 1, 9, 10, 0.0, 0.1),
+            make_receipt(path_id, 10, 19, 10, 0.1, 0.2),
+        ]
+        downstream = [make_receipt(path_id, 1, 19, 17, 0.0, 0.2)]
+        pairs = aligned_aggregates(upstream, downstream)
+        assert len(pairs) == 1
+        assert pairs[0].upstream.pkt_count == 20
+        assert pairs[0].downstream.pkt_count == 17
+        assert pairs[0].lost_packets == 3
+
+    def test_empty_inputs_give_no_pairs(self, path_id):
+        assert align_aggregate_receipts([], []) == []
+        assert align_aggregate_receipts(
+            [make_receipt(path_id, 1, 2, 3, 0.0, 0.1)], []
+        ) == []
+
+    def test_reordering_patch_migrates_packet(self, path_id):
+        # Packet 77 was observed just before the cut upstream but just after
+        # it downstream; the patch-up migrates it back so counts agree.
+        upstream = [
+            make_receipt(
+                path_id, 1, 77, 10, 0.0, 0.1, trans_before=(5, 77), trans_after=(100, 6)
+            ),
+            make_receipt(path_id, 100, 120, 10, 0.1, 0.2),
+        ]
+        downstream = [
+            make_receipt(
+                path_id, 1, 5, 9, 0.0, 0.1, trans_before=(5,), trans_after=(100, 77, 6)
+            ),
+            make_receipt(path_id, 100, 120, 11, 0.1, 0.2),
+        ]
+        with_patch = aligned_aggregates(upstream, downstream, apply_reordering_patch=True)
+        without_patch = aligned_aggregates(
+            upstream, downstream, apply_reordering_patch=False
+        )
+        # Without the patch the counts disagree in both aggregates.
+        assert [pair.lost_packets for pair in without_patch] == [1, -1]
+        # With the patch the migrated packet makes both aggregates agree.
+        assert [pair.lost_packets for pair in with_patch] == [0, 0]
+        assert with_patch[0].migrated_packets == 1
+
+    def test_reordering_patch_migrates_in_both_directions(self, path_id):
+        # Packet 88 moved the other way: after the cut upstream, before it
+        # downstream.
+        upstream = [
+            make_receipt(
+                path_id, 1, 5, 9, 0.0, 0.1, trans_before=(5,), trans_after=(100, 88)
+            ),
+            make_receipt(path_id, 100, 120, 11, 0.1, 0.2),
+        ]
+        downstream = [
+            make_receipt(
+                path_id, 1, 88, 10, 0.0, 0.1, trans_before=(5, 88), trans_after=(100,)
+            ),
+            make_receipt(path_id, 100, 120, 10, 0.1, 0.2),
+        ]
+        pairs = aligned_aggregates(upstream, downstream)
+        assert [pair.lost_packets for pair in pairs] == [0, 0]
+        assert pairs[0].migrated_packets == -1
+
+    def test_aligned_pair_duration_uses_upstream(self, path_id):
+        upstream = [make_receipt(path_id, 1, 9, 10, 0.0, 0.5)]
+        downstream = [make_receipt(path_id, 1, 9, 10, 0.1, 0.4)]
+        pair = aligned_aggregates(upstream, downstream)[0]
+        assert pair.duration == pytest.approx(0.5)
+        assert isinstance(pair, AlignedAggregates)

@@ -1,0 +1,188 @@
+"""Unit tests for repro.reporting.serialization."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hop import HOPReport
+from repro.core.receipts import AggregateReceipt, PathID, SampleReceipt, SampleRecord
+from repro.reporting.serialization import (
+    BinaryFormatError,
+    decode_report,
+    encode_report,
+    receipt_from_dict,
+    receipt_to_dict,
+    report_from_json,
+    report_to_json,
+)
+
+
+@pytest.fixture()
+def path_id(prefix_pair) -> PathID:
+    return PathID(
+        prefix_pair=prefix_pair, reporting_hop=5, previous_hop=4, next_hop=6, max_diff=1e-3
+    )
+
+
+@pytest.fixture()
+def sample_receipt(path_id) -> SampleReceipt:
+    return SampleReceipt(
+        path_id=path_id,
+        samples=(
+            SampleRecord(pkt_id=0xDEADBEEF, time=1.25),
+            SampleRecord(pkt_id=0xFEEDFACE12345678, time=2.5),
+        ),
+        sampling_threshold=12345678901234567,
+    )
+
+
+@pytest.fixture()
+def aggregate_receipt(path_id) -> AggregateReceipt:
+    return AggregateReceipt(
+        path_id=path_id,
+        first_pkt_id=0x1111,
+        last_pkt_id=0x2222,
+        pkt_count=4242,
+        start_time=10.0,
+        end_time=11.5,
+        time_sum=45000.25,
+        trans_before=(1, 2, 3),
+        trans_after=(4, 5),
+    )
+
+
+@pytest.fixture()
+def full_report(sample_receipt, aggregate_receipt) -> HOPReport:
+    return HOPReport(
+        hop_id=5,
+        sample_receipts=(sample_receipt,),
+        aggregate_receipts=(aggregate_receipt,),
+    )
+
+
+class TestJSONEncoding:
+    def test_sample_receipt_round_trip(self, sample_receipt):
+        restored = receipt_from_dict(receipt_to_dict(sample_receipt))
+        assert restored == sample_receipt
+
+    def test_aggregate_receipt_round_trip(self, aggregate_receipt):
+        restored = receipt_from_dict(receipt_to_dict(aggregate_receipt))
+        assert restored == aggregate_receipt
+
+    def test_report_round_trip(self, full_report):
+        restored = report_from_json(report_to_json(full_report))
+        assert restored == full_report
+
+    def test_json_is_stable_and_readable(self, full_report):
+        text = report_to_json(full_report, indent=2)
+        assert '"hop_id": 5' in text
+        assert text == report_to_json(full_report, indent=2)
+
+    def test_unknown_kind_rejected(self, path_id):
+        payload = receipt_to_dict(SampleReceipt(path_id=path_id))
+        payload["kind"] = "mystery"
+        with pytest.raises(ValueError):
+            receipt_from_dict(payload)
+
+    def test_non_receipt_rejected(self):
+        with pytest.raises(TypeError):
+            receipt_to_dict("not a receipt")
+
+    def test_edge_hop_path_id_round_trip(self, prefix_pair):
+        edge = PathID(
+            prefix_pair=prefix_pair, reporting_hop=1, previous_hop=None, next_hop=2,
+            max_diff=2e-3,
+        )
+        receipt = SampleReceipt(path_id=edge, samples=(SampleRecord(1, 0.5),))
+        assert receipt_from_dict(receipt_to_dict(receipt)) == receipt
+
+
+class TestBinaryEncoding:
+    def test_report_round_trip(self, full_report):
+        restored = decode_report(encode_report(full_report))
+        assert restored.hop_id == full_report.hop_id
+        assert restored.sample_receipts == full_report.sample_receipts
+        assert restored.aggregate_receipts == full_report.aggregate_receipts
+
+    def test_empty_report_round_trip(self):
+        report = HOPReport(hop_id=3)
+        assert decode_report(encode_report(report)) == report
+
+    def test_none_threshold_preserved(self, path_id):
+        receipt = SampleReceipt(
+            path_id=path_id, samples=(SampleRecord(7, 1.0),), sampling_threshold=None
+        )
+        report = HOPReport(hop_id=5, sample_receipts=(receipt,))
+        restored = decode_report(encode_report(report))
+        assert restored.sample_receipts[0].sampling_threshold is None
+
+    def test_edge_path_id_none_hops(self, prefix_pair):
+        edge = PathID(
+            prefix_pair=prefix_pair, reporting_hop=8, previous_hop=7, next_hop=None,
+            max_diff=1e-3,
+        )
+        report = HOPReport(
+            hop_id=8,
+            aggregate_receipts=(
+                AggregateReceipt(path_id=edge, first_pkt_id=1, last_pkt_id=2, pkt_count=3),
+            ),
+        )
+        restored = decode_report(encode_report(report))
+        assert restored.aggregate_receipts[0].path_id.next_hop is None
+
+    def test_timestamp_quantization_is_microseconds(self, path_id):
+        receipt = SampleReceipt(
+            path_id=path_id, samples=(SampleRecord(1, 1.2345678),)
+        )
+        report = HOPReport(hop_id=5, sample_receipts=(receipt,))
+        restored = decode_report(encode_report(report))
+        assert restored.sample_receipts[0].samples[0].time == pytest.approx(
+            1.2345678, abs=1e-6
+        )
+
+    def test_binary_is_more_compact_than_json(self, full_report):
+        assert len(encode_report(full_report)) < len(report_to_json(full_report))
+
+    def test_bad_magic_rejected(self, full_report):
+        blob = encode_report(full_report)
+        with pytest.raises(BinaryFormatError):
+            decode_report(b"XXXX" + blob[4:])
+
+    def test_truncated_blob_rejected(self, full_report):
+        blob = encode_report(full_report)
+        with pytest.raises(BinaryFormatError):
+            decode_report(blob[: len(blob) // 2])
+
+    def test_negative_time_rejected(self, path_id):
+        receipt = SampleReceipt(path_id=path_id, samples=(SampleRecord(1, -0.5),))
+        report = HOPReport(hop_id=5, sample_receipts=(receipt,))
+        with pytest.raises(BinaryFormatError):
+            encode_report(report)
+
+
+class TestEndToEndSerialization:
+    def test_session_reports_survive_both_encodings(
+        self, path, small_trace_packets
+    ):
+        from repro.core.aggregation import AggregatorConfig
+        from repro.core.hop import HOPConfig
+        from repro.core.protocol import VPMSession
+        from repro.core.sampling import SamplerConfig
+        from repro.simulation.scenario import PathScenario
+
+        scenario = PathScenario(seed=71)
+        observation = scenario.run(small_trace_packets[:500])
+        config = HOPConfig(
+            sampler=SamplerConfig(sampling_rate=0.2, marker_rate=0.05),
+            aggregator=AggregatorConfig(expected_aggregate_size=100),
+        )
+        session = VPMSession(path, configs={d.name: config for d in path.domains})
+        reports = session.run(observation)
+        for report in reports.values():
+            assert report_from_json(report_to_json(report)) == report
+            restored = decode_report(encode_report(report))
+            assert restored.hop_id == report.hop_id
+            assert len(restored.sample_receipts) == len(report.sample_receipts)
+            assert [r.pkt_count for r in restored.aggregate_receipts] == [
+                r.pkt_count for r in report.aggregate_receipts
+            ]

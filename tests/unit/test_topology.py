@@ -1,0 +1,153 @@
+"""Unit tests for repro.net.topology."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net.link import InterDomainLink
+from repro.net.prefixes import OriginPrefix, PrefixPair
+from repro.net.topology import Domain, HOP, HOPPath, Topology, figure1_topology
+
+
+def _pair() -> PrefixPair:
+    return PrefixPair(
+        source=OriginPrefix.parse("10.1.0.0/16"),
+        destination=OriginPrefix.parse("10.2.0.0/16"),
+    )
+
+
+class TestDomainAndHOP:
+    def test_domain_requires_name(self):
+        with pytest.raises(ValueError):
+            Domain("")
+
+    def test_hop_equality_by_id(self):
+        a = HOP(hop_id=3, domain=Domain("L"), role="egress")
+        b = HOP(hop_id=3, domain=Domain("L"), role="egress")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_hop_rejects_bad_role(self):
+        with pytest.raises(ValueError):
+            HOP(hop_id=1, domain=Domain("S"), role="sideways")
+
+    def test_hop_rejects_negative_id(self):
+        with pytest.raises(ValueError):
+            HOP(hop_id=-1, domain=Domain("S"))
+
+
+class TestHOPPath:
+    def test_requires_two_hops(self):
+        with pytest.raises(ValueError):
+            HOPPath(prefix_pair=_pair(), hops=(HOP(1, Domain("S")),))
+
+    def test_rejects_duplicate_hops(self):
+        hop = HOP(1, Domain("S"))
+        with pytest.raises(ValueError):
+            HOPPath(prefix_pair=_pair(), hops=(hop, hop))
+
+    def test_domains_in_order(self, path):
+        assert [domain.name for domain in path.domains] == ["S", "L", "X", "N", "D"]
+
+    def test_hops_of_domain(self, path):
+        assert [hop.hop_id for hop in path.hops_of("X")] == [4, 5]
+        assert [hop.hop_id for hop in path.hops_of("S")] == [1]
+
+    def test_domain_segments_are_transit_domains(self, path):
+        segments = path.domain_segments()
+        assert [segment[0].name for segment in segments] == ["L", "X", "N"]
+        assert [(segment[1].hop_id, segment[2].hop_id) for segment in segments] == [
+            (2, 3),
+            (4, 5),
+            (6, 7),
+        ]
+
+    def test_inter_domain_pairs(self, path):
+        assert [(a.hop_id, b.hop_id) for a, b in path.inter_domain_pairs()] == [
+            (1, 2),
+            (3, 4),
+            (5, 6),
+            (7, 8),
+        ]
+
+    def test_neighbor_of(self, path):
+        assert path.neighbor_of("X", "previous").name == "L"
+        assert path.neighbor_of("X", "next").name == "N"
+        assert path.neighbor_of("S", "previous") is None
+        assert path.neighbor_of("D", "next") is None
+
+    def test_neighbor_of_rejects_unknown_domain(self, path):
+        with pytest.raises(ValueError):
+            path.neighbor_of("Z", "next")
+
+    def test_neighbor_of_rejects_bad_side(self, path):
+        with pytest.raises(ValueError):
+            path.neighbor_of("X", "left")
+
+    def test_len_and_iteration(self, path):
+        assert len(path) == 8
+        assert [hop.hop_id for hop in path] == list(range(1, 9))
+
+
+class TestTopology:
+    def test_add_domain_idempotent(self):
+        topology = Topology()
+        first = topology.add_domain("A")
+        second = topology.add_domain("A")
+        assert first is second
+
+    def test_duplicate_hop_id_rejected(self):
+        topology = Topology()
+        topology.add_hop(1, "A")
+        with pytest.raises(ValueError):
+            topology.add_hop(1, "B")
+
+    def test_link_requires_different_domains(self):
+        topology = Topology()
+        topology.add_hop(1, "A")
+        topology.add_hop(2, "A")
+        with pytest.raises(ValueError):
+            topology.add_link(1, 2)
+
+    def test_link_lookup_is_symmetric(self):
+        topology = Topology()
+        topology.add_hop(1, "A")
+        topology.add_hop(2, "B")
+        link = topology.add_link(1, 2, InterDomainLink())
+        assert topology.link_between(1, 2) is link
+        assert topology.link_between(2, 1) is link
+
+    def test_path_registration_and_lookup(self):
+        topology = Topology()
+        for hop_id, domain in ((1, "A"), (2, "B"), (3, "B"), (4, "C")):
+            topology.add_hop(hop_id, domain)
+        pair = _pair()
+        path = topology.add_path(pair, [1, 2, 3, 4])
+        assert topology.path(pair) is path
+
+    def test_hop_lookup_unknown_raises(self):
+        topology = Topology()
+        with pytest.raises(KeyError):
+            topology.hop(42)
+
+
+class TestFigure1:
+    def test_structure(self):
+        topology, path = figure1_topology()
+        assert len(topology.domains) == 5
+        assert len(topology.hops) == 8
+        assert len(path) == 8
+        assert [domain.name for domain in path.domains] == ["S", "L", "X", "N", "D"]
+
+    def test_links_exist_between_adjacent_domains(self):
+        topology, path = figure1_topology()
+        for upstream, downstream in path.inter_domain_pairs():
+            assert topology.link_between(upstream, downstream) is not None
+
+    def test_custom_prefix_pair_respected(self):
+        pair = PrefixPair(
+            source=OriginPrefix.parse("172.16.0.0/16"),
+            destination=OriginPrefix.parse("172.17.0.0/16"),
+        )
+        _, path = figure1_topology(pair)
+        assert path.prefix_pair == pair
