@@ -12,7 +12,6 @@ from __future__ import annotations
 
 from benchmarks.conftest import make_hop_config, print_table
 from repro.adversary.bias import BiasedTreatmentAttack
-from repro.analysis.quantiles import empirical_quantiles
 from repro.baselines.trajectory_sampling import TrajectorySamplingPlusPlus
 from repro.core.protocol import VPMSession
 from repro.net.hashing import PacketDigester

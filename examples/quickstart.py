@@ -29,9 +29,12 @@ from repro.traffic.workload import make_workload
 def main() -> None:
     # 1. Traffic: ~0.3 s of a 100k packet-per-second path (scaled down from
     #    the paper's trace; see DESIGN.md for the substitution rationale).
-    packets = make_workload("bench-sequence", seed=1).packets()
-    print(f"Generated {len(packets)} packets "
-          f"({packets[-1].send_time - packets[0].send_time:.2f} s of traffic)")
+    #    The columnar batch drives the vectorized fast path end to end; see
+    #    examples/batch_throughput.py for the same pipeline at millions of
+    #    packets per run.
+    batch = make_workload("bench-sequence", seed=1).packet_batch()
+    print(f"Generated {len(batch)} packets "
+          f"({batch.send_time[-1] - batch.send_time[0]:.2f} s of traffic)")
 
     # 2. The Figure-1 path with domain X congested.
     scenario = PathScenario(seed=2)
@@ -42,7 +45,7 @@ def main() -> None:
             loss_model=GilbertElliottLossModel.from_target_rate(0.10, seed=4),
         ),
     )
-    observation = scenario.run(packets)
+    observation = scenario.run_batch(batch)
     truth = observation.truth_for("X")
 
     # 3. Every domain deploys VPM: 1% delay sampling, 5000-packet aggregates.

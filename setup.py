@@ -1,12 +1,33 @@
-"""Setuptools shim.
+"""Package metadata for the VPM reproduction.
 
-The canonical metadata lives in ``pyproject.toml`` (PEP 621); this file exists
-so the package can also be installed in environments without the ``wheel``
-package (where ``pip install -e .`` cannot build an editable wheel) via::
-
-    python setup.py develop
+Installs the ``repro`` package from ``src/``.  The ``dev`` extra pins the
+tooling CI uses (pytest + benchmark/hypothesis plugins and ruff) so
+``pip install -e ".[dev]"`` reproduces the exact environment of
+``.github/workflows/ci.yml`` locally.
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-vpm",
+    version="0.2.0",
+    description=(
+        "Reproduction of 'Verifiable network-performance measurements' "
+        "(ArgyrakiMS10): HOP receipts, bias-resistant delay sampling and "
+        "tunable aggregation, with a vectorized batch fast path"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=[
+        "numpy>=1.24",
+    ],
+    extras_require={
+        "dev": [
+            "pytest>=7.0",
+            "pytest-benchmark>=4.0",
+            "hypothesis>=6.0",
+            "ruff>=0.4",
+        ],
+    },
+)

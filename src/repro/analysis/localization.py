@@ -17,7 +17,7 @@ per-domain outputs into that answer:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Sequence
 
 from repro.analysis.sla import SLASpec, SLAVerdict, check_sla

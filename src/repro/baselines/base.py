@@ -13,8 +13,8 @@ benchmark can run every protocol over exactly the same observations.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from dataclasses import dataclass
+from typing import Sequence
 
 __all__ = ["ProtocolEstimate", "MeasurementProtocol"]
 

@@ -22,8 +22,10 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.core.receipts import AggregateReceipt, PathID
-from repro.net.hashing import MASK64, threshold_for_rate
+from repro.net.hashing import MASK64, as_digest_array, threshold_for_rate
 from repro.util.validation import check_non_negative, check_positive
 
 __all__ = ["AggregatorConfig", "Aggregator"]
@@ -158,6 +160,144 @@ class Aggregator:
         if len(self._recent) > self._max_window_occupancy:
             self._max_window_occupancy = len(self._recent)
         return is_cut
+
+    def observe_batch(self, digests, times) -> np.ndarray:
+        """Vectorized :meth:`observe` over arrays of digests and timestamps.
+
+        Cutting points are found with one array comparison; the packets of
+        each aggregate are folded into the open-aggregate state with array
+        reductions, and the AggTrans windows around each cutting point are
+        extracted with binary searches.  Python-level work is proportional to
+        the number of cutting points, not packets.
+
+        The fast path requires observation timestamps that are non-decreasing
+        (within the batch and relative to earlier observations) — which is how
+        HOPs observe traffic.  Batches that violate this fall back to the
+        scalar loop.  Either way the resulting state matches repeated scalar
+        :meth:`observe` calls exactly — same aggregates, cutting points,
+        AggTrans windows and counters — except that an aggregate's
+        ``time_sum`` may differ in the last few ulps on the fast path (it is
+        accumulated via prefix sums rather than one packet at a time).  Both
+        paths interleave freely on one instance.
+
+        Returns the boolean cutting-point mask for the batch.
+        """
+        digest_array = as_digest_array(digests)
+        time_array = np.asarray(times, dtype=np.float64)
+        if digest_array.shape != time_array.shape:
+            raise ValueError(
+                f"digests and times must align, got {digest_array.shape} vs {time_array.shape}"
+            )
+        count = len(digest_array)
+        cut_mask = digest_array > np.uint64(self._partition_threshold)
+        if count == 0:
+            return cut_mask
+
+        recent_times = [entry[1] for entry in self._recent]
+        sorted_within = bool(np.all(time_array[1:] >= time_array[:-1]))
+        sorted_carry = all(
+            earlier <= later for earlier, later in zip(recent_times, recent_times[1:])
+        ) and (not recent_times or recent_times[-1] <= time_array[0])
+        if not (sorted_within and sorted_carry):
+            for index in range(count):
+                self.observe(int(digest_array[index]), float(time_array[index]))
+            return cut_mask
+
+        window = self._window
+        self._observed_packets += count
+        last_time = float(time_array[-1])
+
+        # 1. Feed and finalize carry-in pending receipts (their cuts precede
+        #    every cut in this batch, so they finalize first — same order as
+        #    the scalar loop).
+        still_pending: list[_PendingReceipt] = []
+        for pending in self._pending:
+            deadline = pending.cut_time + window
+            covered = int(np.searchsorted(time_array, deadline, side="right"))
+            if covered:
+                pending.trans_after.extend(int(value) for value in digest_array[:covered])
+            if last_time > deadline:
+                self._finalized.append(pending)
+            else:
+                still_pending.append(pending)
+        self._pending = still_pending
+
+        # Concatenated view of the sliding window carried in from earlier
+        # observations plus this batch, for the pre-cut AggTrans windows.
+        carry_digests = np.fromiter(
+            (entry[0] for entry in self._recent), dtype=np.uint64, count=len(self._recent)
+        )
+        carry_times = np.asarray(recent_times, dtype=np.float64)
+        all_digests = np.concatenate([carry_digests, digest_array])
+        all_times = np.concatenate([carry_times, time_array])
+        offset = len(carry_digests)
+
+        prefix_sums = np.concatenate([[0.0], np.cumsum(time_array)])
+
+        def add_span(lo: int, hi: int) -> None:
+            """Fold packets [lo, hi) of the batch into the open aggregate."""
+            if hi <= lo:
+                return
+            if self._open is None:
+                self._open = _OpenAggregate(
+                    first_pkt_id=int(digest_array[lo]), last_pkt_id=int(digest_array[lo])
+                )
+            aggregate = self._open
+            if aggregate.pkt_count == 0:
+                aggregate.start_time = float(time_array[lo])
+            aggregate.last_pkt_id = int(digest_array[hi - 1])
+            aggregate.pkt_count += hi - lo
+            aggregate.end_time = float(time_array[hi - 1])
+            aggregate.time_sum += float(prefix_sums[hi] - prefix_sums[lo])
+
+        # 2. Walk the cutting points; everything between two cuts is folded in
+        #    with array reductions.
+        segment_start = 0
+        for position in np.flatnonzero(cut_mask):
+            position = int(position)
+            add_span(segment_start, position)
+            if self._open is not None and self._open.pkt_count > 0:
+                self._cut_count += 1
+                cut_time = float(time_array[position])
+                lo = int(np.searchsorted(all_times, cut_time - window, side="left"))
+                trans_before = tuple(
+                    int(value) for value in all_digests[lo : offset + position]
+                )
+                hi = int(np.searchsorted(time_array, cut_time + window, side="right"))
+                pending = _PendingReceipt(
+                    aggregate=self._open,
+                    cut_time=cut_time,
+                    trans_before=trans_before,
+                    trans_after=[int(value) for value in digest_array[position:hi]],
+                )
+                if last_time > cut_time + window:
+                    self._finalized.append(pending)
+                else:
+                    self._pending.append(pending)
+                self._open = _OpenAggregate(
+                    first_pkt_id=int(digest_array[position]),
+                    last_pkt_id=int(digest_array[position]),
+                )
+            add_span(position, position + 1)
+            segment_start = position + 1
+        add_span(segment_start, count)
+
+        # 3. Rebuild the sliding window of the last J seconds and the peak
+        #    occupancy statistic (occupancy after packet i = packets since the
+        #    first one within J of it, including carried-in entries).
+        window_starts = np.searchsorted(all_times, time_array - window, side="left")
+        occupancies = np.arange(offset + 1, offset + count + 1) - window_starts
+        peak = int(occupancies.max())
+        if peak > self._max_window_occupancy:
+            self._max_window_occupancy = peak
+        keep_from = int(window_starts[-1])
+        self._recent = deque(
+            zip(
+                (int(value) for value in all_digests[keep_from:]),
+                (float(value) for value in all_times[keep_from:]),
+            )
+        )
+        return cut_mask
 
     def _finalize_pending(self, now: float) -> None:
         """Move pending receipts whose post-cut window has elapsed to finalized."""

@@ -13,11 +13,10 @@ observe traffic it never saw).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 
 from repro.core.hop import HOPCollector, HOPConfig, HOPProcessor, HOPReport
-from repro.net.topology import Domain, HOP, HOPPath
-from repro.simulation.scenario import PathObservation
+from repro.net.topology import Domain, HOPPath
+from repro.simulation.scenario import BatchPathObservation, PathObservation
 
 __all__ = ["DomainAgent"]
 
@@ -80,8 +79,19 @@ class DomainAgent:
         """The collector running at one of the domain's HOPs."""
         return self._collectors[hop_id]
 
-    def observe(self, observation: PathObservation) -> None:
-        """Feed each of the domain's HOPs the traffic it observed."""
+    def observe(self, observation: PathObservation | BatchPathObservation) -> None:
+        """Feed each of the domain's HOPs the traffic it observed.
+
+        Accepts either the object-based observation (fed through the scalar
+        per-packet path) or a :class:`BatchPathObservation` (fed through the
+        vectorized collector fast path); both leave the collectors in the
+        same state.
+        """
+        if isinstance(observation, BatchPathObservation):
+            for hop_id, collector in self._collectors.items():
+                batch, times = observation.at_hop(hop_id)
+                collector.observe_batch(batch, times)
+            return
         for hop_id, collector in self._collectors.items():
             collector.observe_sequence(observation.at_hop(hop_id))
 

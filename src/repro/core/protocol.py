@@ -17,15 +17,15 @@ overhead analysis (receipt bytes per observed byte, buffer occupancies).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from dataclasses import dataclass
+from typing import Mapping
 
 from repro.core.domain import DomainAgent
 from repro.core.hop import HOPConfig, HOPReport
 from repro.core.verifier import DomainPerformance, VerificationResult, Verifier
 from repro.net.topology import Domain, HOPPath
 from repro.reporting.dissemination import ReceiptBus
-from repro.simulation.scenario import PathObservation
+from repro.simulation.scenario import BatchPathObservation, PathObservation
 
 __all__ = ["SessionOverhead", "VPMSession"]
 
@@ -98,12 +98,20 @@ class VPMSession:
 
         self.bus = ReceiptBus(path)
         self._last_reports: dict[int, HOPReport] = {}
-        self._last_observation: PathObservation | None = None
+        self._last_observation: PathObservation | BatchPathObservation | None = None
 
     # -- execution --------------------------------------------------------------------
 
-    def run(self, observation: PathObservation) -> dict[int, HOPReport]:
-        """Feed one interval's observations to every agent and collect reports."""
+    def run(
+        self, observation: PathObservation | BatchPathObservation
+    ) -> dict[int, HOPReport]:
+        """Feed one interval's observations to every agent and collect reports.
+
+        A :class:`BatchPathObservation` (from :meth:`PathScenario.run_batch`)
+        drives the vectorized collector fast path; the object-based
+        observation drives the scalar path.  Receipts are identical either
+        way.
+        """
         self._last_observation = observation
         reports: dict[int, HOPReport] = {}
         for agent in self.agents.values():

@@ -27,7 +27,7 @@ Implementation extensions (documented, content-preserving):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Iterable, Sequence
 
 from repro.net.prefixes import PrefixPair

@@ -23,11 +23,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.receipts import PathID, SampleReceipt, SampleRecord
 from repro.net.hashing import (
     MASK64,
+    as_digest_array,
     rate_for_threshold,
     sample_function,
+    sample_function_batch,
     threshold_for_rate,
 )
 from repro.util.validation import check_fraction
@@ -134,6 +138,88 @@ class DelaySampler:
         if len(self._temp_buffer) > self._max_buffer_occupancy:
             self._max_buffer_occupancy = len(self._temp_buffer)
         return False
+
+    def observe_batch(self, digests, times) -> np.ndarray:
+        """Vectorized :meth:`observe` over arrays of digests and timestamps.
+
+        Marker detection and the ``SampleFcn`` evaluation over each marker's
+        buffered packets run as array operations; Python-level work is
+        proportional to the number of markers and samples, not packets.  The
+        resulting sampler state (samples, temporary buffer, counters) is
+        exactly what the same sequence of scalar :meth:`observe` calls would
+        produce, and the two paths can be freely interleaved.
+
+        Returns the boolean marker mask for the batch.
+        """
+        digest_array = as_digest_array(digests)
+        time_array = np.asarray(times, dtype=np.float64)
+        if digest_array.shape != time_array.shape:
+            raise ValueError(
+                f"digests and times must align, got {digest_array.shape} vs {time_array.shape}"
+            )
+        count = len(digest_array)
+        marker_mask = digest_array > np.uint64(self._marker_threshold)
+        if count == 0:
+            return marker_mask
+        self._observed_packets += count
+        marker_positions = np.flatnonzero(marker_mask)
+        self._marker_count += len(marker_positions)
+        sampling_threshold = np.uint64(self._sampling_threshold)
+
+        carry_digests = np.fromiter(
+            (entry[0] for entry in self._temp_buffer),
+            dtype=np.uint64,
+            count=len(self._temp_buffer),
+        )
+        carry_times = np.fromiter(
+            (entry[1] for entry in self._temp_buffer),
+            dtype=np.float64,
+            count=len(self._temp_buffer),
+        )
+        segment_start = 0
+        for position in marker_positions:
+            buffered_digests = digest_array[segment_start:position]
+            buffered_times = time_array[segment_start:position]
+            if len(carry_digests):
+                buffered_digests = np.concatenate([carry_digests, buffered_digests])
+                buffered_times = np.concatenate([carry_times, buffered_times])
+                carry_digests = carry_digests[:0]
+                carry_times = carry_times[:0]
+            if len(buffered_digests) > self._max_buffer_occupancy:
+                self._max_buffer_occupancy = len(buffered_digests)
+            marker_digest = digest_array[position]
+            if len(buffered_digests):
+                keys = sample_function_batch(buffered_digests, marker_digest)
+                selected = keys > sampling_threshold
+                if selected.any():
+                    self._samples.extend(
+                        SampleRecord(pkt_id=int(pkt_id), time=float(pkt_time))
+                        for pkt_id, pkt_time in zip(
+                            buffered_digests[selected], buffered_times[selected]
+                        )
+                    )
+            self._samples.append(
+                SampleRecord(pkt_id=int(marker_digest), time=float(time_array[position]))
+            )
+            segment_start = int(position) + 1
+
+        tail_digests = digest_array[segment_start:]
+        if len(carry_digests) or len(tail_digests):
+            new_buffer = list(
+                zip(
+                    (int(value) for value in np.concatenate([carry_digests, tail_digests])),
+                    (float(value) for value in np.concatenate([carry_times, time_array[segment_start:]])),
+                )
+            )
+            if marker_positions.size:
+                self._temp_buffer = new_buffer
+            else:
+                self._temp_buffer.extend(new_buffer[len(carry_digests):])
+            if len(self._temp_buffer) > self._max_buffer_occupancy:
+                self._max_buffer_occupancy = len(self._temp_buffer)
+        elif marker_positions.size:
+            self._temp_buffer = []
+        return marker_mask
 
     # -- reporting -----------------------------------------------------------
 

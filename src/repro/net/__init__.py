@@ -1,12 +1,17 @@
-"""Network substrate: packets, hashing, prefixes, clocks, links, topology."""
+"""Network substrate: packets, batches, hashing, prefixes, clocks, links, topology."""
 
+from repro.net.batch import PacketBatch
 from repro.net.clock import Clock, ClockModel, PerfectClock
 from repro.net.hashing import (
     PacketDigester,
     bob_hash,
+    bob_hash_batch,
     fnv1a_64,
+    fnv1a_64_batch,
     sample_function,
+    sample_function_batch,
     splitmix64,
+    splitmix64_batch,
 )
 from repro.net.link import InterDomainLink, LinkSpec
 from repro.net.packet import Packet, PacketHeaders
@@ -23,14 +28,19 @@ __all__ = [
     "LinkSpec",
     "OriginPrefix",
     "Packet",
+    "PacketBatch",
     "PacketDigester",
     "PacketHeaders",
     "PerfectClock",
     "PrefixPair",
     "Topology",
     "bob_hash",
+    "bob_hash_batch",
     "fnv1a_64",
+    "fnv1a_64_batch",
     "random_prefix",
     "sample_function",
+    "sample_function_batch",
     "splitmix64",
+    "splitmix64_batch",
 ]

@@ -96,3 +96,37 @@ class InterDomainLink:
         if self.jitter_std > 0.0:
             delay += abs(float(self._rng.normal(0.0, self.jitter_std)))
         return arrival_time + delay
+
+    def transfer_batch(self, arrival_times: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`transfer` over an array of hand-off times.
+
+        Returns ``(delivered_mask, far_times)`` where ``far_times`` holds the
+        arrival times of the delivered packets only (in hand-off order).  When
+        loss and jitter are both active the per-packet draws interleave, so
+        that case falls back to the scalar loop to keep the RNG stream (and
+        therefore the simulated outcome) identical either way.
+        """
+        times = np.asarray(arrival_times, dtype=np.float64)
+        count = len(times)
+        base_delay = self.spec.nominal_delay + self.excess_delay
+        if self.loss_rate > 0.0 and self.jitter_std > 0.0:
+            delivered = np.empty(count, dtype=bool)
+            far_times = []
+            for index in range(count):
+                result = self.transfer(float(times[index]))
+                delivered[index] = result is not None
+                if result is not None:
+                    far_times.append(result)
+            return delivered, np.asarray(far_times, dtype=np.float64)
+        if self.loss_rate > 0.0:
+            delivered = ~(self._rng.random(count) < self.loss_rate)
+        else:
+            delivered = np.ones(count, dtype=bool)
+        survivors = times[delivered]
+        if self.jitter_std > 0.0:
+            survivors = survivors + (
+                base_delay + np.abs(self._rng.normal(0.0, self.jitter_std, size=len(survivors)))
+            )
+        else:
+            survivors = survivors + base_delay
+        return delivered, survivors

@@ -12,9 +12,42 @@ from __future__ import annotations
 import struct
 from dataclasses import dataclass, field, replace
 
-__all__ = ["PacketHeaders", "Packet"]
+import numpy as np
+
+__all__ = ["PacketHeaders", "Packet", "HEADER_PACK_BYTES", "pack_header_columns"]
 
 _PROTO_NAMES = {6: "TCP", 17: "UDP", 1: "ICMP"}
+
+# Byte length of PacketHeaders.pack() (">IIHHBHH"): the header part of the
+# digest material.  The columnar fast path sizes its matrices with this.
+HEADER_PACK_BYTES = 17
+
+
+def pack_header_columns(
+    src_ip: np.ndarray,
+    dst_ip: np.ndarray,
+    src_port: np.ndarray,
+    dst_port: np.ndarray,
+    protocol: np.ndarray,
+    ip_id: np.ndarray,
+    length: np.ndarray,
+) -> np.ndarray:
+    """Columnar twin of :meth:`PacketHeaders.pack`.
+
+    Packs per-field arrays into a ``(n, HEADER_PACK_BYTES)`` uint8 matrix whose
+    rows are bit-for-bit equal to ``PacketHeaders(...).pack()`` — the same
+    big-endian ``>IIHHBHH`` layout, one row per packet.
+    """
+    count = len(src_ip)
+    matrix = np.empty((count, HEADER_PACK_BYTES), dtype=np.uint8)
+    matrix[:, 0:4] = np.ascontiguousarray(src_ip, dtype=">u4").view(np.uint8).reshape(count, 4)
+    matrix[:, 4:8] = np.ascontiguousarray(dst_ip, dtype=">u4").view(np.uint8).reshape(count, 4)
+    matrix[:, 8:10] = np.ascontiguousarray(src_port, dtype=">u2").view(np.uint8).reshape(count, 2)
+    matrix[:, 10:12] = np.ascontiguousarray(dst_port, dtype=">u2").view(np.uint8).reshape(count, 2)
+    matrix[:, 12] = np.asarray(protocol, dtype=np.uint8)
+    matrix[:, 13:15] = np.ascontiguousarray(ip_id, dtype=">u2").view(np.uint8).reshape(count, 2)
+    matrix[:, 15:17] = np.ascontiguousarray(length, dtype=">u2").view(np.uint8).reshape(count, 2)
+    return matrix
 
 
 @dataclass(frozen=True)

@@ -16,7 +16,7 @@ tamper with another domain's published receipts in transit).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.hop import HOPReport
 from repro.net.topology import Domain, HOPPath

@@ -13,7 +13,7 @@ from collections import defaultdict
 from dataclasses import dataclass
 
 from repro.core.hop import HOPReport
-from repro.core.receipts import AggregateReceipt, PathID, SampleReceipt
+from repro.core.receipts import AggregateReceipt, SampleReceipt
 from repro.net.prefixes import PrefixPair
 
 __all__ = ["ReceiptStore"]

@@ -17,19 +17,27 @@ paper's trace-driven methodology (trace + ns-2 delays + Gilbert-Elliott loss).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Mapping, Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
+from repro.net.batch import PacketBatch
 from repro.net.link import InterDomainLink
 from repro.net.packet import Packet
 from repro.net.topology import Domain, HOP, HOPPath, Topology, figure1_topology
 from repro.traffic.delay_models import ConstantDelayModel, DelayModel
 from repro.traffic.loss_models import LossModel, NoLossModel
 from repro.traffic.reordering import NoReordering, ReorderingModel
-from repro.util.rng import derive_seed, make_rng
+from repro.util.rng import make_rng
 
-__all__ = ["SegmentCondition", "DomainGroundTruth", "PathObservation", "PathScenario"]
+__all__ = [
+    "SegmentCondition",
+    "DomainGroundTruth",
+    "BatchDomainTruth",
+    "PathObservation",
+    "BatchPathObservation",
+    "PathScenario",
+]
 
 
 @dataclass
@@ -107,6 +115,50 @@ class DomainGroundTruth:
 
 
 @dataclass
+class BatchDomainTruth:
+    """Columnar ground truth of one domain during a batch scenario run.
+
+    The arrays are aligned: ``delivered_uids[i]`` entered the domain at
+    ``ingress_times[i]`` and left at ``egress_times[i]``.  ``lost_uids`` holds
+    the uids dropped inside the domain.  The accessors mirror
+    :class:`DomainGroundTruth`, so evaluation code accepts either.
+    """
+
+    domain: str
+    delivered_uids: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    ingress_times: np.ndarray = field(default_factory=lambda: np.empty(0))
+    egress_times: np.ndarray = field(default_factory=lambda: np.empty(0))
+    lost_uids: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+
+    @property
+    def lost(self) -> set[int]:
+        """The set of uids dropped inside the domain (object-path API)."""
+        return set(int(uid) for uid in self.lost_uids)
+
+    @property
+    def offered_packets(self) -> int:
+        """Packets that entered the domain."""
+        return len(self.delivered_uids) + len(self.lost_uids)
+
+    @property
+    def loss_rate(self) -> float:
+        """True fraction of entering packets dropped inside the domain."""
+        offered = self.offered_packets
+        return len(self.lost_uids) / offered if offered else 0.0
+
+    def delays(self) -> np.ndarray:
+        """True per-packet delays of the packets the domain delivered."""
+        return self.egress_times - self.ingress_times
+
+    def delay_quantiles(self, quantiles: Sequence[float]) -> dict[float, float]:
+        """True delay quantiles of the delivered packets."""
+        delays = self.delays()
+        if delays.size == 0:
+            return {quantile: 0.0 for quantile in quantiles}
+        return {quantile: float(np.quantile(delays, quantile)) for quantile in quantiles}
+
+
+@dataclass
 class PathObservation:
     """The result of propagating a packet sequence along a path."""
 
@@ -128,6 +180,66 @@ class PathObservation:
         """Ground truth for one domain."""
         name = domain.name if isinstance(domain, Domain) else domain
         return self.domain_truth[name]
+
+
+@dataclass
+class BatchPathObservation:
+    """Columnar result of propagating a packet batch along a path.
+
+    Per HOP, the observation is a (:class:`PacketBatch`, true-times array)
+    pair in observation order — exactly what
+    :meth:`repro.core.hop.HOPCollector.observe_batch` consumes.  This is the
+    representation that lets a scenario drive millions of packets per run.
+    """
+
+    path: HOPPath
+    batches: dict[int, PacketBatch]
+    times: dict[int, np.ndarray]
+    domain_truth: dict[str, BatchDomainTruth]
+    link_losses: dict[tuple[int, int], set[int]] = field(default_factory=dict)
+
+    def at_hop(self, hop: HOP | int) -> tuple[PacketBatch, np.ndarray]:
+        """The (batch, observation times) pair observed at a HOP."""
+        hop_id = hop.hop_id if isinstance(hop, HOP) else hop
+        return self.batches[hop_id], self.times[hop_id]
+
+    def packets_observed(self, hop: HOP | int) -> int:
+        """Number of packets observed at a HOP."""
+        return len(self.at_hop(hop)[0])
+
+    def truth_for(self, domain: Domain | str) -> BatchDomainTruth:
+        """Ground truth for one domain."""
+        name = domain.name if isinstance(domain, Domain) else domain
+        return self.domain_truth[name]
+
+    def to_path_observation(self) -> PathObservation:
+        """Materialize the object-based observation (for the scalar pipeline).
+
+        Expensive for large batches; intended for cross-checking the two
+        representations and for downstream code not yet batch-aware.
+        """
+        observations: dict[int, list[tuple[Packet, float]]] = {}
+        for hop_id, batch in self.batches.items():
+            packets = batch.to_packets()
+            observations[hop_id] = list(zip(packets, (float(t) for t in self.times[hop_id])))
+        domain_truth: dict[str, DomainGroundTruth] = {}
+        for name, truth in self.domain_truth.items():
+            domain_truth[name] = DomainGroundTruth(
+                domain=name,
+                delivered={
+                    int(uid): (float(ingress), float(egress))
+                    for uid, ingress, egress in zip(
+                        truth.delivered_uids, truth.ingress_times, truth.egress_times
+                    )
+                },
+                lost=truth.lost,
+            )
+        return PathObservation(
+            path=self.path,
+            observations=observations,
+            domain_truth=domain_truth,
+            link_losses={key: set(value) for key, value in self.link_losses.items()},
+        )
 
 
 class PathScenario:
@@ -216,7 +328,153 @@ class PathScenario:
             link_losses=link_losses,
         )
 
+    def run_batch(self, batch: PacketBatch) -> BatchPathObservation:
+        """Propagate a columnar packet batch along the path.
+
+        The batch twin of :meth:`run`: per-domain delays, losses and
+        reordering are applied with array operations, and each HOP's
+        observation is recorded as a (batch, times) pair.  For honest
+        conditions (no per-packet predicates) the simulated outcome — who was
+        dropped where and every observation timestamp — is identical to
+        :meth:`run` on the equivalent packet list, because both paths consume
+        the same RNG streams in the same order.
+
+        ``preferential_predicate`` / ``drop_predicate`` are supported, but in
+        batch runs they are called once with the whole :class:`PacketBatch`
+        and must return a boolean mask (a per-packet predicate written for
+        :class:`Packet` objects belongs to the object path).
+        """
+        observations: dict[int, PacketBatch] = {}
+        observation_times: dict[int, np.ndarray] = {}
+        domain_truth: dict[str, BatchDomainTruth] = {
+            segment[0].name: BatchDomainTruth(domain=segment[0].name)
+            for segment in self.path.domain_segments()
+        }
+        link_losses: dict[tuple[int, int], set[int]] = {}
+
+        order = np.argsort(batch.send_time, kind="stable")
+        current_batch = batch.take(order)
+        current_times = current_batch.send_time.copy()
+
+        hops = self.path.hops
+        for index, hop in enumerate(hops):
+            observations[hop.hop_id] = current_batch
+            observation_times[hop.hop_id] = current_times
+            if index + 1 >= len(hops):
+                break
+            next_hop = hops[index + 1]
+            if hop.domain == next_hop.domain:
+                current_batch, current_times = self._traverse_domain_batch(
+                    hop.domain, current_batch, current_times, domain_truth
+                )
+            else:
+                current_batch, current_times = self._traverse_link_batch(
+                    hop, next_hop, current_batch, current_times, link_losses
+                )
+
+        return BatchPathObservation(
+            path=self.path,
+            batches=observations,
+            times=observation_times,
+            domain_truth=domain_truth,
+            link_losses=link_losses,
+        )
+
     # -- internals ------------------------------------------------------------------
+
+    @staticmethod
+    def _predicate_mask(predicate, batch: PacketBatch, name: str) -> np.ndarray:
+        """Evaluate a batch predicate and validate the returned mask."""
+        mask = np.asarray(predicate(batch))
+        if mask.dtype != np.bool_ or mask.shape != (len(batch),):
+            raise TypeError(
+                f"{name} must map a PacketBatch to a boolean mask of shape "
+                f"({len(batch)},); got dtype {mask.dtype}, shape {mask.shape}. "
+                "Per-packet predicates belong to PathScenario.run()."
+            )
+        return mask
+
+    def _traverse_domain_batch(
+        self,
+        domain: Domain,
+        batch: PacketBatch,
+        arrival_times: np.ndarray,
+        domain_truth: dict[str, BatchDomainTruth],
+    ) -> tuple[PacketBatch, np.ndarray]:
+        condition = self.condition_for(domain)
+        truth = domain_truth[domain.name]
+        count = len(batch)
+        if count == 0:
+            return batch, arrival_times
+
+        delays = np.asarray(condition.delay_model.delays(arrival_times), dtype=float)
+        if len(delays) != count:
+            raise ValueError(
+                f"delay model returned {len(delays)} delays for {count} packets"
+            )
+
+        if condition.preferential_predicate is not None:
+            preferential = self._predicate_mask(
+                condition.preferential_predicate, batch, "preferential_predicate"
+            )
+        else:
+            preferential = np.zeros(count, dtype=bool)
+        if condition.drop_predicate is not None:
+            targeted = self._predicate_mask(condition.drop_predicate, batch, "drop_predicate")
+        else:
+            targeted = np.zeros(count, dtype=bool)
+
+        if preferential.any() or targeted.any():
+            # Mirror the scalar path's draw order exactly: the loss model is
+            # only consulted for packets that are neither preferential nor
+            # already dropped by the targeted predicate.
+            lost = targeted.copy()
+            loss_model = condition.loss_model
+            for position in np.flatnonzero(~(preferential | targeted)):
+                if loss_model.drops(int(position)):
+                    lost[position] = True
+        else:
+            lost = condition.loss_model.drops_batch(0, count)
+
+        delivered = ~lost
+        egress_times = np.where(
+            preferential, arrival_times + condition.preferential_delay, arrival_times + delays
+        )
+
+        truth.lost_uids = np.concatenate([truth.lost_uids, batch.uid[lost]])
+        truth.delivered_uids = np.concatenate([truth.delivered_uids, batch.uid[delivered]])
+        truth.ingress_times = np.concatenate([truth.ingress_times, arrival_times[delivered]])
+        truth.egress_times = np.concatenate([truth.egress_times, egress_times[delivered]])
+
+        survivors = np.flatnonzero(delivered)
+        survivor_egress = egress_times[survivors]
+        # Natural reordering from variable delays, then any extra reordering.
+        sort_order = np.argsort(survivor_egress, kind="stable")
+        survivors = survivors[sort_order]
+        survivor_egress = survivor_egress[sort_order]
+        reorder, perturbed_times = condition.reordering.apply(survivor_egress)
+        reorder = np.asarray(reorder)
+        return (
+            batch.take(survivors[reorder]),
+            np.asarray(perturbed_times, dtype=np.float64),
+        )
+
+    def _traverse_link_batch(
+        self,
+        upstream: HOP,
+        downstream: HOP,
+        batch: PacketBatch,
+        arrival_times: np.ndarray,
+        link_losses: dict[tuple[int, int], set[int]],
+    ) -> tuple[PacketBatch, np.ndarray]:
+        link = self.topology.link_between(upstream, downstream)
+        key = (upstream.hop_id, downstream.hop_id)
+        lost = link_losses.setdefault(key, set())
+        delivered, far_times = link.transfer_batch(arrival_times)
+        lost.update(int(uid) for uid in batch.uid[~delivered])
+        survivors = np.flatnonzero(delivered)
+        sort_order = np.argsort(far_times, kind="stable")
+        return batch.take(survivors[sort_order]), far_times[sort_order]
 
     def _traverse_domain(
         self,

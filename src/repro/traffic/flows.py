@@ -17,7 +17,7 @@ expands them into interleaved packet sequences.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -31,6 +31,19 @@ class LossModel:
         """Return ``True`` if the ``packet_index``-th packet is dropped."""
         raise NotImplementedError
 
+    def drops_batch(self, first_index: int, count: int) -> np.ndarray:
+        """Vectorized :meth:`drops` for ``count`` consecutive packets.
+
+        The base implementation advances the model packet by packet, so any
+        subclass is batch-capable with identical results; memoryless models
+        override it with a single array draw from the same RNG stream.
+        """
+        return np.fromiter(
+            (self.drops(first_index + offset) for offset in range(count)),
+            dtype=bool,
+            count=count,
+        )
+
     def expected_loss_rate(self) -> float:
         """Return the model's long-run expected loss rate."""
         raise NotImplementedError
@@ -45,6 +58,9 @@ class NoLossModel(LossModel):
 
     def drops(self, packet_index: int) -> bool:
         return False
+
+    def drops_batch(self, first_index: int, count: int) -> np.ndarray:
+        return np.zeros(count, dtype=bool)
 
     def expected_loss_rate(self) -> float:
         return 0.0
@@ -61,6 +77,12 @@ class BernoulliLossModel(LossModel):
         if self.loss_rate == 0.0:
             return False
         return bool(self._rng.random() < self.loss_rate)
+
+    def drops_batch(self, first_index: int, count: int) -> np.ndarray:
+        if self.loss_rate == 0.0:
+            return np.zeros(count, dtype=bool)
+        # Generator.random draws the same stream batched or one at a time.
+        return self._rng.random(count) < self.loss_rate
 
     def expected_loss_rate(self) -> float:
         return self.loss_rate

@@ -23,7 +23,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.net.packet import Packet, PacketHeaders
+from repro.net.batch import PacketBatch
+from repro.net.packet import Packet
 from repro.net.prefixes import OriginPrefix, PrefixPair
 from repro.traffic.flows import FlowGenerator, FlowGeneratorConfig
 from repro.util.rng import make_rng
@@ -136,8 +137,15 @@ class SyntheticTrace:
 
     # -- packet synthesis ---------------------------------------------------
 
-    def packets(self) -> list[Packet]:
-        """Generate the full packet sequence, ordered by send time."""
+    def packet_batch(self) -> PacketBatch:
+        """Generate the full packet sequence as a columnar batch.
+
+        This is the fast path for driving millions of packets per run: the
+        whole sequence is synthesized with array operations and never
+        materializes per-packet objects.  :meth:`packets` is defined as
+        ``packet_batch().to_packets()``, so both representations are always
+        value-identical for the same seed.
+        """
         config = self.config
         rng = self._rng
         count = config.packet_count
@@ -158,39 +166,59 @@ class SyntheticTrace:
 
         send_times = np.cumsum(self._interarrival_times(count))
         sizes = flow_generator.draw_packet_sizes(count)
-        flows_by_id = {flow.flow_id: flow for flow in flows}
+
+        # Map each packet to its flow's five-tuple by position in the flow list.
+        flow_id_index = np.asarray([flow.flow_id for flow in flows])
+        order = np.argsort(flow_id_index)
+        positions = order[np.searchsorted(flow_id_index[order], flow_ids)]
+        src_ip = np.asarray([flow.src_ip for flow in flows], dtype=np.uint32)[positions]
+        dst_ip = np.asarray([flow.dst_ip for flow in flows], dtype=np.uint32)[positions]
+        src_port = np.asarray([flow.src_port for flow in flows], dtype=np.uint16)[positions]
+        dst_port = np.asarray([flow.dst_port for flow in flows], dtype=np.uint16)[positions]
+        protocol = np.asarray([flow.protocol for flow in flows], dtype=np.uint8)[positions]
 
         # Per-flow sequence counters feed ip_id so repeated packets of a flow
-        # still have distinct digests.
-        per_flow_counter: dict[int, int] = {}
-        packets: list[Packet] = []
+        # still have distinct digests.  Vectorized rank-within-group: sort by
+        # flow id (stable, so observation order is preserved within a flow)
+        # and number each packet within its run of equal ids.
+        stable = np.argsort(flow_ids, kind="stable")
+        sorted_ids = flow_ids[stable]
+        is_start = np.empty(count, dtype=bool)
+        if count:
+            is_start[0] = True
+            is_start[1:] = sorted_ids[1:] != sorted_ids[:-1]
+        run_starts = np.flatnonzero(is_start)
+        ranks = np.arange(count) - np.repeat(
+            run_starts, np.diff(np.append(run_starts, count))
+        )
+        sequence = np.empty(count, dtype=np.int64)
+        sequence[stable] = ranks
+        ip_id = ((flow_ids.astype(np.int64) * 7919 + sequence) & 0xFFFF).astype(np.uint16)
+
+        # Payload: an 8-byte big-endian random word, zero-padded/truncated to
+        # the configured payload size (the digest reads at most a prefix).
         payload_words = rng.integers(0, 1 << 32, size=count, dtype=np.uint64)
-        for index in range(count):
-            flow = flows_by_id[int(flow_ids[index])]
-            sequence = per_flow_counter.get(flow.flow_id, 0)
-            per_flow_counter[flow.flow_id] = sequence + 1
-            headers = PacketHeaders(
-                src_ip=flow.src_ip,
-                dst_ip=flow.dst_ip,
-                src_port=flow.src_port,
-                dst_port=flow.dst_port,
-                protocol=flow.protocol,
-                ip_id=(flow.flow_id * 7919 + sequence) & 0xFFFF,
-                length=int(sizes[index]),
-            )
-            payload = int(payload_words[index]).to_bytes(8, "big") + bytes(
-                max(0, config.payload_bytes - 8)
-            )
-            packets.append(
-                Packet(
-                    headers=headers,
-                    payload=payload[: config.payload_bytes],
-                    uid=index,
-                    send_time=float(send_times[index]),
-                    flow_id=flow.flow_id,
-                )
-            )
-        return packets
+        payload = np.zeros((count, config.payload_bytes), dtype=np.uint8)
+        word_bytes = payload_words.astype(">u8").view(np.uint8).reshape(count, 8)
+        payload[:, : min(8, config.payload_bytes)] = word_bytes[:, : config.payload_bytes]
+
+        return PacketBatch(
+            src_ip=src_ip,
+            dst_ip=dst_ip,
+            src_port=src_port,
+            dst_port=dst_port,
+            protocol=protocol,
+            ip_id=ip_id,
+            length=sizes.astype(np.uint16),
+            payload=payload,
+            uid=np.arange(count, dtype=np.int64),
+            send_time=send_times,
+            flow_id=flow_ids.astype(np.int64),
+        )
+
+    def packets(self) -> list[Packet]:
+        """Generate the full packet sequence, ordered by send time."""
+        return self.packet_batch().to_packets()
 
     def __repr__(self) -> str:
         return (

@@ -8,7 +8,6 @@ ground truth.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.analysis.metrics import delay_accuracy_report, loss_granularity_report

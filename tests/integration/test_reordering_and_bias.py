@@ -8,7 +8,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.adversary.bias import BiasedTreatmentAttack
@@ -18,7 +17,6 @@ from repro.core.hop import HOPConfig
 from repro.core.partition import aligned_aggregates
 from repro.core.protocol import VPMSession
 from repro.core.sampling import SamplerConfig
-from repro.core.verifier import Verifier
 from repro.simulation.scenario import PathScenario, SegmentCondition
 from repro.traffic.delay_models import CongestionDelayModel, ConstantDelayModel
 from repro.traffic.loss_models import BernoulliLossModel

@@ -7,7 +7,6 @@ comparable (joinable, verifiable) receipts.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.analysis.metrics import delay_accuracy_report

@@ -13,7 +13,6 @@ from repro.baselines.vpm_adapter import VPMProtocolAdapter
 from repro.core.aggregation import AggregatorConfig
 from repro.core.hop import HOPConfig
 from repro.core.sampling import SamplerConfig
-from repro.net.hashing import PacketDigester
 from repro.simulation.scenario import PathScenario, SegmentCondition
 from repro.traffic.flows import FlowGeneratorConfig
 from repro.traffic.loss_models import BernoulliLossModel

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.core.aggregation import AggregatorConfig
@@ -11,7 +10,7 @@ from repro.core.hop import HOPConfig
 from repro.core.sampling import SamplerConfig
 from repro.core.verifier import Verifier
 from repro.simulation.scenario import PathScenario, SegmentCondition
-from repro.traffic.delay_models import ConstantDelayModel, JitterDelayModel
+from repro.traffic.delay_models import JitterDelayModel
 from repro.traffic.loss_models import BernoulliLossModel
 
 

@@ -7,7 +7,6 @@ import pytest
 from repro.core.aggregation import AggregatorConfig
 from repro.core.hop import HOPCollector, HOPConfig, HOPProcessor
 from repro.core.sampling import SamplerConfig
-from repro.net.prefixes import OriginPrefix, PrefixPair
 from tests.conftest import make_packet
 
 

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.net.packet import Packet, PacketHeaders
+from repro.net.packet import PacketHeaders
 from tests.conftest import make_packet
 
 
