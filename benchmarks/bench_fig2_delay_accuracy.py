@@ -15,19 +15,19 @@ from __future__ import annotations
 
 import math
 
-from benchmarks.conftest import print_table
+from benchmarks.conftest import bench_packet_count, print_table
 from benchmarks.experiment_lib import run_delay_cell
 
 SAMPLING_RATES = (0.05, 0.01, 0.005, 0.001)
 LOSS_RATES = (0.0, 0.10, 0.25, 0.50)
 
 
-def _run_sweep(packets) -> dict[tuple[float, float], object]:
+def _run_sweep(packet_count: int) -> dict[tuple[float, float], object]:
     results = {}
     for loss_index, loss_rate in enumerate(LOSS_RATES):
         for rate_index, sampling_rate in enumerate(SAMPLING_RATES):
             results[(sampling_rate, loss_rate)] = run_delay_cell(
-                packets,
+                packet_count,
                 sampling_rate=sampling_rate,
                 loss_rate=loss_rate,
                 seed=loss_index * 10 + rate_index,
@@ -35,9 +35,11 @@ def _run_sweep(packets) -> dict[tuple[float, float], object]:
     return results
 
 
-def test_fig2_delay_accuracy_vs_sampling_rate(benchmark, bench_packets):
+def test_fig2_delay_accuracy_vs_sampling_rate(benchmark):
     """Regenerate Figure 2 and check its qualitative shape."""
-    results = benchmark.pedantic(_run_sweep, args=(bench_packets,), rounds=1, iterations=1)
+    results = benchmark.pedantic(
+        _run_sweep, args=(bench_packet_count(),), rounds=1, iterations=1
+    )
 
     rows = []
     for sampling_rate in SAMPLING_RATES:

@@ -14,23 +14,27 @@ the nominal aggregate duration, which follows the same 1/(1-loss)-like curve.
 
 from __future__ import annotations
 
-from benchmarks.conftest import print_table
+from benchmarks.conftest import bench_packet_count, print_table
 from benchmarks.experiment_lib import run_loss_cell
 
 LOSS_RATES = (0.0, 0.10, 0.20, 0.30, 0.40, 0.50)
 AGGREGATE_SIZE = 5_000
 
 
-def _run_sweep(packets):
+def _run_sweep(packet_count: int):
     return [
-        run_loss_cell(packets, loss_rate=loss, aggregate_size=AGGREGATE_SIZE, seed=index)
+        run_loss_cell(
+            packet_count, loss_rate=loss, aggregate_size=AGGREGATE_SIZE, seed=index
+        )
         for index, loss in enumerate(LOSS_RATES)
     ]
 
 
-def test_fig3_loss_granularity_vs_loss_rate(benchmark, bench_packets):
+def test_fig3_loss_granularity_vs_loss_rate(benchmark):
     """Regenerate Figure 3 and check its qualitative shape."""
-    cells = benchmark.pedantic(_run_sweep, args=(bench_packets,), rounds=1, iterations=1)
+    cells = benchmark.pedantic(
+        _run_sweep, args=(bench_packet_count(),), rounds=1, iterations=1
+    )
 
     rows = [
         [

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import math
 
-from benchmarks.conftest import print_table
+from benchmarks.conftest import bench_packet_count, print_table
 from benchmarks.experiment_lib import run_delay_cell
 
 NEIGHBOR_RATES = (0.05, 0.01, 0.005, 0.001)
@@ -21,10 +21,10 @@ X_SAMPLING_RATE = 0.01
 LOSS_RATE = 0.25
 
 
-def _run_sweep(packets):
+def _run_sweep(packet_count: int):
     return [
         run_delay_cell(
-            packets,
+            packet_count,
             sampling_rate=X_SAMPLING_RATE,
             loss_rate=LOSS_RATE,
             neighbor_sampling_rate=rate,
@@ -34,9 +34,11 @@ def _run_sweep(packets):
     ]
 
 
-def test_verification_accuracy_vs_neighbor_sampling_rate(benchmark, bench_packets):
+def test_verification_accuracy_vs_neighbor_sampling_rate(benchmark):
     """Regenerate the Section 7.2 verifiability trade-off."""
-    cells = benchmark.pedantic(_run_sweep, args=(bench_packets,), rounds=1, iterations=1)
+    cells = benchmark.pedantic(
+        _run_sweep, args=(bench_packet_count(),), rounds=1, iterations=1
+    )
 
     rows = []
     for rate, cell in zip(NEIGHBOR_RATES, cells):

@@ -35,6 +35,9 @@ from repro.traffic.trace import SyntheticTrace, TraceConfig, default_prefix_pair
 
 DEFAULT_BENCH_PACKETS = 30_000
 PACKETS_PER_SECOND = 100_000.0
+# Seed of the shared benchmark trace; experiment_lib's declarative cells
+# regenerate the identical sequence from this seed.
+BENCH_TRACE_SEED = 7777
 
 
 def bench_packet_count() -> int:
@@ -57,7 +60,9 @@ def bench_packets():
         packets_per_second=PACKETS_PER_SECOND,
         flow_config=FlowGeneratorConfig(),
     )
-    return SyntheticTrace(config=config, prefix_pair=default_prefix_pair(), seed=7777).packets()
+    return SyntheticTrace(
+        config=config, prefix_pair=default_prefix_pair(), seed=BENCH_TRACE_SEED
+    ).packets()
 
 
 def make_hop_config(

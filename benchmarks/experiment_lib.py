@@ -6,20 +6,31 @@ Figure-3 experiment, and so on — following the paper's methodology
 (Section 7.2): extract a packet sequence, congest domain X, generate the
 receipts X and its neighbors would generate, estimate X's performance from
 the receipts, and compare with ground truth.
+
+The cells are expressed as declarative :class:`repro.api.ExperimentSpec`
+values and executed through :class:`repro.api.Experiment` (the batch fast
+path).  The specs pin the exact per-component seeds the hand-wired versions
+of these cells used, so the regenerated Figure-2/Figure-3 numbers are
+bit-identical to the historical ones.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.analysis.metrics import delay_accuracy_report, loss_granularity_report
-from repro.core.protocol import VPMSession
-from repro.simulation.scenario import PathScenario, SegmentCondition
-from repro.traffic.delay_models import CongestionDelayModel
-from repro.traffic.loss_models import GilbertElliottLossModel
-from repro.traffic.reordering import WindowReordering
+from repro.api import (
+    ConditionSpec,
+    EstimationSpec,
+    Experiment,
+    ExperimentSpec,
+    HOPSpec,
+    PathSpec,
+    ProtocolSpec,
+    TrafficSpec,
+)
+from repro.simulation.scenario import PathScenario
 
-from benchmarks.conftest import PACKETS_PER_SECOND, make_hop_config
+from benchmarks.conftest import BENCH_TRACE_SEED, PACKETS_PER_SECOND
 
 # Quantiles over which Figure 2's "delay accuracy" (worst-case quantile error)
 # is evaluated.
@@ -52,28 +63,121 @@ class LossCellResult:
     true_loss_rate: float
 
 
+def bench_traffic_spec(packet_count: int) -> TrafficSpec:
+    """The benchmark packet sequence as a spec (mirrors the pytest fixture)."""
+    return TrafficSpec(
+        workload=None,
+        packet_count=packet_count,
+        packets_per_second=PACKETS_PER_SECOND,
+        seed=BENCH_TRACE_SEED,
+    )
+
+
+def congested_path_spec(
+    loss_rate: float,
+    seed: int,
+    reordering_window: float = 0.0,
+) -> PathSpec:
+    """The Figure-1 path with domain X congested by a bursty UDP flow.
+
+    The per-component seeds are pinned to the layout the benchmarks have
+    always used (scenario ``seed``, delay ``seed + 1``, loss ``seed + 2``,
+    reordering ``seed + 3``).
+    """
+    condition = ConditionSpec(
+        delay="congestion",
+        delay_params={"scenario": "udp-burst", "seed": seed + 1},
+        loss="gilbert-elliott-rate",
+        loss_params={"target_rate": loss_rate, "seed": seed + 2},
+        reordering="window" if reordering_window > 0 else "none",
+        reordering_params=(
+            {
+                "window": reordering_window,
+                "reorder_probability": 0.3,
+                "seed": seed + 3,
+            }
+            if reordering_window > 0
+            else {}
+        ),
+    )
+    return PathSpec(scenario="figure1", seed=seed, conditions={"X": condition})
+
+
 def build_congested_scenario(
     loss_rate: float,
     seed: int,
     reordering_window: float = 0.0,
 ) -> PathScenario:
-    """The Figure-1 scenario with domain X congested by a bursty UDP flow."""
-    scenario = PathScenario(seed=seed)
-    condition = SegmentCondition(
-        delay_model=CongestionDelayModel(scenario="udp-burst", seed=seed + 1),
-        loss_model=GilbertElliottLossModel.from_target_rate(loss_rate, seed=seed + 2)
-        if loss_rate > 0
-        else GilbertElliottLossModel.from_target_rate(0.0, seed=seed + 2),
-        reordering=WindowReordering(window=reordering_window, reorder_probability=0.3, seed=seed + 3)
-        if reordering_window > 0
-        else SegmentCondition().reordering,
+    """Materialized scenario for benchmarks that drive the engine directly."""
+    return congested_path_spec(loss_rate, seed, reordering_window).build()
+
+
+def make_hop_spec(sampling_rate: float, aggregate_size: int) -> HOPSpec:
+    """The benchmark HOP knobs (marker rate and reorder window are fixed)."""
+    return HOPSpec(
+        sampling_rate=sampling_rate,
+        aggregate_size=aggregate_size,
+        marker_rate=0.001,
+        reorder_window=0.002,
     )
-    scenario.configure_domain("X", condition)
-    return scenario
+
+
+def delay_cell_spec(
+    packet_count: int,
+    sampling_rate: float,
+    loss_rate: float,
+    seed: int = 0,
+    neighbor_sampling_rate: float | None = None,
+    aggregate_size: int = 5000,
+) -> ExperimentSpec:
+    """The declarative spec of one Figure-2 / verifiability cell."""
+    neighbor = make_hop_spec(
+        sampling_rate=neighbor_sampling_rate or sampling_rate,
+        aggregate_size=aggregate_size,
+    )
+    return ExperimentSpec(
+        name="fig2-delay-cell",
+        seed=seed,
+        traffic=bench_traffic_spec(packet_count),
+        path=congested_path_spec(loss_rate, seed=seed * 1000 + 17),
+        protocol=ProtocolSpec(
+            default=None,
+            domains={
+                "L": neighbor,
+                "X": make_hop_spec(sampling_rate, aggregate_size),
+                "N": neighbor,
+            },
+        ),
+        estimation=EstimationSpec(
+            observer="L", targets=("X",), verify=False, independent=True
+        ),
+    )
+
+
+def loss_cell_spec(
+    packet_count: int,
+    loss_rate: float,
+    aggregate_size: int = 5000,
+    seed: int = 0,
+) -> ExperimentSpec:
+    """The declarative spec of one Figure-3 cell."""
+    return ExperimentSpec(
+        name="fig3-loss-cell",
+        seed=seed,
+        traffic=bench_traffic_spec(packet_count),
+        path=congested_path_spec(loss_rate, seed=seed * 1000 + 23),
+        protocol=ProtocolSpec(
+            default=None,
+            domains={"X": make_hop_spec(sampling_rate=0.01, aggregate_size=aggregate_size)},
+        ),
+        estimation=EstimationSpec(
+            observer="X", targets=("X",), verify=False, independent=False
+        ),
+    )
 
 
 def run_delay_cell(
-    packets,
+    packet_count: int,
     sampling_rate: float,
     loss_rate: float,
     seed: int = 0,
@@ -82,44 +186,39 @@ def run_delay_cell(
 ) -> DelayCellResult:
     """One cell of the Figure-2 sweep (and of the verifiability experiment).
 
+    The cell's traffic is the shared benchmark sequence of ``packet_count``
+    packets, regenerated from :data:`BENCH_TRACE_SEED`.
     ``neighbor_sampling_rate`` sets the sampling rate of domains L and N (the
     verifying neighbors); when ``None`` they use the same rate as X, which is
     the Figure-2 setting.
     """
-    scenario = build_congested_scenario(loss_rate, seed=seed * 1000 + 17)
-    observation = scenario.run(packets)
-    truth = observation.truth_for("X")
-
-    x_config = make_hop_config(sampling_rate=sampling_rate, aggregate_size=aggregate_size)
-    neighbor_config = make_hop_config(
-        sampling_rate=neighbor_sampling_rate or sampling_rate,
+    spec = delay_cell_spec(
+        packet_count=packet_count,
+        sampling_rate=sampling_rate,
+        loss_rate=loss_rate,
+        seed=seed,
+        neighbor_sampling_rate=neighbor_sampling_rate,
         aggregate_size=aggregate_size,
     )
-    configs = {
-        "S": None,
-        "L": neighbor_config,
-        "X": x_config,
-        "N": neighbor_config,
-        "D": None,
-    }
-    session = VPMSession(scenario.path, configs=configs)
-    session.run(observation)
+    cell = Experiment(spec).run()
+    target = cell.target("X")
 
-    performance = session.estimate("L", "X")
-    if performance.delay_quantiles:
-        report = delay_accuracy_report(performance, truth, quantiles=ACCURACY_QUANTILES)
-        accuracy_ms = report.max_error_ms
-        estimated_q90 = performance.delay_quantile(0.9) * 1e3
+    if target.estimate.has_delay_estimates:
+        accuracy_ms = target.delay_accuracy(ACCURACY_QUANTILES) * 1e3
+        estimated_q90 = target.estimate.delay_quantile(0.9) * 1e3
     else:
         accuracy_ms = float("nan")
         estimated_q90 = float("nan")
 
-    independent = session.verifier_for("L").estimate_domain_via_neighbors("X")
-    if independent is not None and independent.delay_quantiles:
-        independent_report = delay_accuracy_report(
-            independent, truth, quantiles=ACCURACY_QUANTILES
+    independent = target.independent
+    if independent is not None and independent.has_delay_estimates:
+        independent_accuracy_ms = (
+            max(
+                abs(independent.delay_quantile(q) - target.truth.delay_quantile(q))
+                for q in ACCURACY_QUANTILES
+            )
+            * 1e3
         )
-        independent_accuracy_ms = independent_report.max_error_ms
         independent_samples = independent.delay_sample_count
     else:
         independent_accuracy_ms = None
@@ -129,37 +228,34 @@ def run_delay_cell(
         sampling_rate=sampling_rate,
         loss_rate=loss_rate,
         accuracy_ms=accuracy_ms,
-        sample_count=performance.delay_sample_count,
+        sample_count=target.estimate.delay_sample_count,
         independent_accuracy_ms=independent_accuracy_ms,
         independent_sample_count=independent_samples,
-        true_q90_ms=truth.delay_quantiles([0.9])[0.9] * 1e3,
+        true_q90_ms=target.truth.delay_quantile(0.9) * 1e3,
         estimated_q90_ms=estimated_q90,
     )
 
 
 def run_loss_cell(
-    packets,
+    packet_count: int,
     loss_rate: float,
     aggregate_size: int = 5000,
     seed: int = 0,
 ) -> LossCellResult:
     """One cell of the Figure-3 sweep (loss granularity vs loss rate)."""
-    scenario = build_congested_scenario(loss_rate, seed=seed * 1000 + 23)
-    observation = scenario.run(packets)
-    truth = observation.truth_for("X")
-
-    config = make_hop_config(sampling_rate=0.01, aggregate_size=aggregate_size)
-    configs = {"S": None, "L": None, "X": config, "N": None, "D": None}
-    session = VPMSession(scenario.path, configs=configs)
-    session.run(observation)
-
-    performance = session.estimate("X", "X")
-    report = loss_granularity_report(performance, truth)
+    spec = loss_cell_spec(
+        packet_count=packet_count,
+        loss_rate=loss_rate,
+        aggregate_size=aggregate_size,
+        seed=seed,
+    )
+    cell = Experiment(spec).run()
+    target = cell.target("X")
     return LossCellResult(
         loss_rate=loss_rate,
         aggregate_size=aggregate_size,
         nominal_granularity_s=aggregate_size / PACKETS_PER_SECOND,
-        granularity_s=report.mean_granularity_seconds,
-        computed_loss_rate=report.computed_loss_rate,
-        true_loss_rate=report.true_loss_rate,
+        granularity_s=target.estimate.mean_loss_granularity,
+        computed_loss_rate=target.estimate.loss_rate,
+        true_loss_rate=target.truth.loss_rate,
     )

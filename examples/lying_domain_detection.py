@@ -13,84 +13,94 @@ shows the three outcomes the paper's verifiability analysis predicts:
    the missing packets now appear to be lost inside N, so the colluder absorbs
    the blame (and the pair's combined reputation is unchanged).
 
+The three scenarios are three ``repro.api`` specs that differ only in their
+``adversaries`` tuple — the traffic, conditions and protocol knobs are shared,
+so the comparison is apples to apples by construction.
+
 Run:  python examples/lying_domain_detection.py
 """
 
 from __future__ import annotations
 
-from repro.adversary.collusion import ColludingDomainAgent
-from repro.adversary.lying import LyingDomainAgent
-from repro.core.aggregation import AggregatorConfig
-from repro.core.hop import HOPConfig
-from repro.core.protocol import VPMSession
-from repro.core.sampling import SamplerConfig
-from repro.simulation.scenario import PathScenario, SegmentCondition
-from repro.traffic.delay_models import ConstantDelayModel
-from repro.traffic.loss_models import BernoulliLossModel
-from repro.traffic.workload import make_workload
+import dataclasses
 
+from repro.api import (
+    AdversarySpec,
+    CellResult,
+    ConditionSpec,
+    EstimationSpec,
+    Experiment,
+    ExperimentSpec,
+    HOPSpec,
+    PathSpec,
+    ProtocolSpec,
+    TrafficSpec,
+)
 
-CONFIG = HOPConfig(
-    sampler=SamplerConfig(sampling_rate=0.02),
-    aggregator=AggregatorConfig(expected_aggregate_size=2000),
+HONEST_SPEC = ExperimentSpec(
+    name="everyone-honest",
+    seed=21,
+    traffic=TrafficSpec(workload="bench-sequence"),
+    path=PathSpec(
+        conditions={
+            "X": ConditionSpec(
+                delay="constant", delay_params={"delay": 15e-3},
+                loss="bernoulli", loss_params={"loss_rate": 0.2},
+            )
+        }
+    ),
+    protocol=ProtocolSpec(default=HOPSpec(sampling_rate=0.02, aggregate_size=2000)),
+    estimation=EstimationSpec(observer="L", targets=("X", "N")),
+)
+
+LYING_SPEC = dataclasses.replace(
+    HONEST_SPEC,
+    name="x-lies",
+    adversaries=(
+        AdversarySpec(kind="lying", domain="X", params={"claimed_delay": 0.5e-3}),
+    ),
+)
+
+COLLUDING_SPEC = dataclasses.replace(
+    HONEST_SPEC,
+    name="x-lies-n-covers",
+    adversaries=(
+        AdversarySpec(kind="lying", domain="X", params={"claimed_delay": 0.5e-3}),
+        AdversarySpec(kind="colluding", domain="N", params={"colluding_with": "X"}),
+    ),
 )
 
 
-def describe(session: VPMSession, label: str, observation) -> None:
-    verifier = session.verifier_for("L")
-    findings = verifier.check_consistency()
-    x_claimed = verifier.estimate_domain("X")
-    x_independent = verifier.estimate_domain_via_neighbors("X")
-    n_claimed = verifier.estimate_domain("N")
-    truth = observation.truth_for("X")
+def describe(label: str, cell: CellResult) -> None:
+    x = cell.target("X")
+    n = cell.target("N")
 
     print(f"\n=== {label} ===")
-    print(f"  true X performance:        loss {truth.loss_rate * 100:5.2f}%, "
-          f"p90 delay {truth.delay_quantiles([0.9])[0.9] * 1e3:6.2f} ms")
-    print(f"  X according to X:          loss {x_claimed.loss_rate * 100:5.2f}%, "
-          f"p90 delay {x_claimed.delay_quantile(0.9) * 1e3 if x_claimed.delay_quantiles else float('nan'):6.2f} ms")
-    if x_independent is not None and x_independent.delay_quantiles:
-        print(f"  X according to neighbors:  loss {x_independent.loss_rate * 100:5.2f}%, "
-              f"p90 delay {x_independent.delay_quantile(0.9) * 1e3:6.2f} ms")
-    print(f"  N according to N:          loss {n_claimed.loss_rate * 100:5.2f}%")
-    print(f"  receipt inconsistencies:   {len(findings)}")
-    for finding in findings[:3]:
-        print(f"    - {finding}")
-    if len(findings) > 3:
-        print(f"    ... and {len(findings) - 3} more")
+    print(f"  true X performance:        loss {x.truth.loss_rate * 100:5.2f}%, "
+          f"p90 delay {x.truth.delay_quantile(0.9) * 1e3:6.2f} ms")
+    claimed_q90 = (
+        x.estimate.delay_quantile(0.9) * 1e3
+        if x.estimate.has_delay_estimates
+        else float("nan")
+    )
+    print(f"  X according to X:          loss {x.estimate.loss_rate * 100:5.2f}%, "
+          f"p90 delay {claimed_q90:6.2f} ms")
+    if x.independent is not None and x.independent.has_delay_estimates:
+        print(f"  X according to neighbors:  loss {x.independent.loss_rate * 100:5.2f}%, "
+              f"p90 delay {x.independent.delay_quantile(0.9) * 1e3:6.2f} ms")
+    print(f"  N according to N:          loss {n.estimate.loss_rate * 100:5.2f}%")
+    print(f"  receipt inconsistencies:   {cell.consistency_findings}")
+    if x.verification is not None and not x.verification.accepted:
+        print(f"    X's links flagged: {', '.join(x.verification.kinds)}")
 
 
 def main() -> None:
-    packets = make_workload("bench-sequence", seed=21).packets()
-    scenario = PathScenario(seed=22)
-    scenario.configure_domain(
-        "X",
-        SegmentCondition(
-            delay_model=ConstantDelayModel(15e-3),
-            loss_model=BernoulliLossModel(0.2, seed=23),
-        ),
-    )
-    observation = scenario.run(packets)
-    path = scenario.path
-    configs = {d.name: CONFIG for d in path.domains}
-
-    # 1. Everyone honest.
-    honest = VPMSession(path, configs=configs)
-    honest.run(observation)
-    describe(honest, "Everyone honest", observation)
-
-    # 2. X lies, neighbors honest.
-    liar = LyingDomainAgent("X", path, config=CONFIG, claimed_delay=0.5e-3)
-    lying = VPMSession(path, configs=configs, agents={"X": liar})
-    lying.run(observation)
-    describe(lying, "X fabricates its egress receipts", observation)
-
-    # 3. X lies and N covers for it.
-    liar2 = LyingDomainAgent("X", path, config=CONFIG, claimed_delay=0.5e-3)
-    colluder = ColludingDomainAgent("N", path, colluding_with=liar2, config=CONFIG)
-    colluding = VPMSession(path, configs=configs, agents={"X": liar2, "N": colluder})
-    colluding.run(observation)
-    describe(colluding, "X lies and N covers the lie (collusion)", observation)
+    for label, spec in (
+        ("Everyone honest", HONEST_SPEC),
+        ("X fabricates its egress receipts", LYING_SPEC),
+        ("X lies and N covers the lie (collusion)", COLLUDING_SPEC),
+    ):
+        describe(label, Experiment(spec).run())
 
     print("\nTakeaway: lying either exposes the liar to its neighbor or forces the "
           "accomplice to absorb the loss — exactly the incentive structure of Section 3.1.")

@@ -8,6 +8,11 @@ receipts into campaign-level statistics, checks the campaign against the SLA,
 and uses the localization helper to name the offending provider and any link
 whose receipts disagreed.
 
+The path conditions, protocol knobs and measurement question live in one
+declarative ``repro.api`` spec; ``Experiment.campaign()`` materializes the
+:class:`~repro.core.campaign.MeasurementCampaign` and
+``Experiment.interval_packets()`` derives seed-spaced per-interval traffic.
+
 Run:  python examples/measurement_campaign.py
 """
 
@@ -15,62 +20,51 @@ from __future__ import annotations
 
 from repro.analysis.localization import localize_performance
 from repro.analysis.sla import SLASpec
-from repro.core.aggregation import AggregatorConfig
-from repro.core.campaign import MeasurementCampaign
-from repro.core.hop import HOPConfig
-from repro.core.protocol import VPMSession
-from repro.core.sampling import SamplerConfig
-from repro.simulation.scenario import PathScenario, SegmentCondition
-from repro.traffic.delay_models import CongestionDelayModel, JitterDelayModel
-from repro.traffic.flows import FlowGeneratorConfig
-from repro.traffic.loss_models import GilbertElliottLossModel
-from repro.traffic.trace import SyntheticTrace, TraceConfig, default_prefix_pair
-
-
-CONFIG = HOPConfig(
-    sampler=SamplerConfig(sampling_rate=0.02),
-    aggregator=AggregatorConfig(expected_aggregate_size=2000),
+from repro.api import (
+    ConditionSpec,
+    EstimationSpec,
+    Experiment,
+    ExperimentSpec,
+    HOPSpec,
+    PathSpec,
+    ProtocolSpec,
+    TrafficSpec,
 )
+from repro.core.protocol import VPMSession
+
 INTERVALS = 4
-PACKETS_PER_INTERVAL = 8000
 
-
-def interval_traces():
-    """One synthetic trace segment per measurement interval."""
-    pair = default_prefix_pair()
-    for index in range(INTERVALS):
-        config = TraceConfig(
-            packet_count=PACKETS_PER_INTERVAL,
-            packets_per_second=100_000.0,
-            flow_config=FlowGeneratorConfig(),
-        )
-        yield SyntheticTrace(config=config, prefix_pair=pair, seed=500 + index).packets()
+SPEC = ExperimentSpec(
+    name="monthly-campaign",
+    seed=42,
+    traffic=TrafficSpec(workload=None, packet_count=8000, packets_per_second=100_000.0),
+    path=PathSpec(
+        conditions={
+            # Provider X is congested and lossy; L and N are healthy.
+            "L": ConditionSpec(
+                delay="jitter", delay_params={"base_delay": 0.5e-3, "jitter_std": 0.1e-3}
+            ),
+            "X": ConditionSpec(
+                delay="congestion",
+                delay_params={"scenario": "udp-burst"},
+                loss="gilbert-elliott-rate",
+                loss_params={"target_rate": 0.02},
+            ),
+            "N": ConditionSpec(
+                delay="jitter", delay_params={"base_delay": 1e-3, "jitter_std": 0.2e-3}
+            ),
+        }
+    ),
+    protocol=ProtocolSpec(default=HOPSpec(sampling_rate=0.02, aggregate_size=2000)),
+    estimation=EstimationSpec(observer="S", targets=("X",)),
+)
 
 
 def main() -> None:
-    # Provider X is congested and lossy; L and N are healthy.
-    scenario = PathScenario(seed=42)
-    scenario.configure_domain(
-        "L", SegmentCondition(delay_model=JitterDelayModel(0.5e-3, 0.1e-3, seed=43))
-    )
-    scenario.configure_domain(
-        "X",
-        SegmentCondition(
-            delay_model=CongestionDelayModel(scenario="udp-burst", seed=44),
-            loss_model=GilbertElliottLossModel.from_target_rate(0.02, seed=45),
-        ),
-    )
-    scenario.configure_domain(
-        "N", SegmentCondition(delay_model=JitterDelayModel(1e-3, 0.2e-3, seed=46))
-    )
-
-    campaign = MeasurementCampaign(
-        scenario,
-        target="X",
-        observer="S",
-        configs={d.name: CONFIG for d in scenario.path.domains},
-    )
-    result = campaign.run(list(interval_traces()))
+    experiment = Experiment(SPEC)
+    campaign = experiment.campaign()
+    traces = experiment.interval_packets(INTERVALS)
+    result = campaign.run(traces)
 
     sla = SLASpec(delay_bound=15e-3, delay_quantile=0.9, loss_bound=0.005, name="monthly-gold")
     verdict = result.check_sla(sla)
@@ -96,15 +90,15 @@ def main() -> None:
             f"{'ok' if interval.accepted else 'INCONSISTENT'}"
         )
 
-    # Localize: re-run a single interval's receipts through the path diagnosis.
-    packets = next(iter(interval_traces()))
-    observation = scenario.run(packets)
-    session = VPMSession(
-        scenario.path, configs={d.name: CONFIG for d in scenario.path.domains}
-    )
+    # Localize: run one extra diagnostic interval through the path diagnosis.
+    # (The campaign's scenario persists across intervals, so this drives the
+    # engine layer directly with the spec-built components.)
+    scenario = campaign.scenario
+    observation = scenario.run(experiment.interval_packets(1, first=INTERVALS)[0])
+    session = VPMSession(scenario.path, configs=campaign.configs)
     session.run(observation)
     diagnosis = localize_performance(session.verifier_for("S"), sla=sla)
-    print("\nLocalization (last interval):")
+    print("\nLocalization (diagnostic interval):")
     for entry in diagnosis.domains:
         marker = " <-- violating" if entry.violating else ""
         print(

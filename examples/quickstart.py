@@ -11,6 +11,10 @@ This walks the full pipeline on the paper's running example (Figure 1):
    from the receipts, verify them for consistency, and compare against the
    simulation's ground truth.
 
+This walkthrough wires the engine layer by hand to show every moving part;
+``examples/declarative_sweep.py`` runs the same kind of cell in a few lines
+through the declarative ``repro.api`` front door.
+
 Run:  python examples/quickstart.py
 """
 
@@ -49,11 +53,13 @@ def main() -> None:
     truth = observation.truth_for("X")
 
     # 3. Every domain deploys VPM: 1% delay sampling, 5000-packet aggregates.
+    #    (A single HOPConfig applies to every domain on the path; pass a
+    #    {domain: config} mapping for per-domain knobs or partial deployment.)
     config = HOPConfig(
         sampler=SamplerConfig(sampling_rate=0.01),
         aggregator=AggregatorConfig(expected_aggregate_size=5000),
     )
-    session = VPMSession(scenario.path, configs={d.name: config for d in scenario.path.domains})
+    session = VPMSession(scenario.path, configs=config)
     session.run(observation)
 
     # 4. Domain L estimates and verifies X.

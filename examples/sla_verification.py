@@ -7,67 +7,76 @@ complain; S collects the VPM receipts it is entitled to and determines *which*
 provider violates its SLA — the troubleshooting workflow the paper argues
 ISPs would rather support with verifiable receipts than with finger-pointing.
 
+The whole experiment is one declarative ``repro.api`` spec: the traffic, the
+three providers' conditions, the protocol knobs and the estimation question
+(S estimating and verifying L, X and N) are data, and ``Experiment.run()``
+executes the cell on the vectorized batch path.
+
 Run:  python examples/sla_verification.py
 """
 
 from __future__ import annotations
 
 from repro.analysis.sla import SLASpec, check_sla
-from repro.core.aggregation import AggregatorConfig
-from repro.core.hop import HOPConfig
-from repro.core.protocol import VPMSession
-from repro.core.sampling import SamplerConfig
-from repro.simulation.scenario import PathScenario, SegmentCondition
-from repro.traffic.delay_models import CongestionDelayModel, JitterDelayModel
-from repro.traffic.loss_models import GilbertElliottLossModel
-from repro.traffic.workload import make_workload
+from repro.api import (
+    ConditionSpec,
+    EstimationSpec,
+    Experiment,
+    ExperimentSpec,
+    HOPSpec,
+    PathSpec,
+    ProtocolSpec,
+    TrafficSpec,
+)
+
+SPEC = ExperimentSpec(
+    name="sla-verification",
+    seed=11,
+    traffic=TrafficSpec(workload="bench-sequence"),
+    path=PathSpec(
+        conditions={
+            # L is healthy, X is congested and lossy, N adds moderate jitter.
+            "L": ConditionSpec(
+                delay="jitter", delay_params={"base_delay": 1e-3, "jitter_std": 0.2e-3}
+            ),
+            "X": ConditionSpec(
+                delay="congestion",
+                delay_params={"scenario": "udp-burst", "utilization": 1.1},
+                loss="gilbert-elliott-rate",
+                loss_params={"target_rate": 0.03},
+            ),
+            "N": ConditionSpec(
+                delay="jitter", delay_params={"base_delay": 2e-3, "jitter_std": 0.5e-3}
+            ),
+        }
+    ),
+    protocol=ProtocolSpec(default=HOPSpec(sampling_rate=0.02, aggregate_size=2000)),
+    estimation=EstimationSpec(observer="S", targets=("L", "X", "N")),
+)
 
 
 def main() -> None:
-    packets = make_workload("bench-sequence", seed=11).packets()
-
-    # L is healthy, X is congested and lossy, N adds moderate jitter.
-    scenario = PathScenario(seed=12)
-    scenario.configure_domain(
-        "L", SegmentCondition(delay_model=JitterDelayModel(1e-3, 0.2e-3, seed=13))
-    )
-    scenario.configure_domain(
-        "X",
-        SegmentCondition(
-            delay_model=CongestionDelayModel(scenario="udp-burst", utilization=1.1, seed=14),
-            loss_model=GilbertElliottLossModel.from_target_rate(0.03, seed=15),
-        ),
-    )
-    scenario.configure_domain(
-        "N", SegmentCondition(delay_model=JitterDelayModel(2e-3, 0.5e-3, seed=16))
-    )
-    observation = scenario.run(packets)
-
-    config = HOPConfig(
-        sampler=SamplerConfig(sampling_rate=0.02),
-        aggregator=AggregatorConfig(expected_aggregate_size=2000),
-    )
-    session = VPMSession(scenario.path, configs={d.name: config for d in scenario.path.domains})
-    session.run(observation)
-
     sla = SLASpec(delay_bound=20e-3, delay_quantile=0.9, loss_bound=0.005, name="transit-gold")
     print(f"Checking SLA {sla.name!r}: p90 delay <= {sla.delay_bound * 1e3:.0f} ms, "
           f"loss <= {sla.loss_bound * 100:.2f}%\n")
 
-    verifier = session.verifier_for("S")
+    cell = Experiment(SPEC).run()
+
     for provider in ("L", "X", "N"):
-        performance = verifier.estimate_domain(provider)
-        verdict = check_sla(performance, sla)
-        verification = verifier.verify_domain(provider)
+        target = cell.target(provider)
+        verdict = check_sla(target.estimate.to_performance(), sla)
         status = "COMPLIANT" if verdict.compliant else "IN VIOLATION"
-        trust = "receipts verified" if verification.accepted else "receipts INCONSISTENT"
-        truth = observation.truth_for(provider)
+        trust = (
+            "receipts verified"
+            if target.verification.accepted
+            else "receipts INCONSISTENT"
+        )
         print(f"Domain {provider}: {status} ({trust})")
         print(
             f"  measured: p90 = {verdict.measured_delay * 1e3:6.2f} ms, "
             f"loss = {verdict.measured_loss * 100:5.2f}%   "
-            f"(true: p90 = {truth.delay_quantiles([0.9])[0.9] * 1e3:6.2f} ms, "
-            f"loss = {truth.loss_rate * 100:5.2f}%)"
+            f"(true: p90 = {target.truth.delay_quantile(0.9) * 1e3:6.2f} ms, "
+            f"loss = {target.truth.loss_rate * 100:5.2f}%)"
         )
     print("\nThe customer can now take the violation report to the offending "
           "provider; the receipts of every on-path domain back the claim.")

@@ -2,78 +2,82 @@
 """Exploring the resource/quality trade-off (the paper's tunability property).
 
 A domain chooses its sampling rate and aggregation granularity according to
-the resources it wants to spend.  This example sweeps both knobs for domain X
-and prints the resulting estimation quality (delay accuracy, loss granularity)
-against the resources consumed (receipt bytes, buffer occupancy) — the local
-decision surface an operator deploying VPM would look at.
+the resources it wants to spend.  This example sweeps both knobs for the
+whole path and prints the resulting estimation quality (delay accuracy, loss
+granularity) against the resources consumed (receipt bytes, buffer occupancy)
+— the local decision surface an operator deploying VPM would look at.
+
+The sweep is one ``Experiment.sweep()`` call over a declarative grid: each
+(sampling rate × aggregate size) cell is an independent, fully seeded
+experiment, so the grid could equally run with ``workers=4`` on a process
+pool and produce byte-identical results.
 
 Run:  python examples/tunability_tradeoff.py
 """
 
 from __future__ import annotations
 
-from repro.analysis.metrics import delay_accuracy_report
-from repro.core.aggregation import AggregatorConfig
-from repro.core.hop import HOPConfig
-from repro.core.protocol import VPMSession
-from repro.core.sampling import SamplerConfig
-from repro.simulation.scenario import PathScenario, SegmentCondition
-from repro.traffic.delay_models import CongestionDelayModel
-from repro.traffic.loss_models import GilbertElliottLossModel
-from repro.traffic.workload import make_workload
+from repro.api import (
+    ConditionSpec,
+    EstimationSpec,
+    Experiment,
+    ExperimentSpec,
+    HOPSpec,
+    PathSpec,
+    ProtocolSpec,
+    TrafficSpec,
+)
 
+SAMPLING_RATES = (0.05, 0.01, 0.001)
+AGGREGATE_SIZES = (1000, 5000, 20000)
+ACCURACY_QUANTILES = (0.5, 0.9, 0.95)
 
-def run_operating_point(path, observation, truth, sampling_rate: float, aggregate_size: int):
-    config = HOPConfig(
-        sampler=SamplerConfig(sampling_rate=sampling_rate),
-        aggregator=AggregatorConfig(expected_aggregate_size=aggregate_size,
-                                    reorder_window=0.001),
-    )
-    session = VPMSession(path, configs={d.name: config for d in path.domains})
-    session.run(observation)
-    performance = session.estimate("L", "X")
-    overhead = session.overhead()
-    accuracy_ms = float("nan")
-    if performance.delay_quantiles:
-        accuracy_ms = delay_accuracy_report(
-            performance, truth, quantiles=(0.5, 0.9, 0.95)
-        ).max_error_ms
-    return {
-        "sampling": sampling_rate,
-        "aggregate": aggregate_size,
-        "samples": performance.delay_sample_count,
-        "accuracy_ms": accuracy_ms,
-        "granularity_ms": performance.mean_loss_granularity * 1e3,
-        "bytes_per_pkt": overhead.receipt_bytes_per_packet,
-        "buffer_pkts": overhead.max_temp_buffer_packets,
-    }
+BASE_SPEC = ExperimentSpec(
+    name="tunability",
+    seed=31,
+    traffic=TrafficSpec(workload="bench-sequence"),
+    path=PathSpec(
+        conditions={
+            "X": ConditionSpec(
+                delay="congestion",
+                delay_params={"scenario": "udp-burst"},
+                loss="gilbert-elliott-rate",
+                loss_params={"target_rate": 0.1},
+            )
+        }
+    ),
+    protocol=ProtocolSpec(default=HOPSpec(reorder_window=0.001)),
+    estimation=EstimationSpec(
+        observer="L", targets=("X",), quantiles=ACCURACY_QUANTILES,
+        verify=False, independent=False,
+    ),
+)
 
 
 def main() -> None:
-    packets = make_workload("bench-sequence", seed=31).packets()
-    scenario = PathScenario(seed=32)
-    scenario.configure_domain(
-        "X",
-        SegmentCondition(
-            delay_model=CongestionDelayModel(scenario="udp-burst", seed=33),
-            loss_model=GilbertElliottLossModel.from_target_rate(0.1, seed=34),
-        ),
-    )
-    observation = scenario.run(packets)
-    truth = observation.truth_for("X")
-    path = scenario.path
+    sweep = Experiment(BASE_SPEC).sweep({
+        "protocol.default.sampling_rate": SAMPLING_RATES,
+        "protocol.default.aggregate_size": AGGREGATE_SIZES,
+    })
 
     print("sampling  agg size  samples  delay acc   loss granule  receipt B/pkt  buffer pkts")
     print("-" * 88)
-    for sampling_rate in (0.05, 0.01, 0.001):
-        for aggregate_size in (1000, 5000, 20000):
-            point = run_operating_point(path, observation, truth, sampling_rate, aggregate_size)
-            print(
-                f"{point['sampling'] * 100:6.1f}%  {point['aggregate']:8d}  "
-                f"{point['samples']:7d}  {point['accuracy_ms']:7.2f} ms  "
-                f"{point['granularity_ms']:9.1f} ms  {point['bytes_per_pkt']:13.3f}  "
-                f"{point['buffer_pkts']:11d}"
-            )
+    for point in sweep:
+        cell = point.result
+        target = cell.target("X")
+        accuracy_ms = (
+            target.delay_accuracy(ACCURACY_QUANTILES) * 1e3
+            if target.estimate.has_delay_estimates
+            else float("nan")
+        )
+        print(
+            f"{point.overrides['protocol.default.sampling_rate'] * 100:6.1f}%  "
+            f"{point.overrides['protocol.default.aggregate_size']:8d}  "
+            f"{target.estimate.delay_sample_count:7d}  {accuracy_ms:7.2f} ms  "
+            f"{target.estimate.mean_loss_granularity * 1e3:9.1f} ms  "
+            f"{cell.overhead.receipt_bytes_per_packet:13.3f}  "
+            f"{cell.overhead.max_temp_buffer_packets:11d}"
+        )
     print("\nEach row is a valid operating point: the domain picks one unilaterally, "
           "and the verifiability of its receipts is unaffected (only their precision).")
 

@@ -10,11 +10,12 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-vpm",
-    version="0.2.0",
+    version="1.1.0",
     description=(
         "Reproduction of 'Verifiable network-performance measurements' "
         "(ArgyrakiMS10): HOP receipts, bias-resistant delay sampling and "
-        "tunable aggregation, with a vectorized batch fast path"
+        "tunable aggregation, with a vectorized batch fast path and a "
+        "declarative experiment API"
     ),
     package_dir={"": "src"},
     packages=find_packages("src"),

@@ -9,7 +9,17 @@ accounting of Section 7.1.
 
 Public entry points
 -------------------
-The most commonly used classes are re-exported here:
+**The declarative experiment API** (:mod:`repro.api`) is the official front
+door: describe one evaluation cell — traffic, path conditions, protocol
+configuration, adversaries, estimation question — as a frozen, JSON-round-
+trippable :class:`~repro.api.ExperimentSpec` and execute it with
+:class:`~repro.api.Experiment` (``.run()`` for one cell on the vectorized
+batch path, ``.sweep(grid, workers=N)`` for parallel cartesian sweeps that are
+bit-identical to serial runs).  Components are named by registry key and third
+parties plug in new ones with the ``@repro.api.register_*`` decorators.
+
+The engine layer underneath remains importable for code that needs the lower
+altitude:
 
 * :class:`repro.core.sampling.DelaySampler` — bias-resistant delay sampling
   (Algorithm 1 of the paper).
@@ -20,12 +30,15 @@ The most commonly used classes are re-exported here:
 * :class:`repro.core.verifier.Verifier` — the receipt collector that computes
   and verifies per-domain loss and delay.
 * :class:`repro.simulation.scenario.PathScenario` — the Figure-1 scenario used
-  throughout the evaluation.
+  throughout the evaluation (object and batch variants).
+* :class:`repro.net.batch.PacketBatch` — the columnar packet representation
+  behind the batch fast path.
 
 See ``DESIGN.md`` for the full system inventory and ``EXPERIMENTS.md`` for the
 reproduction of every table and figure.
 """
 
+from repro.api import Experiment, ExperimentSpec
 from repro.core.aggregation import Aggregator
 from repro.core.domain import DomainAgent
 from repro.core.hop import HOPCollector, HOPProcessor
@@ -38,24 +51,35 @@ from repro.core.receipts import (
 )
 from repro.core.sampling import DelaySampler
 from repro.core.verifier import Verifier
+from repro.net.batch import PacketBatch
 from repro.net.packet import Packet
 from repro.net.topology import Domain, HOP, HOPPath, Topology
-from repro.simulation.scenario import PathScenario
+from repro.simulation.scenario import (
+    BatchDomainTruth,
+    BatchPathObservation,
+    PathScenario,
+)
 from repro.traffic.trace import SyntheticTrace, TraceConfig
+from repro.traffic.workload import make_workload
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Aggregator",
     "AggregateReceipt",
+    "BatchDomainTruth",
+    "BatchPathObservation",
     "DelaySampler",
     "Domain",
     "DomainAgent",
+    "Experiment",
+    "ExperimentSpec",
     "HOP",
     "HOPCollector",
     "HOPPath",
     "HOPProcessor",
     "Packet",
+    "PacketBatch",
     "PathID",
     "PathScenario",
     "SampleReceipt",
@@ -66,4 +90,5 @@ __all__ = [
     "VPMSession",
     "Verifier",
     "__version__",
+    "make_workload",
 ]

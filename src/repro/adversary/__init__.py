@@ -14,6 +14,12 @@ behaviour) and into the reporting pipeline (receipt fabrication):
   liar's claims and thereby takes the blame itself;
 * :mod:`repro.adversary.marker_drop` — a domain that drops marker packets to
   desynchronize its neighbor's sampling.
+
+All four strategies are registered with the declarative experiment API
+(:mod:`repro.api.registry`) under the keys ``"lying"``, ``"colluding"``,
+``"biased-treatment"`` and ``"marker-drop"``, so an
+:class:`~repro.api.AdversarySpec` can name them without touching this package;
+new strategies plug in via :func:`repro.api.register_adversary`.
 """
 
 from repro.adversary.bias import BiasedTreatmentAttack

@@ -1,0 +1,109 @@
+"""The declarative experiment API — the official public surface of ``repro``.
+
+Every evaluation in the paper is a sweep over (traffic, path conditions,
+protocol configuration, adversary, estimation) cells.  This package exposes
+that altitude directly:
+
+* :mod:`repro.api.spec` — frozen, JSON-round-trippable experiment specs
+  (:class:`ExperimentSpec` and its parts) with deterministic seed spacing;
+* :mod:`repro.api.registry` — string-keyed component registries and the
+  ``@register_*`` decorators third parties use to plug in new delay/loss
+  models, adversaries and scenarios;
+* :mod:`repro.api.runner` — :class:`Experiment`, with ``.run()`` for one cell
+  (batch fast path by default) and ``.sweep(grid, workers=N)`` for parallel
+  cartesian sweeps that are bit-identical to serial execution;
+* :mod:`repro.api.results` — typed per-cell results with byte-stable JSON for
+  cross-run comparison.
+
+A complete experiment in a few declarative lines:
+
+>>> from repro.api import (ConditionSpec, Experiment, ExperimentSpec,
+...                        PathSpec, TrafficSpec)
+>>> spec = ExperimentSpec(
+...     seed=1,
+...     traffic=TrafficSpec(workload="bench-sequence"),
+...     path=PathSpec(conditions={"X": ConditionSpec(
+...         delay="congestion", delay_params={"scenario": "udp-burst"},
+...         loss="gilbert-elliott-rate", loss_params={"target_rate": 0.10},
+...     )}),
+... )
+>>> cell = Experiment(spec).run()
+>>> cell.target("X").estimate.loss_rate          # receipt-based estimate
+>>> cell.target("X").truth.loss_rate             # simulation ground truth
+
+The engine underneath (:class:`~repro.simulation.scenario.PathScenario`,
+:class:`~repro.core.protocol.VPMSession`) remains importable for code that
+needs the lower altitude.
+"""
+
+from repro.api.registry import (
+    ADVERSARIES,
+    DELAY_MODELS,
+    LOSS_MODELS,
+    REORDERING_MODELS,
+    SCENARIOS,
+    Registry,
+    register_adversary,
+    register_delay_model,
+    register_loss_model,
+    register_reordering_model,
+    register_scenario,
+)
+from repro.api.results import (
+    CellResult,
+    DomainEstimate,
+    OverheadSummary,
+    QuantileEstimate,
+    SweepCell,
+    SweepResult,
+    TargetResult,
+    TruthSummary,
+    VerificationSummary,
+)
+from repro.api.runner import Experiment, clear_trace_cache, run_cell
+from repro.api.spec import (
+    AdversarySpec,
+    ConditionSpec,
+    EstimationSpec,
+    ExperimentSpec,
+    HOPSpec,
+    PathSpec,
+    ProtocolSpec,
+    TrafficSpec,
+    derive_seed,
+)
+
+__all__ = [
+    "ADVERSARIES",
+    "AdversarySpec",
+    "CellResult",
+    "ConditionSpec",
+    "DELAY_MODELS",
+    "DomainEstimate",
+    "EstimationSpec",
+    "Experiment",
+    "ExperimentSpec",
+    "HOPSpec",
+    "LOSS_MODELS",
+    "OverheadSummary",
+    "PathSpec",
+    "ProtocolSpec",
+    "QuantileEstimate",
+    "REORDERING_MODELS",
+    "Registry",
+    "SCENARIOS",
+    "SweepCell",
+    "SweepResult",
+    "TargetResult",
+    "TrafficSpec",
+    "TruthSummary",
+    "VerificationSummary",
+    "clear_trace_cache",
+    "derive_seed",
+    "register_adversary",
+    "register_delay_model",
+    "register_loss_model",
+    "register_reordering_model",
+    "register_scenario",
+    "run_cell",
+]

@@ -1,0 +1,275 @@
+"""String-keyed component registries behind the declarative experiment API.
+
+Specs (:mod:`repro.api.spec`) name their components — delay models, loss
+models, reordering models, adversaries, scenarios — by registry key instead of
+importing classes, which is what makes an :class:`~repro.api.spec.ExperimentSpec`
+a plain, JSON-round-trippable value.  Third parties plug in new components
+with the decorators exported here:
+
+>>> from repro.api import register_delay_model
+>>> @register_delay_model("spike")
+... class SpikeDelayModel(DelayModel):
+...     ...
+
+and any spec may then say ``ConditionSpec(delay="spike", delay_params={...})``.
+
+Every model already shipped in :mod:`repro.traffic` and every adversary in
+:mod:`repro.adversary` is registered at import time, so the registries are the
+complete catalogue of what a spec can name.
+
+Adversary factories come in two roles:
+
+* ``"agent"`` — build a :class:`~repro.core.domain.DomainAgent` subclass that
+  fabricates receipts (lying, collusion).  The factory receives
+  ``(domain, path, config, max_diff, agents, **params)`` where ``agents`` maps
+  the adversarial agents built so far (specs are built in order, so a colluder
+  can reference its liar by domain name).
+* ``"condition"`` — build forwarding-behaviour overrides for the domain's
+  :class:`~repro.simulation.scenario.SegmentCondition` (biased treatment,
+  marker dropping).  The factory receives only ``**params`` and returns a dict
+  of ``SegmentCondition`` field overrides.  The predicates it installs accept
+  both a single :class:`~repro.net.packet.Packet` and a whole
+  :class:`~repro.net.batch.PacketBatch` (returning a boolean mask), so they
+  work under either execution engine.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.adversary.bias import BiasedTreatmentAttack
+from repro.adversary.collusion import ColludingDomainAgent
+from repro.adversary.lying import LyingDomainAgent
+from repro.adversary.marker_drop import MarkerDropAttack
+from repro.core.sampling import DEFAULT_MARKER_RATE
+from repro.net.batch import PacketBatch
+from repro.net.hashing import MASK64, splitmix64_batch, threshold_for_rate
+from repro.simulation.scenario import PathScenario
+from repro.traffic.delay_models import (
+    CongestionDelayModel,
+    ConstantDelayModel,
+    EmpiricalDelayModel,
+    JitterDelayModel,
+)
+from repro.traffic.loss_models import (
+    BernoulliLossModel,
+    GilbertElliottLossModel,
+    NoLossModel,
+)
+from repro.traffic.reordering import NoReordering, WindowReordering
+
+__all__ = [
+    "Registry",
+    "DELAY_MODELS",
+    "LOSS_MODELS",
+    "REORDERING_MODELS",
+    "ADVERSARIES",
+    "SCENARIOS",
+    "register_delay_model",
+    "register_loss_model",
+    "register_reordering_model",
+    "register_adversary",
+    "register_scenario",
+]
+
+
+class Registry:
+    """A named mapping from string keys to component factories.
+
+    ``register`` doubles as a decorator factory; ``get`` raises a
+    :class:`ValueError` that lists the known keys, so a typo in a spec fails
+    with an actionable message instead of a bare ``KeyError``.
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._entries: dict[str, Callable] = {}
+
+    def register(
+        self, name: str, factory: Callable | None = None, *, overwrite: bool = False
+    ) -> Callable:
+        """Register ``factory`` under ``name`` (usable as a decorator)."""
+
+        def decorate(obj: Callable) -> Callable:
+            if not overwrite and name in self._entries:
+                raise ValueError(
+                    f"{self.kind} {name!r} is already registered; "
+                    f"pass overwrite=True to replace it"
+                )
+            self._entries[name] = obj
+            return obj
+
+        if factory is not None:
+            return decorate(factory)
+        return decorate
+
+    def unregister(self, name: str) -> None:
+        """Remove a registration (mainly for tests and plugin teardown)."""
+        self._entries.pop(name, None)
+
+    def get(self, name: str) -> Callable:
+        """The factory registered under ``name``; clear error when unknown."""
+        try:
+            return self._entries[name]
+        except KeyError:
+            known = ", ".join(sorted(self._entries)) or "<none>"
+            raise ValueError(
+                f"unknown {self.kind} {name!r}; registered {self.kind}s: {known}"
+            ) from None
+
+    def names(self) -> tuple[str, ...]:
+        """All registered keys, sorted."""
+        return tuple(sorted(self._entries))
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._entries))
+
+    def __repr__(self) -> str:
+        return f"Registry({self.kind!r}, {self.names()})"
+
+
+DELAY_MODELS = Registry("delay model")
+LOSS_MODELS = Registry("loss model")
+REORDERING_MODELS = Registry("reordering model")
+ADVERSARIES = Registry("adversary")
+SCENARIOS = Registry("scenario")
+
+
+def register_delay_model(name: str, factory: Callable | None = None, **kwargs):
+    """Register a delay-model factory for use in ``ConditionSpec.delay``."""
+    return DELAY_MODELS.register(name, factory, **kwargs)
+
+
+def register_loss_model(name: str, factory: Callable | None = None, **kwargs):
+    """Register a loss-model factory for use in ``ConditionSpec.loss``."""
+    return LOSS_MODELS.register(name, factory, **kwargs)
+
+
+def register_reordering_model(name: str, factory: Callable | None = None, **kwargs):
+    """Register a reordering-model factory for ``ConditionSpec.reordering``."""
+    return REORDERING_MODELS.register(name, factory, **kwargs)
+
+
+def register_adversary(name: str, *, role: str = "agent", **kwargs):
+    """Register an adversary factory for use in ``AdversarySpec.kind``.
+
+    ``role`` is ``"agent"`` (receipt fabrication) or ``"condition"``
+    (forwarding misbehaviour); see the module docstring for the factory
+    signatures.
+    """
+    if role not in ("agent", "condition"):
+        raise ValueError(f"adversary role must be 'agent' or 'condition', got {role!r}")
+
+    def decorate(factory: Callable) -> Callable:
+        factory.adversary_role = role
+        return ADVERSARIES.register(name, factory, **kwargs)
+
+    return decorate
+
+
+def register_scenario(name: str, factory: Callable | None = None, **kwargs):
+    """Register a scenario factory (``seed=..., **params -> PathScenario``)."""
+    return SCENARIOS.register(name, factory, **kwargs)
+
+
+# -- built-in traffic models ---------------------------------------------------------
+
+DELAY_MODELS.register("constant", ConstantDelayModel)
+DELAY_MODELS.register("jitter", JitterDelayModel)
+DELAY_MODELS.register("congestion", CongestionDelayModel)
+DELAY_MODELS.register("empirical", EmpiricalDelayModel)
+
+LOSS_MODELS.register("none", NoLossModel)
+LOSS_MODELS.register("bernoulli", BernoulliLossModel)
+LOSS_MODELS.register("gilbert-elliott", GilbertElliottLossModel)
+LOSS_MODELS.register("gilbert-elliott-rate", GilbertElliottLossModel.from_target_rate)
+
+REORDERING_MODELS.register("none", NoReordering)
+REORDERING_MODELS.register("window", WindowReordering)
+
+
+# -- built-in scenarios --------------------------------------------------------------
+
+
+@register_scenario("figure1")
+def _figure1_scenario(seed: int = 0) -> PathScenario:
+    """The paper's Figure-1 path S → L → X → N → D (HOPs 1..8)."""
+    return PathScenario(seed=seed)
+
+
+# -- built-in adversaries ------------------------------------------------------------
+
+
+@register_adversary("lying", role="agent")
+def _lying_agent(domain, path, config, max_diff, agents, **params):
+    """A domain that fabricates its egress receipts (Section 3.1 / 4)."""
+    return LyingDomainAgent(domain, path, config=config, max_diff=max_diff, **params)
+
+
+@register_adversary("colluding", role="agent")
+def _colluding_agent(domain, path, config, max_diff, agents, *, colluding_with, **params):
+    """A downstream neighbor covering a liar's claims (Section 3.1).
+
+    ``colluding_with`` names the lying domain, whose :class:`LyingDomainAgent`
+    must appear earlier in the spec's adversary list.
+    """
+    try:
+        liar = agents[colluding_with]
+    except KeyError:
+        raise ValueError(
+            f"colluding domain {domain!r} references {colluding_with!r}, but no "
+            f"adversary was built for it; list the 'lying' spec first"
+        ) from None
+    return ColludingDomainAgent(
+        domain, path, colluding_with=liar, config=config, max_diff=max_diff, **params
+    )
+
+
+@register_adversary("marker-drop", role="condition")
+def _marker_drop_condition(*, marker_rate: float = DEFAULT_MARKER_RATE):
+    """Drop every marker packet inside the domain (Section 5.3)."""
+    attack = MarkerDropAttack(marker_rate=marker_rate)
+    digester = attack.digester
+    threshold = np.uint64(attack.marker_threshold)
+
+    def predicate(target):
+        if isinstance(target, PacketBatch):
+            return digester.digest_batch(target) > threshold
+        return attack.is_marker(target)
+
+    return {"drop_predicate": predicate}
+
+
+@register_adversary("biased-treatment", role="condition")
+def _biased_treatment_condition(
+    *,
+    guess_rate: float = 0.01,
+    guess_salt: int = 0xBAD,
+    preferential_delay: float = 0.2e-3,
+):
+    """Fast-path a blindly guessed packet subset (Section 3.2 / 5.1).
+
+    Against VPM's delay-keyed sampling the attacker cannot predict the sampled
+    set, so the strongest condition-level bias is a salted random guess at the
+    configured budget — which cannot shift the estimate systematically.
+    """
+    attack = BiasedTreatmentAttack(guess_rate=guess_rate, guess_salt=guess_salt)
+    scalar_predicate = attack.blind_guess_predicate()
+    digester = attack.digester
+    threshold = np.uint64(threshold_for_rate(guess_rate))
+    salt = np.uint64(guess_salt & MASK64)
+
+    def predicate(target):
+        if isinstance(target, PacketBatch):
+            return splitmix64_batch(digester.digest_batch(target) ^ salt) > threshold
+        return scalar_predicate(target)
+
+    return {
+        "preferential_predicate": predicate,
+        "preferential_delay": preferential_delay,
+    }

@@ -1,0 +1,444 @@
+"""Typed per-cell experiment results with stable JSON serialization.
+
+A :class:`CellResult` captures everything one experiment cell produced —
+receipt-based estimates, simulation ground truth, verification verdicts and
+resource overhead — as plain frozen values.  ``to_json`` is byte-stable
+(sorted keys, fixed separators) so results can be diffed across runs, and a
+parallel sweep is required to serialize *identically* to a serial one.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+__all__ = [
+    "QuantileEstimate",
+    "DomainEstimate",
+    "TruthSummary",
+    "VerificationSummary",
+    "OverheadSummary",
+    "TargetResult",
+    "CellResult",
+    "SweepCell",
+    "SweepResult",
+]
+
+
+def _stable_json(data: Any) -> str:
+    return json.dumps(data, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class QuantileEstimate:
+    """One estimated delay quantile (seconds) with confidence bounds."""
+
+    quantile: float
+    estimate: float
+    lower: float
+    upper: float
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "quantile": self.quantile,
+            "estimate": self.estimate,
+            "lower": self.lower,
+            "upper": self.upper,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "QuantileEstimate":
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class DomainEstimate:
+    """A domain's receipt-based performance, flattened to plain values."""
+
+    domain: str
+    delay_quantiles: tuple[QuantileEstimate, ...] = ()
+    delay_sample_count: int = 0
+    offered_packets: int = 0
+    lost_packets: int = 0
+    loss_rate: float = 0.0
+    mean_loss_granularity: float = 0.0
+
+    @classmethod
+    def from_performance(cls, performance) -> "DomainEstimate":
+        """Flatten a :class:`repro.core.verifier.DomainPerformance`."""
+        quantiles = tuple(
+            QuantileEstimate(
+                quantile=float(quantile),
+                estimate=float(estimate.estimate),
+                lower=float(estimate.lower),
+                upper=float(estimate.upper),
+            )
+            for quantile, estimate in sorted(performance.delay_quantiles.items())
+        )
+        return cls(
+            domain=performance.domain,
+            delay_quantiles=quantiles,
+            delay_sample_count=performance.delay_sample_count,
+            offered_packets=performance.offered_packets,
+            lost_packets=performance.lost_packets,
+            loss_rate=performance.loss_rate,
+            mean_loss_granularity=performance.mean_loss_granularity,
+        )
+
+    def delay_quantile(self, quantile: float) -> float:
+        """Point estimate for one quantile (seconds); KeyError when absent."""
+        for entry in self.delay_quantiles:
+            if entry.quantile == quantile:
+                return entry.estimate
+        raise KeyError(f"quantile {quantile} was not estimated")
+
+    def to_performance(self):
+        """Rebuild a :class:`repro.core.verifier.DomainPerformance` view.
+
+        For interoperating with analysis helpers that take the engine-layer
+        type (e.g. :func:`repro.analysis.sla.check_sla`).  The per-aggregate
+        granularity list and aligned pairs are not stored in a result, so the
+        reconstruction carries the estimates, bounds and loss accounting only.
+        """
+        from repro.core.estimation import DelayQuantileEstimate
+        from repro.core.verifier import DomainPerformance
+
+        return DomainPerformance(
+            domain=self.domain,
+            delay_quantiles={
+                entry.quantile: DelayQuantileEstimate(
+                    quantile=entry.quantile,
+                    estimate=entry.estimate,
+                    lower=entry.lower,
+                    upper=entry.upper,
+                    sample_count=self.delay_sample_count,
+                )
+                for entry in self.delay_quantiles
+            },
+            delay_sample_count=self.delay_sample_count,
+            offered_packets=self.offered_packets,
+            lost_packets=self.lost_packets,
+        )
+
+    @property
+    def has_delay_estimates(self) -> bool:
+        return bool(self.delay_quantiles)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "domain": self.domain,
+            "delay_quantiles": [entry.to_dict() for entry in self.delay_quantiles],
+            "delay_sample_count": self.delay_sample_count,
+            "offered_packets": self.offered_packets,
+            "lost_packets": self.lost_packets,
+            "loss_rate": self.loss_rate,
+            "mean_loss_granularity": self.mean_loss_granularity,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DomainEstimate":
+        payload = dict(data)
+        payload["delay_quantiles"] = tuple(
+            QuantileEstimate.from_dict(entry) for entry in payload["delay_quantiles"]
+        )
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class TruthSummary:
+    """Simulation ground truth for one domain, at the evaluated quantiles."""
+
+    domain: str
+    loss_rate: float
+    offered_packets: int
+    lost_packets: int
+    delay_quantiles: tuple[tuple[float, float], ...] = ()
+
+    @classmethod
+    def from_truth(cls, truth, quantiles: Sequence[float]) -> "TruthSummary":
+        """Summarize a (batch or object) domain ground truth."""
+        wanted = tuple(sorted(float(q) for q in quantiles))
+        true_quantiles = truth.delay_quantiles(wanted)
+        return cls(
+            domain=truth.domain,
+            loss_rate=truth.loss_rate,
+            offered_packets=truth.offered_packets,
+            lost_packets=len(truth.lost),
+            delay_quantiles=tuple(
+                (quantile, float(true_quantiles[quantile])) for quantile in wanted
+            ),
+        )
+
+    def delay_quantile(self, quantile: float) -> float:
+        """True delay quantile (seconds); KeyError when not evaluated."""
+        for entry_quantile, value in self.delay_quantiles:
+            if entry_quantile == quantile:
+                return value
+        raise KeyError(f"quantile {quantile} was not evaluated against truth")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "domain": self.domain,
+            "loss_rate": self.loss_rate,
+            "offered_packets": self.offered_packets,
+            "lost_packets": self.lost_packets,
+            "delay_quantiles": [list(entry) for entry in self.delay_quantiles],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TruthSummary":
+        payload = dict(data)
+        payload["delay_quantiles"] = tuple(
+            (entry[0], entry[1]) for entry in payload["delay_quantiles"]
+        )
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class VerificationSummary:
+    """Whether a domain's receipts survived verification, and why not."""
+
+    accepted: bool
+    inconsistency_count: int = 0
+    kinds: tuple[str, ...] = ()
+
+    @classmethod
+    def from_result(cls, result) -> "VerificationSummary":
+        """Summarize a :class:`repro.core.verifier.VerificationResult`."""
+        return cls(
+            accepted=result.accepted,
+            inconsistency_count=len(result.inconsistencies),
+            kinds=tuple(
+                sorted({finding.kind for finding in result.inconsistencies})
+            ),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "accepted": self.accepted,
+            "inconsistency_count": self.inconsistency_count,
+            "kinds": list(self.kinds),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "VerificationSummary":
+        payload = dict(data)
+        payload["kinds"] = tuple(payload["kinds"])
+        return cls(**payload)
+
+
+@dataclass(frozen=True)
+class OverheadSummary:
+    """Resource accounting of the measurement interval (Section 7.1)."""
+
+    observed_packets: int
+    observed_bytes: int
+    receipt_bytes: int
+    max_temp_buffer_packets: int
+
+    @property
+    def receipt_bytes_per_packet(self) -> float:
+        return self.receipt_bytes / self.observed_packets if self.observed_packets else 0.0
+
+    @property
+    def bandwidth_overhead(self) -> float:
+        return self.receipt_bytes / self.observed_bytes if self.observed_bytes else 0.0
+
+    @classmethod
+    def from_overhead(cls, overhead) -> "OverheadSummary":
+        """Summarize a :class:`repro.core.protocol.SessionOverhead`."""
+        return cls(
+            observed_packets=overhead.observed_packets,
+            observed_bytes=overhead.observed_bytes,
+            receipt_bytes=overhead.receipt_bytes,
+            max_temp_buffer_packets=overhead.max_temp_buffer_packets,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "observed_packets": self.observed_packets,
+            "observed_bytes": self.observed_bytes,
+            "receipt_bytes": self.receipt_bytes,
+            "max_temp_buffer_packets": self.max_temp_buffer_packets,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "OverheadSummary":
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class TargetResult:
+    """Everything one cell computed about one target domain."""
+
+    estimate: DomainEstimate
+    truth: TruthSummary | None = None
+    verification: VerificationSummary | None = None
+    independent: DomainEstimate | None = None
+
+    @property
+    def domain(self) -> str:
+        return self.estimate.domain
+
+    def delay_accuracy(self, quantiles: Sequence[float] | None = None) -> float:
+        """Worst-case quantile error vs truth in seconds (Figure 2's metric).
+
+        Raises :class:`ValueError` when truth or estimates are unavailable.
+        """
+        if self.truth is None:
+            raise ValueError(f"no ground truth recorded for {self.domain!r}")
+        if not self.estimate.delay_quantiles:
+            raise ValueError(f"no delay estimates available for {self.domain!r}")
+        wanted = (
+            tuple(quantiles)
+            if quantiles is not None
+            else tuple(entry.quantile for entry in self.estimate.delay_quantiles)
+        )
+        errors = [
+            abs(self.estimate.delay_quantile(q) - self.truth.delay_quantile(q))
+            for q in wanted
+        ]
+        return max(errors)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "estimate": self.estimate.to_dict(),
+            "truth": self.truth.to_dict() if self.truth is not None else None,
+            "verification": (
+                self.verification.to_dict() if self.verification is not None else None
+            ),
+            "independent": (
+                self.independent.to_dict() if self.independent is not None else None
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TargetResult":
+        return cls(
+            estimate=DomainEstimate.from_dict(data["estimate"]),
+            truth=(
+                TruthSummary.from_dict(data["truth"])
+                if data.get("truth") is not None
+                else None
+            ),
+            verification=(
+                VerificationSummary.from_dict(data["verification"])
+                if data.get("verification") is not None
+                else None
+            ),
+            independent=(
+                DomainEstimate.from_dict(data["independent"])
+                if data.get("independent") is not None
+                else None
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class CellResult:
+    """The complete outcome of one experiment cell.
+
+    ``spec`` is the cell's :meth:`ExperimentSpec.to_dict` for provenance —
+    a stored result always carries enough information to re-run itself.
+    """
+
+    spec: dict[str, Any]
+    targets: tuple[TargetResult, ...] = ()
+    consistency_findings: int = 0
+    overhead: OverheadSummary | None = None
+
+    def target(self, domain: str) -> TargetResult:
+        """The result for one target domain; KeyError when not evaluated."""
+        for entry in self.targets:
+            if entry.domain == domain:
+                return entry
+        raise KeyError(f"domain {domain!r} was not an estimation target")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "spec": self.spec,
+            "targets": [entry.to_dict() for entry in self.targets],
+            "consistency_findings": self.consistency_findings,
+            "overhead": self.overhead.to_dict() if self.overhead is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CellResult":
+        return cls(
+            spec=dict(data["spec"]),
+            targets=tuple(
+                TargetResult.from_dict(entry) for entry in data["targets"]
+            ),
+            consistency_findings=data["consistency_findings"],
+            overhead=(
+                OverheadSummary.from_dict(data["overhead"])
+                if data.get("overhead") is not None
+                else None
+            ),
+        )
+
+    def to_json(self) -> str:
+        """Byte-stable JSON (sorted keys, fixed separators)."""
+        return _stable_json(self.to_dict())
+
+    @classmethod
+    def from_json(cls, payload: str) -> "CellResult":
+        return cls.from_dict(json.loads(payload))
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One grid point of a sweep: the overrides applied and the result."""
+
+    overrides: dict[str, Any] = field(default_factory=dict)
+    result: CellResult | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "overrides": dict(self.overrides),
+            "result": self.result.to_dict() if self.result is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SweepCell":
+        return cls(
+            overrides=dict(data["overrides"]),
+            result=(
+                CellResult.from_dict(data["result"])
+                if data.get("result") is not None
+                else None
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """All cells of one sweep, in grid (row-major) order."""
+
+    cells: tuple[SweepCell, ...] = ()
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def __iter__(self):
+        return iter(self.cells)
+
+    def results(self) -> tuple[CellResult, ...]:
+        """The per-cell results, in grid order."""
+        return tuple(cell.result for cell in self.cells)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"cells": [cell.to_dict() for cell in self.cells]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SweepResult":
+        return cls(cells=tuple(SweepCell.from_dict(cell) for cell in data["cells"]))
+
+    def to_json(self) -> str:
+        """Byte-stable JSON (sorted keys, fixed separators)."""
+        return _stable_json(self.to_dict())
+
+    @classmethod
+    def from_json(cls, payload: str) -> "SweepResult":
+        return cls.from_dict(json.loads(payload))

@@ -1,0 +1,319 @@
+"""The experiment orchestrator: one cell, or a parallel sweep of cells.
+
+:class:`Experiment` turns a declarative :class:`~repro.api.spec.ExperimentSpec`
+into results:
+
+* :meth:`Experiment.run` executes one cell — synthesize traffic, drive the
+  path scenario (batch fast path by default), run every domain's HOPs, and
+  answer the spec's estimation question — returning a
+  :class:`~repro.api.results.CellResult`;
+* :meth:`Experiment.sweep` executes a cartesian parameter grid of cells,
+  serially or fanned across a :class:`~concurrent.futures.ProcessPoolExecutor`.
+
+Every cell is a pure function of its spec (all randomness is seeded from the
+spec), so a parallel sweep is **bit-identical** to a serial one: results come
+back in grid order and serialize to the same bytes regardless of ``workers``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from concurrent.futures import ProcessPoolExecutor
+from functools import lru_cache
+from typing import Any, Mapping, Sequence
+
+from repro.api.registry import ADVERSARIES
+from repro.api.results import (
+    CellResult,
+    DomainEstimate,
+    OverheadSummary,
+    SweepCell,
+    SweepResult,
+    TargetResult,
+    TruthSummary,
+    VerificationSummary,
+)
+from repro.api.spec import ExperimentSpec, TrafficSpec, derive_seed
+from repro.core.hop import HOPConfig
+from repro.core.protocol import VPMSession
+from repro.net.batch import PacketBatch
+from repro.net.packet import Packet
+from repro.net.topology import HOPPath
+from repro.simulation.scenario import PathScenario
+from repro.traffic.trace import SyntheticTrace, default_prefix_pair
+
+__all__ = ["Experiment", "clear_trace_cache", "run_cell"]
+
+
+# Traffic synthesis is the one reusable piece of a cell (scenarios and
+# sessions are stateful and must be rebuilt per cell, but a trace is a pure
+# function of its spec and seed).  A small per-process cache means a sweep
+# over protocol knobs synthesizes its packet sequence once, and — for
+# batches — every cell shares one digest pass through the memoized root.
+@lru_cache(maxsize=4)
+def _cached_batch(traffic: TrafficSpec, seed: int) -> PacketBatch:
+    return SyntheticTrace(
+        config=traffic.trace_config(), prefix_pair=default_prefix_pair(), seed=seed
+    ).packet_batch()
+
+
+@lru_cache(maxsize=4)
+def _cached_packets(traffic: TrafficSpec, seed: int) -> tuple[Packet, ...]:
+    return tuple(
+        SyntheticTrace(
+            config=traffic.trace_config(), prefix_pair=default_prefix_pair(), seed=seed
+        ).packets()
+    )
+
+
+def clear_trace_cache() -> None:
+    """Release the cached traffic traces (and their memoized digest arrays).
+
+    The cache holds at most 4 batches + 4 packet tuples, but at million-packet
+    scale those pin substantial memory for the process lifetime — call this
+    after a large run to hand it back.
+    """
+    _cached_batch.cache_clear()
+    _cached_packets.cache_clear()
+
+
+def _apply_condition_adversaries(spec: ExperimentSpec, scenario: PathScenario) -> None:
+    for adversary in spec.adversaries:
+        if adversary.role != "condition":
+            continue
+        factory = ADVERSARIES.get(adversary.kind)
+        try:
+            overrides = factory(**adversary.params)
+        except TypeError as exc:
+            raise ValueError(
+                f"invalid parameters for adversary {adversary.kind!r}: {exc}"
+            ) from exc
+        condition = scenario.condition_for(adversary.domain)
+        scenario.configure_domain(
+            adversary.domain, dataclasses.replace(condition, **overrides)
+        )
+
+
+def _build_agent_adversaries(
+    spec: ExperimentSpec, path: HOPPath, configs: Mapping[str, HOPConfig | None]
+) -> dict[str, Any]:
+    agents: dict[str, Any] = {}
+    for adversary in spec.adversaries:
+        if adversary.role != "agent":
+            continue
+        factory = ADVERSARIES.get(adversary.kind)
+        if adversary.domain not in configs:
+            raise ValueError(
+                f"adversary {adversary.kind!r} targets domain "
+                f"{adversary.domain!r}, which is not on the path "
+                f"(path domains: {sorted(configs)})"
+            )
+        config = configs[adversary.domain]
+        if config is None:
+            # A receipt-fabricating adversary needs deployed HOPs; silently
+            # handing it a default config would contradict the spec's
+            # partial-deployment declaration.
+            raise ValueError(
+                f"adversary {adversary.kind!r} at domain {adversary.domain!r} "
+                f"fabricates receipts, but the protocol spec declares that "
+                f"domain non-deployed (config None)"
+            )
+        try:
+            agents[adversary.domain] = factory(
+                adversary.domain,
+                path,
+                config,
+                spec.protocol.max_diff,
+                agents,
+                **adversary.params,
+            )
+        except TypeError as exc:
+            raise ValueError(
+                f"invalid parameters for adversary {adversary.kind!r}: {exc}"
+            ) from exc
+    return agents
+
+
+def run_cell(spec: ExperimentSpec) -> CellResult:
+    """Execute one experiment cell and summarize everything it produced."""
+    scenario = spec.path.build(spec.seed)
+    _apply_condition_adversaries(spec, scenario)
+
+    traffic_seed = spec.traffic.effective_seed(spec.seed)
+    if spec.engine == "batch":
+        observation = scenario.run_batch(_cached_batch(spec.traffic, traffic_seed))
+    else:
+        observation = scenario.run(_cached_packets(spec.traffic, traffic_seed))
+
+    configs = spec.protocol.build_configs(scenario.path)
+    agents = _build_agent_adversaries(spec, scenario.path, configs)
+    session = VPMSession(
+        scenario.path, configs=configs, agents=agents, max_diff=spec.protocol.max_diff
+    )
+    session.run(observation)
+
+    estimation = spec.estimation
+    verifier = session.verifier_for(estimation.observer, quantiles=estimation.quantiles)
+    consistency_findings = len(verifier.check_consistency()) if estimation.verify else 0
+
+    targets: list[TargetResult] = []
+    for target in estimation.targets:
+        performance = verifier.estimate_domain(target)
+        truth = None
+        if target in observation.domain_truth:
+            truth = TruthSummary.from_truth(
+                observation.truth_for(target), estimation.quantiles
+            )
+        verification = None
+        if estimation.verify:
+            verification = VerificationSummary.from_result(
+                verifier.verify_domain(target)
+            )
+        independent = None
+        if estimation.independent:
+            neighbor_view = verifier.estimate_domain_via_neighbors(target)
+            if neighbor_view is not None:
+                independent = DomainEstimate.from_performance(neighbor_view)
+        targets.append(
+            TargetResult(
+                estimate=DomainEstimate.from_performance(performance),
+                truth=truth,
+                verification=verification,
+                independent=independent,
+            )
+        )
+
+    return CellResult(
+        spec=spec.to_dict(),
+        targets=tuple(targets),
+        consistency_findings=consistency_findings,
+        overhead=OverheadSummary.from_overhead(session.overhead()),
+    )
+
+
+def _run_cell_payload(payload: dict[str, Any]) -> CellResult:
+    """Worker entry point: rebuild the spec from plain data and run the cell.
+
+    Specs cross the process boundary as dicts (their canonical wire form), so
+    a worker reconstructs and re-validates them against its own registries.
+    """
+    return run_cell(ExperimentSpec.from_dict(payload))
+
+
+class Experiment:
+    """Runs a declarative :class:`~repro.api.spec.ExperimentSpec`.
+
+    >>> spec = ExperimentSpec(
+    ...     traffic=TrafficSpec(workload="bench-sequence"),
+    ...     path=PathSpec(conditions={"X": ConditionSpec(loss="bernoulli",
+    ...                                                  loss_params={"loss_rate": 0.1})}),
+    ... )
+    >>> result = Experiment(spec).run()
+    >>> result.target("X").estimate.loss_rate
+    """
+
+    def __init__(self, spec: ExperimentSpec) -> None:
+        self.spec = spec
+
+    # -- single cell -----------------------------------------------------------------
+
+    def run(self) -> CellResult:
+        """Run one cell (the batch fast path unless the spec says scalar)."""
+        return run_cell(self.spec)
+
+    # -- sweeps ----------------------------------------------------------------------
+
+    def sweep(
+        self, grid: Mapping[str, Sequence[Any]], workers: int = 1
+    ) -> SweepResult:
+        """Run the cartesian product of ``grid`` over this experiment's spec.
+
+        ``grid`` maps dotted spec paths (as accepted by
+        :meth:`ExperimentSpec.with_overrides`) to the values to sweep, e.g.::
+
+            experiment.sweep({
+                "protocol.default.sampling_rate": [0.05, 0.01, 0.001],
+                "path.conditions.X.loss_params.loss_rate": [0.0, 0.25],
+            }, workers=4)
+
+        Cells are enumerated row-major in the grid's key order.  With
+        ``workers > 1`` cells execute on a process pool; because every cell is
+        a pure function of its spec, the sweep result — including its
+        ``to_json()`` bytes — is identical to the serial run.
+
+        Worker processes rebuild each spec against their *own* registries.
+        Built-in components always resolve; custom ``register_*`` components
+        must be registered at import time of a module the workers import too
+        (e.g. the plugin module itself) — registrations made only in a
+        ``__main__`` script are invisible to spawn/forkserver workers (the
+        default start method on macOS and Windows) and such sweeps should run
+        with ``workers=1`` or register from an importable module.
+        """
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        keys = list(grid)
+        combos = list(itertools.product(*(list(grid[key]) for key in keys)))
+        overrides_list = [dict(zip(keys, combo)) for combo in combos]
+        specs = [self.spec.with_overrides(overrides) for overrides in overrides_list]
+
+        if workers > 1 and len(specs) > 1:
+            payloads = [cell_spec.to_dict() for cell_spec in specs]
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                results = list(pool.map(_run_cell_payload, payloads))
+        else:
+            results = [run_cell(cell_spec) for cell_spec in specs]
+
+        return SweepResult(
+            cells=tuple(
+                SweepCell(overrides=overrides, result=result)
+                for overrides, result in zip(overrides_list, results)
+            )
+        )
+
+    # -- campaigns -------------------------------------------------------------------
+
+    def campaign(self):
+        """Build a :class:`~repro.core.campaign.MeasurementCampaign` from the spec.
+
+        The campaign tracks the spec's first estimation target, observed by the
+        spec's observer, over the scenario and per-domain configs the spec
+        describes; agent-role adversaries are rebuilt fresh each interval.
+        Feed it interval traces (e.g. from :meth:`interval_packets`).
+        """
+        from repro.core.campaign import MeasurementCampaign
+
+        spec = self.spec
+        scenario = spec.path.build(spec.seed)
+        _apply_condition_adversaries(spec, scenario)
+        configs = spec.protocol.build_configs(scenario.path)
+
+        agents_factory = None
+        if any(adversary.role == "agent" for adversary in spec.adversaries):
+
+            def agents_factory(path: HOPPath) -> dict[str, Any]:
+                return _build_agent_adversaries(spec, path, configs)
+
+        return MeasurementCampaign(
+            scenario,
+            target=spec.estimation.targets[0],
+            observer=spec.estimation.observer,
+            configs=configs,
+            agents_factory=agents_factory,
+        )
+
+    def interval_packets(self, count: int, first: int = 0) -> list[list[Packet]]:
+        """Per-interval packet sequences with seed-spaced traffic.
+
+        Interval ``i`` uses the traffic spec re-seeded with
+        ``derive_seed(root, f"interval.{i}")``, so campaigns are as
+        reproducible as single cells.  ``first`` shifts the interval index
+        (e.g. ``interval_packets(1, first=4)`` synthesizes just interval 4).
+        """
+        sequences: list[list[Packet]] = []
+        for index in range(first, first + count):
+            traffic = dataclasses.replace(
+                self.spec.traffic, seed=derive_seed(self.spec.seed, f"interval.{index}")
+            )
+            sequences.append(traffic.build(self.spec.seed).packets())
+        return sequences

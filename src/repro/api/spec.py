@@ -1,0 +1,679 @@
+"""Declarative experiment specifications.
+
+An :class:`ExperimentSpec` describes one evaluation cell — traffic, path
+conditions, protocol configuration, adversaries and the estimation question —
+as a frozen, JSON-round-trippable value.  Components are named by registry key
+(:mod:`repro.api.registry`), so a spec is *data*: it can be stored, diffed,
+swept over, and shipped to a worker process, and
+``ExperimentSpec.from_dict(spec.to_dict())`` is the identity.
+
+Seed discipline
+---------------
+Every spec carries one root ``seed``.  Component seeds (traffic synthesis,
+scenario randomness, each domain's delay/loss/reordering models) are derived
+from the root seed and a structural label via :func:`derive_seed`, so
+
+* two runs of the same spec are bit-identical (including across processes);
+* changing the root seed re-seeds every component at once;
+* any component can still pin an explicit ``seed`` in its params, which takes
+  precedence (this is how the benchmark cells reproduce the historical seed
+  layout exactly).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import inspect
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping
+
+from repro.api.registry import (
+    ADVERSARIES,
+    DELAY_MODELS,
+    LOSS_MODELS,
+    REORDERING_MODELS,
+    SCENARIOS,
+    Registry,
+)
+from repro.core.aggregation import AggregatorConfig
+from repro.core.estimation import DEFAULT_QUANTILES
+from repro.core.hop import HOPConfig
+from repro.core.sampling import DEFAULT_MARKER_RATE, SamplerConfig
+from repro.net.topology import HOPPath
+from repro.simulation.scenario import PathScenario, SegmentCondition
+from repro.traffic.flows import FlowGeneratorConfig
+from repro.traffic.trace import SyntheticTrace, TraceConfig, default_prefix_pair
+from repro.traffic.workload import WORKLOADS
+from repro.util.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "derive_seed",
+    "TrafficSpec",
+    "ConditionSpec",
+    "PathSpec",
+    "HOPSpec",
+    "ProtocolSpec",
+    "AdversarySpec",
+    "EstimationSpec",
+    "ExperimentSpec",
+]
+
+_SEED_SPACE = 2**63
+
+
+def derive_seed(root: int, label: str) -> int:
+    """A deterministic, well-spaced child seed for ``label`` under ``root``.
+
+    Hashes ``root`` and the structural label together (BLAKE2b), so distinct
+    components of one experiment get statistically independent seeds while the
+    whole experiment remains a pure function of the root seed.
+    """
+    digest = hashlib.blake2b(
+        f"{int(root)}:{label}".encode("utf-8"), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big") % _SEED_SPACE
+
+
+# -- dict plumbing -------------------------------------------------------------------
+
+
+def _normalize_value(value: Any, where: str) -> Any:
+    """Normalize a params value to plain JSON-compatible Python data."""
+    if isinstance(value, bool) or value is None or isinstance(value, (int, float, str)):
+        return value
+    if isinstance(value, Mapping):
+        return {str(key): _normalize_value(item, where) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_normalize_value(item, where) for item in value]
+    raise ValueError(
+        f"{where} must contain only JSON-serializable scalars, lists and dicts; "
+        f"got {type(value).__name__}"
+    )
+
+
+def _normalize_params(spec: object, field_name: str) -> None:
+    """Normalize a frozen spec's params dict in place (post-init helper)."""
+    raw = getattr(spec, field_name)
+    where = f"{type(spec).__name__}.{field_name}"
+    if not isinstance(raw, Mapping):
+        raise ValueError(f"{where} must be a mapping, got {type(raw).__name__}")
+    object.__setattr__(spec, field_name, _normalize_value(raw, where))
+
+
+def _check_keys(cls: type, data: Mapping[str, Any]) -> None:
+    allowed = {spec_field.name for spec_field in dataclasses.fields(cls)}
+    unknown = sorted(set(data) - allowed)
+    if unknown:
+        raise ValueError(
+            f"unknown {cls.__name__} keys {unknown}; allowed: {sorted(allowed)}"
+        )
+
+
+def _accepts_seed(factory: Callable) -> bool:
+    try:
+        signature = inspect.signature(factory)
+    except (TypeError, ValueError):  # builtins / C callables
+        return False
+    return "seed" in signature.parameters
+
+
+def _check_factory_signature(
+    registry: Registry, name: str, params: Mapping[str, Any]
+) -> None:
+    """Eagerly check that ``params`` bind to the factory's signature.
+
+    Catches unknown/missing parameters at spec-construction time without
+    invoking the factory (which may be arbitrarily expensive for third-party
+    components).
+    """
+    factory = registry.get(name)
+    try:
+        signature = inspect.signature(factory)
+    except (TypeError, ValueError):  # builtins / C callables
+        return
+    kwargs = dict(params)
+    if "seed" not in kwargs and "seed" in signature.parameters:
+        kwargs["seed"] = 0
+    try:
+        signature.bind(**kwargs)
+    except TypeError as exc:
+        raise ValueError(
+            f"invalid parameters for {registry.kind} {name!r}: {exc}"
+        ) from exc
+
+
+def _build_component(
+    registry: Registry, name: str, params: Mapping[str, Any], derived_seed: int
+):
+    """Instantiate a registered component, injecting a derived seed if needed."""
+    factory = registry.get(name)
+    kwargs = dict(params)
+    if "seed" not in kwargs and _accepts_seed(factory):
+        kwargs["seed"] = derived_seed
+    try:
+        return factory(**kwargs)
+    except TypeError as exc:
+        raise ValueError(
+            f"invalid parameters for {registry.kind} {name!r}: {exc}"
+        ) from exc
+
+
+# -- traffic -------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """What traffic to synthesize.
+
+    Either name a registered workload (:data:`repro.traffic.workload.WORKLOADS`)
+    or give explicit sequence parameters.  With a ``workload``, an explicit
+    ``packet_count`` overrides the workload's count (the standard scaling knob)
+    and the remaining fields are ignored in favour of the workload definition.
+    """
+
+    workload: str | None = "smoke-sequence"
+    packet_count: int | None = None
+    packets_per_second: float = 100_000.0
+    arrival_process: str = "poisson"
+    payload_bytes: int = 16
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.workload is None and self.packet_count is None:
+            raise ValueError(
+                "TrafficSpec needs a workload name or an explicit packet_count"
+            )
+        if self.workload is not None:
+            if self.workload not in WORKLOADS:
+                known = ", ".join(sorted(WORKLOADS))
+                raise ValueError(
+                    f"unknown workload {self.workload!r}; known workloads: {known}"
+                )
+            # With a named workload only packet_count may be overridden; a
+            # conflicting explicit field would otherwise be silently dropped.
+            defaults = {
+                spec_field.name: spec_field.default
+                for spec_field in dataclasses.fields(self)
+            }
+            for conflicting in ("packets_per_second", "arrival_process", "payload_bytes"):
+                if getattr(self, conflicting) != defaults[conflicting]:
+                    raise ValueError(
+                        f"TrafficSpec.{conflicting} has no effect when a workload "
+                        f"is named; set workload=None for explicit parameters"
+                    )
+        self.trace_config()  # eagerly validate counts/rates/process
+
+    def trace_config(self) -> TraceConfig:
+        """Materialize the :class:`TraceConfig` this spec describes."""
+        if self.workload is not None:
+            config = WORKLOADS[self.workload].trace_config()
+            if self.packet_count is not None:
+                config = dataclasses.replace(config, packet_count=self.packet_count)
+            return config
+        return TraceConfig(
+            packet_count=self.packet_count,
+            packets_per_second=self.packets_per_second,
+            arrival_process=self.arrival_process,
+            payload_bytes=self.payload_bytes,
+            flow_config=FlowGeneratorConfig(),
+        )
+
+    def effective_seed(self, root_seed: int) -> int:
+        """The trace seed: explicit if pinned, derived from the root otherwise."""
+        return self.seed if self.seed is not None else derive_seed(root_seed, "traffic")
+
+    def build(self, root_seed: int = 0) -> SyntheticTrace:
+        """A fresh (deterministic) trace generator for this spec."""
+        return SyntheticTrace(
+            config=self.trace_config(),
+            prefix_pair=default_prefix_pair(),
+            seed=self.effective_seed(root_seed),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "workload": self.workload,
+            "packet_count": self.packet_count,
+            "packets_per_second": self.packets_per_second,
+            "arrival_process": self.arrival_process,
+            "payload_bytes": self.payload_bytes,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TrafficSpec":
+        _check_keys(cls, data)
+        return cls(**data)
+
+
+# -- path conditions -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ConditionSpec:
+    """One domain's internal forwarding behaviour, by registry key."""
+
+    delay: str = "constant"
+    delay_params: dict[str, Any] = field(default_factory=dict)
+    loss: str = "none"
+    loss_params: dict[str, Any] = field(default_factory=dict)
+    reordering: str = "none"
+    reordering_params: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for params_field in ("delay_params", "loss_params", "reordering_params"):
+            _normalize_params(self, params_field)
+        # Dry-build with a probe seed: unknown registry keys and invalid model
+        # parameters (negative delays, out-of-range rates, ...) fail at spec
+        # construction time, not deep inside a sweep.
+        self.build(root_seed=0, domain="__validate__")
+
+    def build(self, root_seed: int = 0, domain: str = "") -> SegmentCondition:
+        """Instantiate the models and compose the :class:`SegmentCondition`."""
+        label = f"condition.{domain}"
+        return SegmentCondition(
+            delay_model=_build_component(
+                DELAY_MODELS, self.delay, self.delay_params,
+                derive_seed(root_seed, f"{label}.delay"),
+            ),
+            loss_model=_build_component(
+                LOSS_MODELS, self.loss, self.loss_params,
+                derive_seed(root_seed, f"{label}.loss"),
+            ),
+            reordering=_build_component(
+                REORDERING_MODELS, self.reordering, self.reordering_params,
+                derive_seed(root_seed, f"{label}.reordering"),
+            ),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "delay": self.delay,
+            "delay_params": _normalize_value(self.delay_params, "delay_params"),
+            "loss": self.loss,
+            "loss_params": _normalize_value(self.loss_params, "loss_params"),
+            "reordering": self.reordering,
+            "reordering_params": _normalize_value(
+                self.reordering_params, "reordering_params"
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ConditionSpec":
+        _check_keys(cls, data)
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class PathSpec:
+    """Which scenario to drive and the per-domain conditions to install."""
+
+    scenario: str = "figure1"
+    scenario_params: dict[str, Any] = field(default_factory=dict)
+    conditions: dict[str, ConditionSpec] = field(default_factory=dict)
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        _normalize_params(self, "scenario_params")
+        _check_factory_signature(SCENARIOS, self.scenario, self.scenario_params)
+        for domain, condition in self.conditions.items():
+            if not isinstance(condition, ConditionSpec):
+                raise ValueError(
+                    f"PathSpec.conditions[{domain!r}] must be a ConditionSpec, "
+                    f"got {type(condition).__name__}"
+                )
+
+    def effective_seed(self, root_seed: int) -> int:
+        return self.seed if self.seed is not None else derive_seed(root_seed, "path")
+
+    def build(self, root_seed: int = 0) -> PathScenario:
+        """Build the scenario and configure every listed domain."""
+        factory = SCENARIOS.get(self.scenario)
+        try:
+            scenario = factory(
+                seed=self.effective_seed(root_seed), **self.scenario_params
+            )
+        except TypeError as exc:
+            raise ValueError(
+                f"invalid parameters for scenario {self.scenario!r}: {exc}"
+            ) from exc
+        for domain in sorted(self.conditions):
+            scenario.configure_domain(
+                domain, self.conditions[domain].build(root_seed, domain)
+            )
+        return scenario
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "scenario_params": _normalize_value(self.scenario_params, "scenario_params"),
+            "conditions": {
+                domain: condition.to_dict()
+                for domain, condition in sorted(self.conditions.items())
+            },
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PathSpec":
+        _check_keys(cls, data)
+        payload = dict(data)
+        payload["conditions"] = {
+            domain: ConditionSpec.from_dict(condition)
+            for domain, condition in dict(payload.get("conditions") or {}).items()
+        }
+        return cls(**payload)
+
+
+# -- protocol configuration ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class HOPSpec:
+    """One domain's locally tunable VPM knobs (a declarative ``HOPConfig``)."""
+
+    sampling_rate: float = 0.01
+    aggregate_size: int = 5000
+    marker_rate: float = DEFAULT_MARKER_RATE
+    reorder_window: float = 0.01
+
+    def __post_init__(self) -> None:
+        check_fraction("sampling_rate", self.sampling_rate)
+        check_fraction("marker_rate", self.marker_rate)
+        check_positive("aggregate_size", self.aggregate_size)
+        check_non_negative("reorder_window", self.reorder_window)
+
+    def build(self) -> HOPConfig:
+        return HOPConfig(
+            sampler=SamplerConfig(
+                sampling_rate=self.sampling_rate, marker_rate=self.marker_rate
+            ),
+            aggregator=AggregatorConfig(
+                expected_aggregate_size=self.aggregate_size,
+                reorder_window=self.reorder_window,
+            ),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "sampling_rate": self.sampling_rate,
+            "aggregate_size": self.aggregate_size,
+            "marker_rate": self.marker_rate,
+            "reorder_window": self.reorder_window,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "HOPSpec":
+        _check_keys(cls, data)
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """Who deploys VPM, and with which knobs.
+
+    ``default`` applies to every domain not listed in ``domains``; a domain
+    mapped to ``None`` (or a ``None`` default) has *not deployed VPM* and
+    produces no receipts — the partial-deployment scenario of Section 8.
+    """
+
+    default: HOPSpec | None = field(default_factory=HOPSpec)
+    domains: dict[str, HOPSpec | None] = field(default_factory=dict)
+    max_diff: float = 1e-3
+
+    def __post_init__(self) -> None:
+        check_positive("max_diff", self.max_diff)
+        if self.default is not None and not isinstance(self.default, HOPSpec):
+            raise ValueError(
+                f"ProtocolSpec.default must be a HOPSpec or None, "
+                f"got {type(self.default).__name__}"
+            )
+        for domain, hop_spec in self.domains.items():
+            if hop_spec is not None and not isinstance(hop_spec, HOPSpec):
+                raise ValueError(
+                    f"ProtocolSpec.domains[{domain!r}] must be a HOPSpec or None, "
+                    f"got {type(hop_spec).__name__}"
+                )
+
+    def build_configs(self, path: HOPPath) -> dict[str, HOPConfig | None]:
+        """The per-domain config mapping :class:`VPMSession` consumes.
+
+        Raises a :class:`ValueError` when ``domains`` names a domain that is
+        not on the path — a typo'd override would otherwise silently leave the
+        intended domain on the default config.
+        """
+        path_names = {domain.name for domain in path.domains}
+        unknown = sorted(set(self.domains) - path_names)
+        if unknown:
+            raise ValueError(
+                f"ProtocolSpec.domains names {unknown}, which are not on the "
+                f"path (path domains: {sorted(path_names)})"
+            )
+        configs: dict[str, HOPConfig | None] = {}
+        for domain in path.domains:
+            hop_spec = self.domains.get(domain.name, self.default)
+            configs[domain.name] = hop_spec.build() if hop_spec is not None else None
+        return configs
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "default": self.default.to_dict() if self.default is not None else None,
+            "domains": {
+                domain: hop_spec.to_dict() if hop_spec is not None else None
+                for domain, hop_spec in sorted(self.domains.items())
+            },
+            "max_diff": self.max_diff,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ProtocolSpec":
+        _check_keys(cls, data)
+        payload = dict(data)
+        if payload.get("default") is not None:
+            payload["default"] = HOPSpec.from_dict(payload["default"])
+        payload["domains"] = {
+            domain: HOPSpec.from_dict(hop_spec) if hop_spec is not None else None
+            for domain, hop_spec in dict(payload.get("domains") or {}).items()
+        }
+        return cls(**payload)
+
+
+# -- adversaries ---------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AdversarySpec:
+    """One adversarial behaviour, by registry key, installed at one domain."""
+
+    kind: str
+    domain: str
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        ADVERSARIES.get(self.kind)  # raises a clear ValueError when unknown
+        if not self.domain:
+            raise ValueError("AdversarySpec.domain must name a domain")
+        _normalize_params(self, "params")
+
+    @property
+    def role(self) -> str:
+        """``"agent"`` (receipt fabrication) or ``"condition"`` (forwarding)."""
+        return getattr(ADVERSARIES.get(self.kind), "adversary_role", "agent")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "domain": self.domain,
+            "params": _normalize_value(self.params, "params"),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "AdversarySpec":
+        _check_keys(cls, data)
+        return cls(**data)
+
+
+# -- estimation ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EstimationSpec:
+    """Who estimates whom, and what to compute per target."""
+
+    observer: str = "L"
+    targets: tuple[str, ...] = ("X",)
+    quantiles: tuple[float, ...] = DEFAULT_QUANTILES
+    verify: bool = True
+    independent: bool = True
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "targets", tuple(self.targets))
+        object.__setattr__(self, "quantiles", tuple(float(q) for q in self.quantiles))
+        if not self.observer:
+            raise ValueError("EstimationSpec.observer must name a domain")
+        if not self.targets:
+            raise ValueError("EstimationSpec.targets must name at least one domain")
+        for quantile in self.quantiles:
+            check_probability("quantile", quantile)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "observer": self.observer,
+            "targets": list(self.targets),
+            "quantiles": list(self.quantiles),
+            "verify": self.verify,
+            "independent": self.independent,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "EstimationSpec":
+        _check_keys(cls, data)
+        payload = dict(data)
+        if "targets" in payload:
+            payload["targets"] = tuple(payload["targets"])
+        if "quantiles" in payload:
+            payload["quantiles"] = tuple(payload["quantiles"])
+        return cls(**payload)
+
+
+# -- the composed experiment ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One evaluation cell: traffic × path × protocol × adversaries × question.
+
+    ``engine`` selects the execution path: ``"batch"`` (the default) drives the
+    vectorized collector fast path; ``"scalar"`` drives the per-packet object
+    path.  The two produce identical results for every registered component
+    (they consume the same RNG streams in the same order), so the choice is a
+    performance knob, not a semantic one.
+    """
+
+    name: str = "experiment"
+    seed: int = 0
+    engine: str = "batch"
+    traffic: TrafficSpec = field(default_factory=TrafficSpec)
+    path: PathSpec = field(default_factory=PathSpec)
+    protocol: ProtocolSpec = field(default_factory=ProtocolSpec)
+    adversaries: tuple[AdversarySpec, ...] = ()
+    estimation: EstimationSpec = field(default_factory=EstimationSpec)
+
+    def __post_init__(self) -> None:
+        if self.engine not in ("batch", "scalar"):
+            raise ValueError(
+                f"engine must be 'batch' or 'scalar', got {self.engine!r}"
+            )
+        object.__setattr__(self, "adversaries", tuple(self.adversaries))
+        for adversary in self.adversaries:
+            if not isinstance(adversary, AdversarySpec):
+                raise ValueError(
+                    f"adversaries must be AdversarySpec instances, "
+                    f"got {type(adversary).__name__}"
+                )
+
+    # -- convenience -----------------------------------------------------------------
+
+    def run(self):
+        """Run this spec as a one-cell experiment (see :class:`repro.api.Experiment`)."""
+        from repro.api.runner import Experiment
+
+        return Experiment(self).run()
+
+    def with_overrides(self, overrides: Mapping[str, Any]) -> "ExperimentSpec":
+        """A copy of this spec with dotted-path overrides applied.
+
+        Keys are dotted paths through nested specs and dicts, e.g.
+        ``"protocol.default.sampling_rate"`` or
+        ``"path.conditions.X.loss_params.target_rate"``.  Replacement re-runs
+        every touched spec's validation.
+        """
+        spec: ExperimentSpec = self
+        for dotted, value in overrides.items():
+            parts = dotted.split(".")
+            if not all(parts):
+                raise ValueError(f"invalid override path {dotted!r}")
+            spec = _replace_path(spec, parts, value, dotted)
+        return spec
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "engine": self.engine,
+            "traffic": self.traffic.to_dict(),
+            "path": self.path.to_dict(),
+            "protocol": self.protocol.to_dict(),
+            "adversaries": [adversary.to_dict() for adversary in self.adversaries],
+            "estimation": self.estimation.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentSpec":
+        _check_keys(cls, data)
+        payload = dict(data)
+        if "traffic" in payload:
+            payload["traffic"] = TrafficSpec.from_dict(payload["traffic"])
+        if "path" in payload:
+            payload["path"] = PathSpec.from_dict(payload["path"])
+        if "protocol" in payload:
+            payload["protocol"] = ProtocolSpec.from_dict(payload["protocol"])
+        if "adversaries" in payload:
+            payload["adversaries"] = tuple(
+                AdversarySpec.from_dict(adversary)
+                for adversary in payload["adversaries"]
+            )
+        if "estimation" in payload:
+            payload["estimation"] = EstimationSpec.from_dict(payload["estimation"])
+        return cls(**payload)
+
+
+def _replace_path(obj: Any, parts: list[str], value: Any, dotted: str) -> Any:
+    head, rest = parts[0], parts[1:]
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        field_names = {spec_field.name for spec_field in dataclasses.fields(obj)}
+        if head not in field_names:
+            raise ValueError(
+                f"override {dotted!r}: {type(obj).__name__} has no field {head!r} "
+                f"(fields: {sorted(field_names)})"
+            )
+        child = value if not rest else _replace_path(getattr(obj, head), rest, value, dotted)
+        return dataclasses.replace(obj, **{head: child})
+    if isinstance(obj, Mapping):
+        if rest and head not in obj:
+            raise ValueError(
+                f"override {dotted!r}: key {head!r} not present "
+                f"(keys: {sorted(obj)})"
+            )
+        replaced = dict(obj)
+        replaced[head] = value if not rest else _replace_path(obj[head], rest, value, dotted)
+        return replaced
+    raise ValueError(
+        f"override {dotted!r}: cannot descend into {type(obj).__name__} at {head!r}"
+    )

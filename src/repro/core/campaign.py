@@ -137,17 +137,33 @@ class MeasurementCampaign:
         scenario: PathScenario,
         target: str,
         observer: str = "S",
-        configs: dict[str, HOPConfig | None] | None = None,
+        configs: dict[str, HOPConfig | None] | HOPConfig | None = None,
         agents_factory: Callable[[HOPPath], dict[str, object]] | None = None,
     ) -> None:
         self.scenario = scenario
         self.target = target
         self.observer = observer
+        if isinstance(configs, HOPConfig):
+            configs = {domain.name: configs for domain in scenario.path.domains}
         self.configs = configs or {
             domain.name: HOPConfig() for domain in scenario.path.domains
         }
         self.agents_factory = agents_factory
         self._intervals: list[IntervalResult] = []
+
+    @classmethod
+    def from_spec(cls, spec) -> "MeasurementCampaign":
+        """Build a campaign from a declarative :class:`repro.api.ExperimentSpec`.
+
+        The campaign's scenario, per-domain configs, adversaries, target and
+        observer all come from the spec; see
+        :meth:`repro.api.Experiment.campaign` (to which this delegates) and
+        :meth:`repro.api.Experiment.interval_packets` for seed-spaced
+        per-interval traffic.
+        """
+        from repro.api.runner import Experiment
+
+        return Experiment(spec).campaign()
 
     def run_interval(self, packets: Sequence[Packet]) -> IntervalResult:
         """Run one measurement interval over ``packets`` and record it."""

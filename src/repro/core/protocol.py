@@ -18,7 +18,7 @@ overhead analysis (receipt bytes per observed byte, buffer occupancies).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Mapping, Sequence
 
 from repro.core.domain import DomainAgent
 from repro.core.hop import HOPConfig, HOPReport
@@ -58,10 +58,12 @@ class VPMSession:
     path:
         The HOP path being monitored.
     configs:
-        Mapping of domain name to the :class:`HOPConfig` the domain uses for
-        its HOPs; domains absent from the mapping use the default config.
-        A domain mapped to ``None`` has *not deployed VPM* and produces no
-        receipts (the partial-deployment scenario of Section 8).
+        Either a single :class:`HOPConfig` applied to every domain on the
+        path, or a mapping of domain name to the :class:`HOPConfig` the
+        domain uses for its HOPs; domains absent from the mapping use the
+        default config.  A domain mapped to ``None`` has *not deployed VPM*
+        and produces no receipts (the partial-deployment scenario of
+        Section 8).
     agents:
         Optional pre-built agents (e.g. adversarial ones from
         :mod:`repro.adversary`) keyed by domain name; they override the
@@ -74,12 +76,14 @@ class VPMSession:
     def __init__(
         self,
         path: HOPPath,
-        configs: Mapping[str, HOPConfig | None] | None = None,
+        configs: Mapping[str, HOPConfig | None] | HOPConfig | None = None,
         agents: Mapping[str, DomainAgent] | None = None,
         max_diff: float = 1e-3,
     ) -> None:
         self.path = path
         self.max_diff = float(max_diff)
+        if isinstance(configs, HOPConfig):
+            configs = {domain.name: configs for domain in path.domains}
         configs = dict(configs or {})
         agents = dict(agents or {})
 
@@ -124,14 +128,20 @@ class VPMSession:
 
     # -- verification helpers ------------------------------------------------------------
 
-    def verifier_for(self, observer: Domain | str) -> Verifier:
+    def verifier_for(
+        self, observer: Domain | str, quantiles: Sequence[float] | None = None
+    ) -> Verifier:
         """Build a verifier over the receipts ``observer`` is entitled to see.
 
         Receipts are only made available to domains that observed the
         corresponding traffic; every domain on the path qualifies, so the
         distinction only matters for off-path observers (who get nothing).
+        ``quantiles`` overrides the delay quantiles the verifier estimates.
         """
-        verifier = Verifier(self.path)
+        if quantiles is not None:
+            verifier = Verifier(self.path, quantiles=quantiles)
+        else:
+            verifier = Verifier(self.path)
         verifier.add_reports(self.bus.reports_visible_to(observer))
         return verifier
 

@@ -12,6 +12,12 @@ treatment of selected packets) and per-link conditions, and records
 
 This module contains no VPM logic; it is the substrate that stands in for the
 paper's trace-driven methodology (trace + ns-2 delays + Gilbert-Elliott loss).
+
+Scenarios are the engine layer under the declarative experiment API: the
+Figure-1 builder is registered as the ``"figure1"`` scenario in
+:mod:`repro.api.registry`, per-domain :class:`SegmentCondition` values are
+described by :class:`repro.api.ConditionSpec`, and alternative topologies plug
+in via :func:`repro.api.register_scenario`.
 """
 
 from __future__ import annotations

@@ -14,7 +14,7 @@ from repro.traffic.flows import FlowGeneratorConfig
 from repro.traffic.trace import SyntheticTrace, TraceConfig, default_prefix_pair
 from repro.util.validation import check_positive
 
-__all__ = ["WorkloadSpec", "make_workload", "WORKLOADS"]
+__all__ = ["WorkloadSpec", "make_workload", "register_workload", "WORKLOADS"]
 
 
 @dataclass(frozen=True)
@@ -76,6 +76,22 @@ WORKLOADS: dict[str, WorkloadSpec] = {
         description="Bursty (MMPP) arrivals for robustness experiments.",
     ),
 }
+
+
+def register_workload(spec: WorkloadSpec, *, overwrite: bool = False) -> WorkloadSpec:
+    """Register a named workload for :func:`make_workload` and ``TrafficSpec``.
+
+    Third parties can add workloads the same way they plug new models into
+    :mod:`repro.api.registry`; a registered name is immediately usable as
+    ``TrafficSpec(workload=...)`` in declarative experiment specs.
+    """
+    if not overwrite and spec.name in WORKLOADS:
+        raise ValueError(
+            f"workload {spec.name!r} is already registered; "
+            f"pass overwrite=True to replace it"
+        )
+    WORKLOADS[spec.name] = spec
+    return spec
 
 
 def make_workload(name: str, seed: int | None = 0) -> SyntheticTrace:
