@@ -12,3 +12,18 @@ from pathlib import Path
 _SRC = Path(__file__).resolve().parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
+
+
+def pytest_addoption(parser):
+    """Register the conformance suite's golden-regeneration flag.
+
+    (Lives here because pytest only honours ``pytest_addoption`` in initial
+    conftests; the flag is consumed by ``tests/conformance``.)
+    """
+    parser.addoption(
+        "--regen-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite tests/conformance/goldens/*.json from the current "
+        "batch-engine output instead of comparing against them",
+    )

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Perf-regression guard: measure engine throughput against checked-in floors.
+
+Runs two quick probes on a fixed 300k-packet cell (jitter delay + bursty loss
+in X, paper-scale aggregation knobs):
+
+* the **batch** engine (synthesize + propagate + collect + estimate), and
+* the **streaming** engine (same cell, chunked execution);
+
+then compares packets/second against ``benchmarks/perf_thresholds.json``.
+A probe fails when it runs more than ``regression_tolerance`` (25%) below its
+threshold — i.e. the thresholds are floors already discounted for CI-runner
+variance, and the tolerance is the maximum further regression we accept
+before failing the build.
+
+Exit status 1 on regression.  ``--json FILE`` writes the measurements (for
+the CI artifact); ``--calibrate`` prints suggested thresholds (60% of the
+local measurement) instead of checking.
+
+Usage:  PYTHONPATH=src python scripts/check_perf.py [--json FILE] [--calibrate]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.api import ExperimentSpec  # noqa: E402
+from repro.api.runner import clear_trace_cache, run_cell  # noqa: E402
+from repro.api.spec import (  # noqa: E402
+    ConditionSpec,
+    HOPSpec,
+    PathSpec,
+    ProtocolSpec,
+    TrafficSpec,
+)
+
+THRESHOLDS_PATH = REPO_ROOT / "benchmarks" / "perf_thresholds.json"
+PACKETS = 300_000
+
+
+def probe_spec() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="perf-probe",
+        seed=99,
+        traffic=TrafficSpec(workload=None, packet_count=PACKETS, payload_bytes=8),
+        path=PathSpec(
+            conditions={
+                "X": ConditionSpec(
+                    delay="jitter",
+                    delay_params={"base_delay": 1.0e-3, "jitter_std": 0.5e-3},
+                    loss="gilbert-elliott-rate",
+                    loss_params={"target_rate": 0.02},
+                )
+            }
+        ),
+        protocol=ProtocolSpec(
+            default=HOPSpec(sampling_rate=0.005, aggregate_size=100_000)
+        ),
+    )
+
+
+def measure() -> dict[str, float]:
+    spec = probe_spec()
+    measurements: dict[str, float] = {}
+    for engine in ("batch", "streaming"):
+        clear_trace_cache()  # charge traffic synthesis to every engine equally
+        started = time.perf_counter()
+        run_cell(spec, engine=engine, chunk_size=1 << 16 if engine == "streaming" else None)
+        elapsed = time.perf_counter() - started
+        measurements[f"{engine}_packets_per_second"] = PACKETS / elapsed
+        measurements[f"{engine}_seconds"] = elapsed
+    return measurements
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", type=str, default=None)
+    parser.add_argument("--calibrate", action="store_true")
+    args = parser.parse_args()
+
+    measurements = measure()
+    for key, value in sorted(measurements.items()):
+        if key.endswith("packets_per_second"):
+            print(f"{key}: {value/1e3:,.0f}k pkts/s")
+
+    if args.json:
+        Path(args.json).write_text(json.dumps(measurements, indent=2, sort_keys=True))
+
+    if args.calibrate:
+        suggested = {
+            "regression_tolerance": 0.25,
+            "thresholds_packets_per_second": {
+                engine: round(measurements[f"{engine}_packets_per_second"] * 0.6)
+                for engine in ("batch", "streaming")
+            },
+        }
+        print("suggested thresholds:")
+        print(json.dumps(suggested, indent=2, sort_keys=True))
+        return 0
+
+    config = json.loads(THRESHOLDS_PATH.read_text())
+    tolerance = float(config["regression_tolerance"])
+    failed = False
+    for engine, floor in config["thresholds_packets_per_second"].items():
+        measured = measurements[f"{engine}_packets_per_second"]
+        minimum = floor * (1.0 - tolerance)
+        status = "ok" if measured >= minimum else "REGRESSION"
+        print(
+            f"{engine}: measured {measured/1e3:,.0f}k pkts/s, "
+            f"floor {floor/1e3:,.0f}k (fail under {minimum/1e3:,.0f}k) -> {status}"
+        )
+        failed |= measured < minimum
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -51,6 +51,7 @@ from repro.core.receipts import (
 )
 from repro.core.sampling import DelaySampler
 from repro.core.verifier import Verifier
+from repro.engine import ScenarioStream, StreamingResult, StreamingRunner
 from repro.net.batch import PacketBatch
 from repro.net.packet import Packet
 from repro.net.topology import Domain, HOP, HOPPath, Topology
@@ -84,6 +85,9 @@ __all__ = [
     "PathScenario",
     "SampleReceipt",
     "SampleRecord",
+    "ScenarioStream",
+    "StreamingResult",
+    "StreamingRunner",
     "SyntheticTrace",
     "Topology",
     "TraceConfig",

@@ -20,7 +20,7 @@ from __future__ import annotations
 import dataclasses
 import itertools
 from concurrent.futures import ProcessPoolExecutor
-from functools import lru_cache
+from functools import lru_cache, partial
 from typing import Any, Mapping, Sequence
 
 from repro.api.registry import ADVERSARIES
@@ -37,6 +37,7 @@ from repro.api.results import (
 from repro.api.spec import ExperimentSpec, TrafficSpec, derive_seed
 from repro.core.hop import HOPConfig
 from repro.core.protocol import VPMSession
+from repro.engine.streaming import DEFAULT_CHUNK_SIZE, StreamingCell, StreamingRunner
 from repro.net.batch import PacketBatch
 from repro.net.packet import Packet
 from repro.net.topology import HOPPath
@@ -135,24 +136,34 @@ def _build_agent_adversaries(
     return agents
 
 
-def run_cell(spec: ExperimentSpec) -> CellResult:
-    """Execute one experiment cell and summarize everything it produced."""
+def _build_cell(payload: dict[str, Any]) -> StreamingCell:
+    """Build the (scenario, trace, session) triple every engine drives.
+
+    The single construction path for all three engines — any spec field that
+    must influence cell construction is wired here exactly once, which is
+    what keeps the engines' byte-identical contract honest.  Top-level (and
+    fed a plain dict) so ``shards > 1`` worker processes can unpickle and
+    re-execute it; a cell is a pure function of the spec's seeds, so every
+    rebuild is identical.
+    """
+    spec = ExperimentSpec.from_dict(payload)
     scenario = spec.path.build(spec.seed)
     _apply_condition_adversaries(spec, scenario)
-
-    traffic_seed = spec.traffic.effective_seed(spec.seed)
-    if spec.engine == "batch":
-        observation = scenario.run_batch(_cached_batch(spec.traffic, traffic_seed))
-    else:
-        observation = scenario.run(_cached_packets(spec.traffic, traffic_seed))
-
+    trace = SyntheticTrace(
+        config=spec.traffic.trace_config(),
+        prefix_pair=default_prefix_pair(),
+        seed=spec.traffic.effective_seed(spec.seed),
+    )
     configs = spec.protocol.build_configs(scenario.path)
     agents = _build_agent_adversaries(spec, scenario.path, configs)
     session = VPMSession(
         scenario.path, configs=configs, agents=agents, max_diff=spec.protocol.max_diff
     )
-    session.run(observation)
+    return StreamingCell(scenario=scenario, trace=trace, session=session)
 
+
+def _summarize_cell(spec: ExperimentSpec, session: VPMSession, truth_source) -> CellResult:
+    """Turn a fed session (+ ground truth) into a :class:`CellResult`."""
     estimation = spec.estimation
     verifier = session.verifier_for(estimation.observer, quantiles=estimation.quantiles)
     consistency_findings = len(verifier.check_consistency()) if estimation.verify else 0
@@ -161,9 +172,9 @@ def run_cell(spec: ExperimentSpec) -> CellResult:
     for target in estimation.targets:
         performance = verifier.estimate_domain(target)
         truth = None
-        if target in observation.domain_truth:
+        if target in truth_source.domain_truth:
             truth = TruthSummary.from_truth(
-                observation.truth_for(target), estimation.quantiles
+                truth_source.truth_for(target), estimation.quantiles
             )
         verification = None
         if estimation.verify:
@@ -192,6 +203,53 @@ def run_cell(spec: ExperimentSpec) -> CellResult:
     )
 
 
+def run_cell(
+    spec: ExperimentSpec,
+    engine: str | None = None,
+    shards: int = 1,
+    chunk_size: int | None = None,
+) -> CellResult:
+    """Execute one experiment cell and summarize everything it produced.
+
+    ``engine`` overrides the spec's engine *for execution only* — the result
+    still embeds the spec unchanged, so the same spec run under different
+    engines yields byte-identical ``CellResult.to_json()`` (the engines'
+    exactness guarantee, asserted by the conformance suite).  ``shards`` and
+    ``chunk_size`` apply to the streaming engine.
+    """
+    engine = engine or spec.engine
+    if engine not in ("batch", "scalar", "streaming"):
+        raise ValueError(
+            f"engine must be 'batch', 'scalar' or 'streaming', got {engine!r}"
+        )
+    if engine != "streaming":
+        if shards != 1:
+            raise ValueError(f"engine {engine!r} does not support shards")
+        if chunk_size is not None:
+            raise ValueError(
+                f"engine {engine!r} does not support chunk_size (the batch and "
+                f"scalar engines materialize the whole trace)"
+            )
+
+    if engine == "streaming":
+        runner = StreamingRunner(
+            partial(_build_cell, spec.to_dict()),
+            chunk_size=chunk_size or DEFAULT_CHUNK_SIZE,
+            shards=shards,
+        )
+        streamed = runner.run()
+        return _summarize_cell(spec, streamed.session, streamed)
+
+    cell = _build_cell(spec.to_dict())
+    traffic_seed = spec.traffic.effective_seed(spec.seed)
+    if engine == "batch":
+        observation = cell.scenario.run_batch(_cached_batch(spec.traffic, traffic_seed))
+    else:
+        observation = cell.scenario.run(_cached_packets(spec.traffic, traffic_seed))
+    cell.session.run(observation)
+    return _summarize_cell(spec, cell.session, observation)
+
+
 def _run_cell_payload(payload: dict[str, Any]) -> CellResult:
     """Worker entry point: rebuild the spec from plain data and run the cell.
 
@@ -218,9 +276,25 @@ class Experiment:
 
     # -- single cell -----------------------------------------------------------------
 
-    def run(self) -> CellResult:
-        """Run one cell (the batch fast path unless the spec says scalar)."""
-        return run_cell(self.spec)
+    def run(
+        self,
+        engine: str | None = None,
+        shards: int = 1,
+        chunk_size: int | None = None,
+    ) -> CellResult:
+        """Run one cell.
+
+        By default the spec's engine runs (the batch fast path unless the
+        spec says otherwise).  ``engine="streaming"`` drives the chunked
+        bounded-memory engine; ``shards=N`` additionally splits the stream
+        across a process pool, byte-identical to the single-process run::
+
+            Experiment(spec).run(engine="streaming", shards=4)
+
+        The override affects execution only — the returned result embeds the
+        spec unchanged, so results are directly comparable across engines.
+        """
+        return run_cell(self.spec, engine=engine, shards=shards, chunk_size=chunk_size)
 
     # -- sweeps ----------------------------------------------------------------------
 

@@ -571,9 +571,12 @@ class ExperimentSpec:
 
     ``engine`` selects the execution path: ``"batch"`` (the default) drives the
     vectorized collector fast path; ``"scalar"`` drives the per-packet object
-    path.  The two produce identical results for every registered component
-    (they consume the same RNG streams in the same order), so the choice is a
-    performance knob, not a semantic one.
+    path; ``"streaming"`` drives the chunked engine
+    (:mod:`repro.engine`), which runs in bounded memory and accepts
+    ``shards=N`` at run time for process-parallel execution.  All engines
+    produce identical results for every streamable registered component (they
+    consume the same RNG streams in the same order), so the choice is a
+    performance/memory knob, not a semantic one.
     """
 
     name: str = "experiment"
@@ -586,9 +589,9 @@ class ExperimentSpec:
     estimation: EstimationSpec = field(default_factory=EstimationSpec)
 
     def __post_init__(self) -> None:
-        if self.engine not in ("batch", "scalar"):
+        if self.engine not in ("batch", "scalar", "streaming"):
             raise ValueError(
-                f"engine must be 'batch' or 'scalar', got {self.engine!r}"
+                f"engine must be 'batch', 'scalar' or 'streaming', got {self.engine!r}"
             )
         object.__setattr__(self, "adversaries", tuple(self.adversaries))
         for adversary in self.adversaries:

@@ -79,6 +79,18 @@ class DomainAgent:
         """The collector running at one of the domain's HOPs."""
         return self._collectors[hop_id]
 
+    def replace_collector(self, hop_id: int, collector: HOPCollector) -> None:
+        """Install a collector (e.g. merged shard state) at one of the HOPs.
+
+        The shard-parallel streaming engine merges per-shard collector states
+        into one collector per HOP and installs it here before reports are
+        generated; the replacement gets a fresh processor.
+        """
+        if hop_id not in self._collectors:
+            raise KeyError(f"domain {self.domain_name!r} has no HOP {hop_id}")
+        self._collectors[hop_id] = collector
+        self._processors[hop_id] = HOPProcessor(collector)
+
     def observe(self, observation: PathObservation | BatchPathObservation) -> None:
         """Feed each of the domain's HOPs the traffic it observed.
 

@@ -117,9 +117,20 @@ class VPMSession:
         way.
         """
         self._last_observation = observation
-        reports: dict[int, HOPReport] = {}
         for agent in self.agents.values():
             agent.observe(observation)
+        return self.collect_reports()
+
+    def collect_reports(self) -> dict[int, HOPReport]:
+        """Generate, transform and publish reports from already-fed collectors.
+
+        The back half of :meth:`run`, exposed separately for execution engines
+        that feed the collectors incrementally (the streaming engine drives
+        chunks through every agent's collectors itself, then calls this once
+        at end of stream).
+        """
+        reports: dict[int, HOPReport] = {}
+        for agent in self.agents.values():
             for hop_id, report in agent.reports(flush=True).items():
                 reports[hop_id] = report
                 self.bus.publish(agent.domain_name, report)

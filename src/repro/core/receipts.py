@@ -136,7 +136,14 @@ class SampleReceipt:
         return 8 + len(self.samples) * SAMPLE_RECORD_BYTES
 
     def merged_with(self, other: "SampleReceipt") -> "SampleReceipt":
-        """Combine with another sample receipt from the same HOP and path."""
+        """Combine with another sample receipt from the same HOP and path.
+
+        Raises :class:`ValueError` when the receipts disagree on the PathID
+        *or* on the sampling threshold — receipts produced under different
+        sampling functions/configurations measure different packet sets, and
+        silently unioning them would fabricate a sample set no HOP ever
+        collected.
+        """
         return combine_sample_receipts([self, other])
 
 
@@ -202,9 +209,16 @@ def combine_sample_receipts(receipts: Sequence[SampleReceipt]) -> SampleReceipt:
     if not receipts:
         raise ValueError("cannot combine an empty sequence of sample receipts")
     path_id = receipts[0].path_id
+    threshold = receipts[0].sampling_threshold
     for receipt in receipts[1:]:
         if receipt.path_id != path_id:
             raise ValueError("sample receipts to combine must share the same PathID")
+        if receipt.sampling_threshold != threshold:
+            raise ValueError(
+                "sample receipts to combine must share the same sampling "
+                f"threshold (sampling-function identity); got "
+                f"{threshold!r} vs {receipt.sampling_threshold!r}"
+            )
     merged: dict[int, SampleRecord] = {}
     for receipt in receipts:
         for record in receipt.samples:

@@ -1,0 +1,33 @@
+"""Execution engines for driving scenarios at scale.
+
+The scalar and batch engines live with the scenario
+(:meth:`repro.simulation.scenario.PathScenario.run` / ``run_batch``) and
+materialize every HOP's whole observation stream.  This package adds the
+third engine: **streaming** execution
+(:class:`~repro.engine.streaming.StreamingRunner`), which drives a scenario
+chunk-by-chunk in ``O(chunk)`` memory and optionally splits the stream across
+a process pool (``shards=N``), merging the per-shard collector states exactly
+(:meth:`repro.core.hop.HOPCollector.merge`).
+
+All three engines produce identical receipts and results for every streamable
+component (see ``README.md`` § Engines); the only documented difference is
+``AggregateReceipt.time_sum``, whose float accumulation order varies.
+"""
+
+from repro.engine.streaming import (
+    DEFAULT_CHUNK_SIZE,
+    ScenarioStream,
+    StreamingCell,
+    StreamingResult,
+    StreamingRunner,
+    StreamingTruth,
+)
+
+__all__ = [
+    "DEFAULT_CHUNK_SIZE",
+    "ScenarioStream",
+    "StreamingCell",
+    "StreamingResult",
+    "StreamingRunner",
+    "StreamingTruth",
+]

@@ -1,0 +1,535 @@
+"""Chunked, shard-parallel scenario execution with exact batch-engine parity.
+
+The batch engine (:meth:`repro.simulation.scenario.PathScenario.run_batch`)
+materializes every HOP's whole observation stream; at tens of millions of
+packets that costs multiple gigabytes.  This module drives the *same*
+simulation as a stream:
+
+* :class:`ScenarioStream` pushes one trace chunk at a time through the path.
+  Each propagation stage (domain segment, inter-domain link) applies its
+  models to the chunk — consuming every model's RNG in exactly the order the
+  whole-batch run would — and holds packets back in a small sort buffer until
+  the **watermark** (the last source send time seen) guarantees no future
+  packet can precede them.  Emissions at every HOP are therefore the
+  whole-run observation stream, delivered incrementally, bit-for-bit.
+
+* :class:`StreamingRunner` feeds those emissions to the VPM collectors
+  chunk-by-chunk (single process), or splits the chunk index range across a
+  :class:`~concurrent.futures.ProcessPoolExecutor` (``shards=N``) and merges
+  the per-shard collector states exactly
+  (:meth:`repro.core.hop.HOPCollector.merge`), so a sharded run's receipts
+  equal the single-process run's.
+
+Exactness contract: every component must be *streamable* — delay and loss
+models declare it (:attr:`repro.traffic.delay_models.DelayModel.streamable`),
+reordering models expose a sequential :meth:`perturb` with non-negative
+offsets.  Non-streamable components (``CongestionDelayModel``, which
+simulates the whole arrival series per call) are rejected with a clear error;
+run those under the batch engine.  The one documented deviation is
+``AggregateReceipt.time_sum`` (float accumulation order, as with scalar vs
+batch).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, NamedTuple, Sequence
+
+import numpy as np
+
+from repro.core.hop import HOPCollector, HOPReport
+from repro.core.protocol import VPMSession
+from repro.net.batch import PacketBatch
+from repro.net.hashing import PacketDigester
+from repro.net.topology import HOP, Domain
+from repro.simulation.scenario import PathScenario, SegmentCondition
+from repro.traffic.trace import SyntheticTrace
+
+__all__ = [
+    "DEFAULT_CHUNK_SIZE",
+    "ScenarioStream",
+    "StreamingCell",
+    "StreamingResult",
+    "StreamingRunner",
+    "StreamingTruth",
+]
+
+# Large enough to amortize numpy dispatch, small enough that per-chunk
+# working state stays comfortably in cache-friendly territory.
+DEFAULT_CHUNK_SIZE = 1 << 18
+
+
+class StreamingCell(NamedTuple):
+    """Everything one streaming run needs: scenario, trace, VPM session."""
+
+    scenario: PathScenario
+    trace: SyntheticTrace
+    session: VPMSession
+
+
+@dataclass
+class StreamingTruth:
+    """Ground truth of one domain, accumulated chunk-by-chunk.
+
+    Stores per-chunk true-delay arrays plus loss/delivery counts — the pieces
+    result summaries actually consume — instead of the full per-uid maps the
+    batch engine keeps, so memory stays proportional to delivered packets
+    (one float each) rather than three columns.  The accessors mirror
+    :class:`repro.simulation.scenario.BatchDomainTruth`, and the delay values
+    are elementwise identical to the batch engine's, so quantiles match
+    exactly.
+    """
+
+    domain: str
+    lost_packets: int = 0
+    delivered_packets: int = 0
+    _delay_chunks: list[np.ndarray] = field(default_factory=list)
+    _delays: np.ndarray | None = None
+
+    def record(self, ingress_times: np.ndarray, egress_times: np.ndarray, lost: int) -> None:
+        """Fold in one chunk's outcomes (delivered ingress/egress, lost count)."""
+        if len(ingress_times):
+            self._delay_chunks.append(egress_times - ingress_times)
+            self._delays = None
+        self.delivered_packets += len(ingress_times)
+        self.lost_packets += lost
+
+    @property
+    def offered_packets(self) -> int:
+        """Packets that entered the domain."""
+        return self.delivered_packets + self.lost_packets
+
+    @property
+    def loss_rate(self) -> float:
+        """True fraction of entering packets dropped inside the domain."""
+        offered = self.offered_packets
+        return self.lost_packets / offered if offered else 0.0
+
+    @property
+    def lost(self) -> range:
+        """Sized stand-in for the dropped-packet set (only its length is used)."""
+        return range(self.lost_packets)
+
+    def delays(self) -> np.ndarray:
+        """True per-packet delays of the packets the domain delivered."""
+        if self._delays is None:
+            self._delays = (
+                np.concatenate(self._delay_chunks)
+                if self._delay_chunks
+                else np.empty(0, dtype=float)
+            )
+            self._delay_chunks = [self._delays] if len(self._delays) else []
+        return self._delays
+
+    def delay_quantiles(self, quantiles: Sequence[float]) -> dict[float, float]:
+        """True delay quantiles of the delivered packets."""
+        delays = self.delays()
+        if delays.size == 0:
+            return {quantile: 0.0 for quantile in quantiles}
+        return {quantile: float(np.quantile(delays, quantile)) for quantile in quantiles}
+
+
+class _StreamSorter:
+    """Stable time-sort over an append-only stream, emitted up to a watermark.
+
+    Rows are appended in arrival order with a sort key; :meth:`push` emits the
+    stable-sorted prefix whose keys are ``<= watermark`` (the caller
+    guarantees every future key exceeds the watermark) and holds the rest.
+    The emitted concatenation across pushes equals one stable whole-stream
+    argsort — including tie-breaks, because held rows stay ordered ahead of
+    later arrivals.
+    """
+
+    def __init__(self) -> None:
+        self._batch: PacketBatch | None = None
+        self._keys: np.ndarray | None = None
+
+    @property
+    def pending(self) -> int:
+        return 0 if self._keys is None else len(self._keys)
+
+    def push(
+        self, batch: PacketBatch, keys: np.ndarray, watermark: float
+    ) -> tuple[PacketBatch, np.ndarray]:
+        if self._batch is not None:
+            if len(batch):
+                batch = PacketBatch.concat([self._batch, batch])
+                keys = np.concatenate([self._keys, keys])
+            else:
+                batch, keys = self._batch, self._keys
+            self._batch = self._keys = None
+        if len(batch) == 0:
+            return batch, keys
+        order = np.argsort(keys, kind="stable")
+        sorted_keys = keys[order]
+        cut = int(np.searchsorted(sorted_keys, watermark, side="right"))
+        if cut < len(order):
+            # Detach the held rows from their source chunk so a handful of
+            # in-flight packets never pins a whole chunk (plus its digests).
+            self._batch = batch.take(order[cut:]).detach_root()
+            self._keys = sorted_keys[cut:]
+        if cut == len(order) and np.array_equal(order, np.arange(len(order))):
+            return batch, keys  # already sorted and fully emittable
+        return batch.take(order[:cut]), sorted_keys[:cut]
+
+
+class _DomainStage:
+    """Streaming twin of ``PathScenario._traverse_domain_batch``."""
+
+    def __init__(
+        self,
+        scenario: PathScenario,
+        domain: Domain,
+        condition: SegmentCondition,
+        truth: StreamingTruth | None,
+    ) -> None:
+        self._scenario = scenario
+        self._condition = condition
+        self._truth = truth
+        self._egress_sorter = _StreamSorter()
+        self._reordering = condition.reordering
+        self._reorder_sorter = (
+            _StreamSorter() if self._reordering.max_lateness != 0.0 else None
+        )
+
+    def push(
+        self, batch: PacketBatch, times: np.ndarray, watermark: float
+    ) -> tuple[PacketBatch, np.ndarray]:
+        if len(batch):
+            lost, egress_times = self._scenario.domain_effects_batch(
+                self._condition, batch, times
+            )
+            delivered = ~lost
+            if self._truth is not None:
+                self._truth.record(
+                    times[delivered], egress_times[delivered], int(lost.sum())
+                )
+            survivors = np.flatnonzero(delivered)
+            batch = batch.take(survivors)
+            times = egress_times[survivors]
+        # Natural reordering from variable delays, then any extra reordering —
+        # the model's perturbation draws run in sorted-egress order, exactly
+        # as one whole-stream ``reordering.apply`` would consume them.
+        emitted, emitted_times = self._egress_sorter.push(batch, times, watermark)
+        if self._reorder_sorter is None:
+            return emitted, emitted_times
+        perturbed = self._reordering.perturb(emitted_times)
+        return self._reorder_sorter.push(emitted, perturbed, watermark)
+
+
+class _LinkStage:
+    """Streaming twin of ``PathScenario._traverse_link_batch``."""
+
+    def __init__(self, link, key: tuple[int, int], losses: dict) -> None:
+        self._link = link
+        self._lost: set[int] = losses.setdefault(key, set())
+        self._sorter = _StreamSorter()
+
+    def push(
+        self, batch: PacketBatch, times: np.ndarray, watermark: float
+    ) -> tuple[PacketBatch, np.ndarray]:
+        if len(batch):
+            delivered, far_times = self._link.transfer_batch(times)
+            if not delivered.all():
+                self._lost.update(int(uid) for uid in batch.uid[~delivered])
+                batch = batch.take(np.flatnonzero(delivered))
+            times = far_times
+        return self._sorter.push(batch, times, watermark)
+
+
+class ScenarioStream:
+    """Drives a :class:`PathScenario` chunk-by-chunk with exact parity.
+
+    Push source chunks in send order (:meth:`push`), then :meth:`flush` once;
+    each call returns the newly emitted ``(hop_id, batch, times)`` observation
+    spans per HOP, whose concatenation over the whole run is bit-identical to
+    :meth:`PathScenario.run_batch`'s per-HOP observations.  Memory is bounded
+    by the chunk size plus the packets in flight inside delay/reorder
+    holdback windows.
+
+    ``predigest`` lists the packet digesters in play; each chunk is digested
+    once up front so every downstream slice and splice reuses the cached
+    values (the one-hash-per-packet property of the batch engine).
+    """
+
+    def __init__(
+        self,
+        scenario: PathScenario,
+        collect_truth: bool = True,
+        predigest: Sequence[PacketDigester] = (),
+    ) -> None:
+        check_scenario_streamable(scenario)
+        self.scenario = scenario
+        self.link_losses: dict[tuple[int, int], set[int]] = {}
+        self.domain_truth: dict[str, StreamingTruth] = {}
+        self._predigest = tuple(dict.fromkeys(predigest))
+        self._watermark = -np.inf
+        self._template: PacketBatch | None = None
+
+        if collect_truth:
+            for segment in scenario.path.domain_segments():
+                name = segment[0].name
+                self.domain_truth[name] = StreamingTruth(domain=name)
+
+        self._stages: list[tuple[object, HOP]] = []
+        hops = scenario.path.hops
+        for index, hop in enumerate(hops[:-1]):
+            next_hop = hops[index + 1]
+            if hop.domain == next_hop.domain:
+                stage = _DomainStage(
+                    scenario,
+                    hop.domain,
+                    scenario.condition_for(hop.domain),
+                    self.domain_truth.get(hop.domain.name),
+                )
+            else:
+                link = scenario.topology.link_between(hop, next_hop)
+                stage = _LinkStage(
+                    link, (hop.hop_id, next_hop.hop_id), self.link_losses
+                )
+            self._stages.append((stage, next_hop))
+
+    def push(self, chunk: PacketBatch) -> list[tuple[int, PacketBatch, np.ndarray]]:
+        """Propagate one source chunk; return the emissions at every HOP."""
+        if len(chunk) == 0:
+            return []
+        for digester in self._predigest:
+            digester.digest_batch(chunk)
+        self._template = chunk
+        self._watermark = float(chunk.send_time[-1])
+        return self._advance(chunk, chunk.send_time.copy(), self._watermark)
+
+    def flush(self) -> list[tuple[int, PacketBatch, np.ndarray]]:
+        """Drain every holdback buffer (end of stream)."""
+        if self._template is None:
+            return []
+        empty = self._template.take(np.empty(0, dtype=np.int64))
+        return self._advance(empty, np.empty(0, dtype=np.float64), np.inf)
+
+    def _advance(
+        self, batch: PacketBatch, times: np.ndarray, watermark: float
+    ) -> list[tuple[int, PacketBatch, np.ndarray]]:
+        source_hop = self.scenario.path.hops[0]
+        emissions = [(source_hop.hop_id, batch, times)]
+        current_batch, current_times = batch, times
+        for stage, next_hop in self._stages:
+            current_batch, current_times = stage.push(
+                current_batch, current_times, watermark
+            )
+            emissions.append((next_hop.hop_id, current_batch, current_times))
+        return emissions
+
+
+def check_scenario_streamable(scenario: PathScenario) -> None:
+    """Raise ``ValueError`` naming every component streaming cannot drive exactly."""
+    problems: list[str] = []
+    for segment in scenario.path.domain_segments():
+        name = segment[0].name
+        condition = scenario.condition_for(name)
+        if not getattr(condition.delay_model, "streamable", False):
+            problems.append(
+                f"domain {name!r}: delay model "
+                f"{type(condition.delay_model).__name__} is not streamable"
+            )
+        if not getattr(condition.loss_model, "streamable", False):
+            problems.append(
+                f"domain {name!r}: loss model "
+                f"{type(condition.loss_model).__name__} is not streamable"
+            )
+        if getattr(condition.reordering, "max_lateness", None) is None:
+            problems.append(
+                f"domain {name!r}: reordering model "
+                f"{type(condition.reordering).__name__} declares no max_lateness"
+            )
+    if problems:
+        raise ValueError(
+            "the streaming engine cannot reproduce this scenario exactly: "
+            + "; ".join(problems)
+            + " (use the batch engine, or make the component streamable)"
+        )
+
+
+@dataclass
+class StreamingResult:
+    """Everything a streaming run produced.
+
+    ``truth_for``/``domain_truth`` mirror the batch observation's read API so
+    result summarization code accepts either.  ``session`` is the (parent)
+    VPM session whose bus now holds the published reports.
+    """
+
+    reports: dict[int, HOPReport]
+    session: VPMSession
+    domain_truth: dict[str, StreamingTruth]
+    link_losses: dict[tuple[int, int], set[int]]
+    chunk_size: int
+    shards: int
+    chunks: int
+
+    def truth_for(self, domain: Domain | str) -> StreamingTruth:
+        name = domain.name if isinstance(domain, Domain) else domain
+        return self.domain_truth[name]
+
+
+def _collectors_by_hop(session: VPMSession) -> dict[int, HOPCollector]:
+    collectors: dict[int, HOPCollector] = {}
+    for agent in session.agents.values():
+        for hop_id in agent.hop_ids:
+            collectors[hop_id] = agent.collector(hop_id)
+    return collectors
+
+
+def _session_digesters(session: VPMSession) -> list[PacketDigester]:
+    return list(
+        dict.fromkeys(
+            agent.collector(hop_id).config.digester
+            for agent in session.agents.values()
+            for hop_id in agent.hop_ids
+        )
+    )
+
+
+def _shard_bounds(total_chunks: int, shards: int) -> list[int]:
+    return [shard * total_chunks // shards for shard in range(shards + 1)]
+
+
+def _feed(
+    collectors: dict[int, HOPCollector],
+    emissions: Iterable[tuple[int, PacketBatch, np.ndarray]],
+) -> None:
+    for hop_id, batch, times in emissions:
+        collector = collectors.get(hop_id)
+        if collector is not None and len(batch):
+            collector.observe_batch(batch, times)
+
+
+def _run_streaming_shard(
+    setup: Callable[[], StreamingCell], chunk_size: int, shards: int, shard: int
+) -> dict[int, HOPCollector]:
+    """Worker entry point: rebuild the cell, replay the stream prefix, feed
+    only this shard's chunk span, and return the collector states.
+
+    Every shard rebuilds the identical deterministic cell and replays
+    propagation from chunk 0 (model RNG streams are strictly sequential, so a
+    shard cannot start mid-stream), but stops right after its own span — the
+    expensive collector work (hashing, sampling, aggregation) is what gets
+    split ``shards`` ways.
+    """
+    cell = setup()
+    collectors = _collectors_by_hop(cell.session)
+    stream = ScenarioStream(
+        cell.scenario, collect_truth=False, predigest=_session_digesters(cell.session)
+    )
+    total_chunks = -(-cell.trace.config.packet_count // chunk_size)
+    bounds = _shard_bounds(total_chunks, shards)
+    start, stop = bounds[shard], bounds[shard + 1]
+    for index, chunk in enumerate(cell.trace.iter_batches(chunk_size)):
+        if index >= stop:
+            break
+        emissions = stream.push(chunk)
+        if index >= start:
+            _feed(collectors, emissions)
+    return collectors
+
+
+class StreamingRunner:
+    """Drives a VPM measurement interval chunk-by-chunk, optionally sharded.
+
+    Parameters
+    ----------
+    setup:
+        Either a ready :class:`StreamingCell` or a zero-argument callable
+        returning one.  With ``shards > 1`` it must be a *picklable* callable
+        (worker processes rebuild the cell themselves — a cell is a pure
+        function of its seeds, so every rebuild is identical).
+    chunk_size:
+        Trace packets per chunk; memory scales with this, results never
+        depend on it.
+    shards:
+        Number of contiguous chunk spans processed in parallel.  Shard
+        ``N-1`` runs in the calling process (it is the one that must replay
+        the whole stream anyway and it accumulates ground truth); shards
+        ``0..N-2`` run on a process pool, and their collector states are
+        merged in stream order before reports are generated — byte-identical
+        to ``shards=1``.
+
+    :meth:`run` returns a :class:`StreamingResult`; afterwards the session's
+    receipt bus holds the published reports, exactly as after
+    :meth:`VPMSession.run`.
+    """
+
+    def __init__(
+        self,
+        setup: StreamingCell | Callable[[], StreamingCell],
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        shards: int = 1,
+    ) -> None:
+        if chunk_size <= 0:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if shards > 1 and not callable(setup):
+            raise ValueError(
+                "shards > 1 needs a picklable zero-argument setup callable so "
+                "worker processes can rebuild the cell"
+            )
+        self._setup = setup
+        self.chunk_size = int(chunk_size)
+        self.shards = int(shards)
+
+    def run(self) -> StreamingResult:
+        cell = self._setup() if callable(self._setup) else self._setup
+        futures = []
+        pool = None
+        if self.shards > 1:
+            pool = ProcessPoolExecutor(max_workers=self.shards - 1)
+            futures = [
+                pool.submit(
+                    _run_streaming_shard, self._setup, self.chunk_size, self.shards, shard
+                )
+                for shard in range(self.shards - 1)
+            ]
+
+        try:
+            collectors = _collectors_by_hop(cell.session)
+            stream = ScenarioStream(
+                cell.scenario,
+                collect_truth=True,
+                predigest=_session_digesters(cell.session),
+            )
+            total_chunks = -(-cell.trace.config.packet_count // self.chunk_size)
+            start = _shard_bounds(total_chunks, self.shards)[self.shards - 1]
+            for index, chunk in enumerate(cell.trace.iter_batches(self.chunk_size)):
+                emissions = stream.push(chunk)
+                if index >= start:
+                    _feed(collectors, emissions)
+            _feed(collectors, stream.flush())
+
+            if futures:
+                # Merge shard states in stream order; this process ran the
+                # last span, so its collectors fold in last.
+                shard_states = [future.result() for future in futures]
+                merged = shard_states[0]
+                for state in shard_states[1:]:
+                    for hop_id, collector in merged.items():
+                        collector.merge(state[hop_id])
+                for hop_id, collector in merged.items():
+                    collector.merge(collectors[hop_id])
+                for agent in cell.session.agents.values():
+                    for hop_id in agent.hop_ids:
+                        agent.replace_collector(hop_id, merged[hop_id])
+        finally:
+            if pool is not None:
+                pool.shutdown()
+
+        reports = cell.session.collect_reports()
+        return StreamingResult(
+            reports=reports,
+            session=cell.session,
+            domain_truth=stream.domain_truth,
+            link_losses=stream.link_losses,
+            chunk_size=self.chunk_size,
+            shards=self.shards,
+            chunks=total_chunks,
+        )

@@ -181,6 +181,77 @@ class PacketBatch:
             _root_indices=root_indices,
         )
 
+    @classmethod
+    def concat(cls, parts: Sequence["PacketBatch"]) -> "PacketBatch":
+        """Concatenate batches row-wise (payload widths must match).
+
+        Digests already computed for the parts (or for their take-roots) are
+        carried over: for every digest key cached on *all* parts' roots, the
+        result's cache holds the concatenated digest array, so downstream HOPs
+        never re-hash a packet that some earlier stage already digested.  This
+        is what preserves the one-hash-per-packet property when the streaming
+        engine's holdback buffers splice rows from adjacent chunks.
+        """
+        parts = [part for part in parts]
+        if not parts:
+            raise ValueError("cannot concatenate an empty sequence of batches")
+        if len(parts) == 1:
+            return parts[0]
+        widths = {part.payload.shape[1] for part in parts}
+        if len(widths) > 1:
+            raise ValueError(
+                f"batches to concatenate must share one payload width, got {sorted(widths)}"
+            )
+        merged = cls(
+            src_ip=np.concatenate([part.src_ip for part in parts]),
+            dst_ip=np.concatenate([part.dst_ip for part in parts]),
+            src_port=np.concatenate([part.src_port for part in parts]),
+            dst_port=np.concatenate([part.dst_port for part in parts]),
+            protocol=np.concatenate([part.protocol for part in parts]),
+            ip_id=np.concatenate([part.ip_id for part in parts]),
+            length=np.concatenate([part.length for part in parts]),
+            payload=np.concatenate([part.payload for part in parts]),
+            uid=np.concatenate([part.uid for part in parts]),
+            send_time=np.concatenate([part.send_time for part in parts]),
+            flow_id=np.concatenate([part.flow_id for part in parts]),
+        )
+        # Merge digest caches for keys every part can supply without hashing.
+        shared_keys = None
+        for part in parts:
+            root = part._digest_root if part._digest_root is not None else part
+            keys = set(part._digest_cache) | set(root._digest_cache)
+            shared_keys = keys if shared_keys is None else (shared_keys & keys)
+        for key in shared_keys or ():
+            merged._digest_cache[key] = np.concatenate(
+                [part._cached_digests(key) for part in parts]
+            )
+        return merged
+
+    def detach_root(self) -> "PacketBatch":
+        """Materialize inherited digest caches and drop the take-root link.
+
+        A ``take()`` child normally keeps its source batch alive so digests
+        are computed once per root.  Long-lived holdback buffers (the
+        streaming engine's sort reservoirs) call this so a few retained rows
+        do not pin a whole source chunk — the child's own cache is filled by
+        slicing the root's, then the reference is released.  Returns ``self``.
+        """
+        root = self._digest_root
+        if root is not None:
+            for key in set(root._digest_cache) - set(self._digest_cache):
+                self._digest_cache[key] = root._digest_cache[key][self._root_indices]
+            self._digest_root = None
+            self._root_indices = None
+        return self
+
+    def _cached_digests(self, key) -> np.ndarray:
+        """Digests for ``key`` from this batch's cache or its take-root's."""
+        cached = self._digest_cache.get(key)
+        if cached is not None:
+            return cached
+        root = self._digest_root if self._digest_root is not None else self
+        return root._digest_cache[key][self._root_indices] if root is not self else root._digest_cache[key]
+
     def with_send_times(self, send_times: np.ndarray) -> "PacketBatch":
         """Return a copy of the batch with different source send times."""
         clone = self.take(np.arange(len(self)))

@@ -400,19 +400,17 @@ class PathScenario:
             )
         return mask
 
-    def _traverse_domain_batch(
-        self,
-        domain: Domain,
-        batch: PacketBatch,
-        arrival_times: np.ndarray,
-        domain_truth: dict[str, BatchDomainTruth],
-    ) -> tuple[PacketBatch, np.ndarray]:
-        condition = self.condition_for(domain)
-        truth = domain_truth[domain.name]
-        count = len(batch)
-        if count == 0:
-            return batch, arrival_times
+    def domain_effects_batch(
+        self, condition: SegmentCondition, batch: PacketBatch, arrival_times: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Apply a domain condition to one contiguous span of arrivals.
 
+        Returns ``(lost_mask, egress_times)``.  Consumes each model's RNG
+        sequentially in arrival order, so feeding a stream through this in
+        consecutive chunks draws exactly what one whole-stream call would —
+        the contract the streaming engine (:mod:`repro.engine`) builds on.
+        """
+        count = len(batch)
         delays = np.asarray(condition.delay_model.delays(arrival_times), dtype=float)
         if len(delays) != count:
             raise ValueError(
@@ -442,10 +440,26 @@ class PathScenario:
         else:
             lost = condition.loss_model.drops_batch(0, count)
 
-        delivered = ~lost
         egress_times = np.where(
             preferential, arrival_times + condition.preferential_delay, arrival_times + delays
         )
+        return lost, egress_times
+
+    def _traverse_domain_batch(
+        self,
+        domain: Domain,
+        batch: PacketBatch,
+        arrival_times: np.ndarray,
+        domain_truth: dict[str, BatchDomainTruth],
+    ) -> tuple[PacketBatch, np.ndarray]:
+        condition = self.condition_for(domain)
+        truth = domain_truth[domain.name]
+        count = len(batch)
+        if count == 0:
+            return batch, arrival_times
+
+        lost, egress_times = self.domain_effects_batch(condition, batch, arrival_times)
+        delivered = ~lost
 
         truth.lost_uids = np.concatenate([truth.lost_uids, batch.uid[lost]])
         truth.delivered_uids = np.concatenate([truth.delivered_uids, batch.uid[delivered]])

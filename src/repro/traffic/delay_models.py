@@ -29,7 +29,18 @@ __all__ = [
 
 
 class DelayModel:
-    """Produces the delay a domain adds to each packet of a sequence."""
+    """Produces the delay a domain adds to each packet of a sequence.
+
+    ``streamable`` declares whether :meth:`delays` may be called on
+    consecutive chunks of one arrival sequence with the same result as a
+    single whole-sequence call.  That holds whenever the model's randomness is
+    drawn sequentially, one fixed vector draw per call (the built-in analytic
+    models); models that derive delays from the *whole* arrival series at once
+    (:class:`CongestionDelayModel`) must set it ``False``, which excludes them
+    from the streaming execution engine.
+    """
+
+    streamable: bool = True
 
     def delays(self, arrival_times: np.ndarray) -> np.ndarray:
         """Return the per-packet delay (seconds) for packets arriving at
@@ -79,7 +90,11 @@ class EmpiricalDelayModel(DelayModel):
     """Replays a precomputed delay series (cycled if shorter than the input).
 
     Useful for feeding externally generated delay traces — the role the ns-2
-    output plays in the paper — into the path simulation.
+    output plays in the paper — into the path simulation.  The model keeps a
+    position cursor: consecutive :meth:`delays` calls continue the series
+    where the previous call stopped, so feeding a sequence in chunks replays
+    exactly the delays one whole-sequence call would (call :meth:`reset` to
+    rewind for an independent run).
     """
 
     series: np.ndarray = field(default_factory=lambda: np.array([1e-3]))
@@ -90,11 +105,18 @@ class EmpiricalDelayModel(DelayModel):
             raise ValueError("series must be a non-empty 1-D array of delays")
         if np.any(self.series < 0):
             raise ValueError("delays must be non-negative")
+        self._cursor = 0
 
     def delays(self, arrival_times: np.ndarray) -> np.ndarray:
         count = len(arrival_times)
-        repeats = int(np.ceil(count / len(self.series)))
-        return np.tile(self.series, repeats)[:count]
+        period = len(self.series)
+        offsets = (self._cursor + np.arange(count)) % period
+        self._cursor = (self._cursor + count) % period
+        return self.series[offsets]
+
+    def reset(self) -> None:
+        """Rewind the replay cursor to the start of the series."""
+        self._cursor = 0
 
 
 class CongestionDelayModel(DelayModel):
@@ -124,7 +146,13 @@ class CongestionDelayModel(DelayModel):
         Target offered load of the cross-traffic relative to the bottleneck
         capacity; values near or above 1.0 produce standing queues and the
         delay spikes the paper's Figure 2 scenario exhibits.
+
+    Each :meth:`delays` call simulates a fresh congestion scenario over the
+    *whole* arrival series, so the model is not ``streamable`` — chunked calls
+    would congest each chunk independently.
     """
+
+    streamable = False
 
     def __init__(
         self,

@@ -37,7 +37,7 @@ PACKET_SIZE_MODES: tuple[tuple[int, float], ...] = (
 )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Flow:
     """A single five-tuple flow.
 

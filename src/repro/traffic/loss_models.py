@@ -25,7 +25,17 @@ __all__ = [
 
 
 class LossModel:
-    """Decides, packet by packet, whether a packet is dropped."""
+    """Decides, packet by packet, whether a packet is dropped.
+
+    ``streamable`` declares that consecutive :meth:`drops`/:meth:`drops_batch`
+    calls over a split packet sequence draw the same RNG stream (and reach the
+    same states) as one whole-sequence call.  That is true by construction for
+    the base per-packet implementation and for every built-in model; a custom
+    ``drops_batch`` override whose draw pattern depends on the call size must
+    set it ``False`` to be excluded from the streaming engine.
+    """
+
+    streamable: bool = True
 
     def drops(self, packet_index: int) -> bool:
         """Return ``True`` if the ``packet_index``-th packet is dropped."""

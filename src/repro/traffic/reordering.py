@@ -21,7 +21,24 @@ __all__ = ["ReorderingModel", "NoReordering", "WindowReordering"]
 
 
 class ReorderingModel:
-    """Permutes the arrival order (and times) of a packet sequence."""
+    """Permutes the arrival order (and times) of a packet sequence.
+
+    Models define :meth:`perturb` — assign each packet a (possibly perturbed)
+    observation time, consuming randomness *sequentially in input order* —
+    and inherit :meth:`apply`, which stable-sorts by the perturbed times.
+    Because perturbation is per-packet sequential, splitting an input across
+    consecutive :meth:`perturb` calls draws the same stream as one call; the
+    streaming engine relies on this (and on ``max_lateness``) to reorder a
+    chunked stream bit-identically to one whole-trace pass.
+    """
+
+    #: Upper bound (seconds) on ``perturb(t) - t``; ``None`` marks a model the
+    #: streaming engine cannot bound and therefore cannot stream exactly.
+    max_lateness: float | None = None
+
+    def perturb(self, arrival_times: np.ndarray) -> np.ndarray:
+        """Per-packet perturbed observation times (same order as the input)."""
+        raise NotImplementedError
 
     def apply(self, arrival_times: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Reorder a sequence of arrival times.
@@ -38,11 +55,19 @@ class ReorderingModel:
             is the packet originally at index ``order[k]``.  ``new_times`` are
             the corresponding (sorted, possibly perturbed) observation times.
         """
-        raise NotImplementedError
+        perturbed = self.perturb(np.asarray(arrival_times, dtype=float))
+        # Stable sort keeps the original order for untouched packets.
+        order = np.argsort(perturbed, kind="stable")
+        return order, perturbed[order]
 
 
 class NoReordering(ReorderingModel):
     """Identity reordering model."""
+
+    max_lateness = 0.0
+
+    def perturb(self, arrival_times: np.ndarray) -> np.ndarray:
+        return np.asarray(arrival_times, dtype=float).copy()
 
     def apply(self, arrival_times: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         arrival_times = np.asarray(arrival_times, dtype=float)
@@ -72,18 +97,21 @@ class WindowReordering(ReorderingModel):
         )
         self._rng = make_rng(seed)
 
-    def apply(self, arrival_times: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    @property
+    def max_lateness(self) -> float:  # type: ignore[override]
+        return self.window
+
+    def perturb(self, arrival_times: np.ndarray) -> np.ndarray:
         arrival_times = np.asarray(arrival_times, dtype=float)
         count = len(arrival_times)
         if count == 0 or self.window == 0.0 or self.reorder_probability == 0.0:
-            return np.arange(count), arrival_times.copy()
-        offsets = np.zeros(count, dtype=float)
-        affected = self._rng.random(count) < self.reorder_probability
-        offsets[affected] = self._rng.uniform(0.0, self.window, size=int(affected.sum()))
-        perturbed = arrival_times + offsets
-        # Stable sort keeps the original order for untouched packets.
-        order = np.argsort(perturbed, kind="stable")
-        return order, perturbed[order]
+            return arrival_times.copy()
+        # Two uniform draws per packet, row-major, so consecutive calls over a
+        # split input consume the stream exactly like one whole-input call.
+        draws = self._rng.random((count, 2))
+        affected = draws[:, 0] < self.reorder_probability
+        offsets = np.where(affected, draws[:, 1] * self.window, 0.0)
+        return arrival_times + offsets
 
     def __repr__(self) -> str:
         return (

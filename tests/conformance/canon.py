@@ -1,0 +1,74 @@
+"""Canonical receipt serialization shared by conformance and engine tests.
+
+Receipts are canonicalized to JSON-stable data with exact float hex for every
+timestamp; ``time_sum`` is rounded to 10 significant digits — the one field
+whose float accumulation order legitimately differs between the scalar,
+batch and streaming engines (and between shard counts).  Everything else —
+sample sets and order, thresholds, aggregate boundaries, packet counts,
+AggTrans windows — must be bit-identical across engines.
+"""
+
+from __future__ import annotations
+
+from functools import partial
+
+from repro.api.runner import _build_cell
+from repro.engine import DEFAULT_CHUNK_SIZE, StreamingRunner
+
+
+def canonical_receipts(reports) -> dict:
+    """Receipts of every HOP in a canonical, JSON-stable form."""
+    canonical: dict[str, dict] = {}
+    for hop_id in sorted(reports):
+        report = reports[hop_id]
+        canonical[str(hop_id)] = {
+            "samples": [
+                {
+                    "path": str(receipt.path_id.prefix_pair),
+                    "reporting_hop": receipt.path_id.reporting_hop,
+                    "threshold": receipt.sampling_threshold,
+                    "records": [
+                        [record.pkt_id, record.time.hex()] for record in receipt.samples
+                    ],
+                }
+                for receipt in report.sample_receipts
+            ],
+            "aggregates": [
+                {
+                    "first_pkt_id": receipt.first_pkt_id,
+                    "last_pkt_id": receipt.last_pkt_id,
+                    "pkt_count": receipt.pkt_count,
+                    "start_time": receipt.start_time.hex(),
+                    "end_time": receipt.end_time.hex(),
+                    "time_sum": f"{receipt.time_sum:.9e}",
+                    "trans_before": list(receipt.trans_before),
+                    "trans_after": list(receipt.trans_after),
+                }
+                for receipt in report.aggregate_receipts
+            ],
+        }
+    return canonical
+
+
+def run_scalar_reports(spec):
+    """The scalar (per-packet object) engine's receipts for a spec."""
+    cell = _build_cell(spec.to_dict())
+    observation = cell.scenario.run(cell.trace.packets())
+    return cell.session.run(observation)
+
+
+def run_batch_reports(spec):
+    """The batch engine's receipts for a spec (fresh cell, full batch)."""
+    cell = _build_cell(spec.to_dict())
+    observation = cell.scenario.run_batch(cell.trace.packet_batch())
+    return cell.session.run(observation)
+
+
+def run_streaming_reports(spec, shards: int = 1, chunk_size: int = DEFAULT_CHUNK_SIZE):
+    """The streaming engine's receipts for a spec."""
+    runner = StreamingRunner(
+        partial(_build_cell, spec.to_dict()),
+        chunk_size=chunk_size,
+        shards=shards,
+    )
+    return runner.run().reports

@@ -1,0 +1,54 @@
+"""The six canonical conformance scenarios: delay/loss/reorder × honest/lying.
+
+Each scenario is a small, fully pinned :class:`~repro.api.ExperimentSpec`
+over the Figure-1 path with domain ``X`` as the interesting transit domain.
+The golden fixtures in ``goldens/`` freeze each scenario's receipts,
+estimates and verification verdicts as produced by the batch engine; the
+conformance tests additionally require the streaming engine (single-process
+and ``shards=4``) to reproduce them byte-for-byte (``time_sum`` compared at
+its documented 10-significant-digit tolerance).
+"""
+
+from __future__ import annotations
+
+from repro.api import ExperimentSpec
+from repro.api.spec import AdversarySpec, ConditionSpec, PathSpec, TrafficSpec
+
+_LYING = (AdversarySpec(kind="lying", domain="X"),)
+
+_DELAY = ConditionSpec(
+    delay="jitter",
+    delay_params={"base_delay": 1.0e-3, "jitter_std": 0.5e-3},
+)
+_LOSS = ConditionSpec(
+    delay="constant",
+    delay_params={"delay": 0.8e-3},
+    loss="gilbert-elliott-rate",
+    loss_params={"target_rate": 0.05, "mean_burst_length": 6.0},
+)
+_REORDER = ConditionSpec(
+    delay="jitter",
+    delay_params={"base_delay": 0.6e-3, "jitter_std": 0.2e-3},
+    reordering="window",
+    reordering_params={"window": 0.4e-3, "reorder_probability": 0.2},
+)
+
+
+def _spec(name: str, condition: ConditionSpec, lying: bool) -> ExperimentSpec:
+    return ExperimentSpec(
+        name=name,
+        seed=20260730,
+        traffic=TrafficSpec(workload="smoke-sequence"),
+        path=PathSpec(conditions={"X": condition}),
+        adversaries=_LYING if lying else (),
+    )
+
+
+CONFORMANCE_SCENARIOS: dict[str, ExperimentSpec] = {
+    "delay-honest": _spec("delay-honest", _DELAY, lying=False),
+    "delay-lying": _spec("delay-lying", _DELAY, lying=True),
+    "loss-honest": _spec("loss-honest", _LOSS, lying=False),
+    "loss-lying": _spec("loss-lying", _LOSS, lying=True),
+    "reorder-honest": _spec("reorder-honest", _REORDER, lying=False),
+    "reorder-lying": _spec("reorder-lying", _REORDER, lying=True),
+}

@@ -1,0 +1,105 @@
+"""Golden-file conformance regression tests.
+
+For each canonical scenario the suite freezes, as JSON fixtures under
+``goldens/``:
+
+* the full :class:`~repro.api.results.CellResult` (estimates, truth,
+  verification verdicts, overhead) as its byte-stable ``to_json`` string;
+* every HOP's receipts in a canonical form (sample times and aggregate
+  boundary timestamps as exact float hex; ``time_sum`` rounded to its
+  documented 10-significant-digit tolerance).
+
+``pytest --regen-goldens`` rewrites the fixtures from the current batch
+engine instead of comparing.  On top of the golden comparison, the streaming
+engine — single-process and with ``shards=4`` — must reproduce the batch
+engine's cell result **byte-identically** and its receipts exactly (the
+acceptance bar for shard-parallel execution).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.api.runner import run_cell
+
+from tests.conformance.canon import (
+    canonical_receipts,
+    run_batch_reports,
+    run_streaming_reports,
+)
+from tests.conformance.scenarios import CONFORMANCE_SCENARIOS
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+# Small enough to slice the 3000-packet conformance traces into several
+# chunks (and give every shard real work), so the holdback/merge machinery is
+# actually exercised.
+CHUNK_SIZE = 640
+SHARDS = 4
+
+
+@pytest.fixture(scope="session")
+def regen(request) -> bool:
+    return bool(request.config.getoption("--regen-goldens"))
+
+
+@pytest.mark.parametrize("name", sorted(CONFORMANCE_SCENARIOS))
+class TestConformance:
+    def test_batch_matches_golden(self, name, regen):
+        spec = CONFORMANCE_SCENARIOS[name]
+        cell_json = run_cell(spec, engine="batch").to_json()
+        receipts = canonical_receipts(run_batch_reports(spec))
+        golden_path = GOLDEN_DIR / f"{name}.json"
+
+        if regen:
+            GOLDEN_DIR.mkdir(exist_ok=True)
+            golden_path.write_text(
+                json.dumps(
+                    {"scenario": name, "cell_json": cell_json, "receipts": receipts},
+                    indent=1,
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+            pytest.skip(f"regenerated {golden_path.name}")
+
+        assert golden_path.exists(), (
+            f"missing golden fixture {golden_path.name}; "
+            f"run `pytest tests/conformance --regen-goldens` to create it"
+        )
+        golden = json.loads(golden_path.read_text())
+        assert cell_json == golden["cell_json"], (
+            f"{name}: batch-engine cell result drifted from the golden fixture"
+        )
+        assert receipts == golden["receipts"], (
+            f"{name}: batch-engine receipts drifted from the golden fixture"
+        )
+
+    def test_streaming_single_process_byte_identical(self, name, regen):
+        if regen:
+            pytest.skip("regenerating goldens")
+        spec = CONFORMANCE_SCENARIOS[name]
+        batch_json = run_cell(spec, engine="batch").to_json()
+        streaming_json = run_cell(
+            spec, engine="streaming", chunk_size=CHUNK_SIZE
+        ).to_json()
+        assert streaming_json == batch_json
+        assert canonical_receipts(run_streaming_reports(spec, shards=1, chunk_size=CHUNK_SIZE)) == (
+            canonical_receipts(run_batch_reports(spec))
+        )
+
+    def test_streaming_sharded_byte_identical(self, name, regen):
+        if regen:
+            pytest.skip("regenerating goldens")
+        spec = CONFORMANCE_SCENARIOS[name]
+        batch_json = run_cell(spec, engine="batch").to_json()
+        sharded_json = run_cell(
+            spec, engine="streaming", shards=SHARDS, chunk_size=CHUNK_SIZE
+        ).to_json()
+        assert sharded_json == batch_json
+        assert canonical_receipts(run_streaming_reports(spec, shards=SHARDS, chunk_size=CHUNK_SIZE)) == (
+            canonical_receipts(run_batch_reports(spec))
+        )

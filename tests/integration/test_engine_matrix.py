@@ -1,0 +1,143 @@
+"""Three-way differential test matrix: scalar vs batch vs streaming engines.
+
+Every registered delay model, loss model and adversary runs under all three
+execution engines on the same spec; the engines must produce
+
+* byte-identical ``CellResult.to_json()`` (estimates, truth, verdicts,
+  overhead — the embedded spec is the same object, so any divergence is a
+  genuine result difference), and
+* identical receipts at every HOP (``time_sum`` at its documented
+  10-significant-digit tolerance, everything else bit-exact).
+
+The one declared exception: ``CongestionDelayModel`` simulates the whole
+arrival series per call and is not streamable — the streaming engine must
+refuse it with a clear error rather than silently produce different traffic,
+and the scalar/batch pair is still compared.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import ExperimentSpec
+from repro.api.registry import ADVERSARIES, DELAY_MODELS, LOSS_MODELS
+from repro.api.runner import run_cell
+from repro.api.spec import AdversarySpec, ConditionSpec, PathSpec, TrafficSpec
+
+from tests.conformance.canon import (
+    canonical_receipts,
+    run_batch_reports,
+    run_scalar_reports,
+    run_streaming_reports,
+)
+
+CHUNK_SIZE = 512
+
+# Minimal valid parameters per registered component (defaults where possible).
+DELAY_PARAMS: dict[str, dict] = {
+    "constant": {},
+    "jitter": {"base_delay": 0.8e-3, "jitter_std": 0.3e-3},
+    "empirical": {"series": [0.5e-3, 1.2e-3, 0.7e-3, 2.0e-3]},
+    "congestion": {"utilization": 0.9},
+}
+LOSS_PARAMS: dict[str, dict] = {
+    "none": {},
+    "bernoulli": {"loss_rate": 0.04},
+    "gilbert-elliott": {"p": 0.01, "r": 0.2},
+    "gilbert-elliott-rate": {"target_rate": 0.05},
+}
+ADVERSARY_SPECS: dict[str, tuple[AdversarySpec, ...]] = {
+    "lying": (AdversarySpec(kind="lying", domain="X"),),
+    "colluding": (
+        AdversarySpec(kind="lying", domain="X"),
+        AdversarySpec(kind="colluding", domain="N", params={"colluding_with": "X"}),
+    ),
+    "marker-drop": (AdversarySpec(kind="marker-drop", domain="X"),),
+    "biased-treatment": (
+        AdversarySpec(kind="biased-treatment", domain="X", params={"guess_rate": 0.02}),
+    ),
+}
+
+NON_STREAMABLE_DELAY = {"congestion"}
+
+
+def _spec(condition: ConditionSpec, adversaries=()) -> ExperimentSpec:
+    return ExperimentSpec(
+        name="engine-matrix",
+        seed=42,
+        traffic=TrafficSpec(workload="smoke-sequence", packet_count=1500),
+        path=PathSpec(conditions={"X": condition}),
+        adversaries=adversaries,
+    )
+
+
+def _assert_three_way(spec: ExperimentSpec, streaming_ok: bool = True) -> None:
+    batch = run_cell(spec, engine="batch")
+    scalar = run_cell(spec, engine="scalar")
+    assert scalar.to_json() == batch.to_json()
+
+    batch_receipts = canonical_receipts(run_batch_reports(spec))
+    assert canonical_receipts(run_scalar_reports(spec)) == batch_receipts
+
+    if not streaming_ok:
+        with pytest.raises(ValueError, match="not streamable"):
+            run_cell(spec, engine="streaming", chunk_size=CHUNK_SIZE)
+        return
+
+    streaming = run_cell(spec, engine="streaming", chunk_size=CHUNK_SIZE)
+    assert streaming.to_json() == batch.to_json()
+    assert (
+        canonical_receipts(run_streaming_reports(spec, chunk_size=CHUNK_SIZE))
+        == batch_receipts
+    )
+
+
+class TestRegistryCoverage:
+    """The matrix must stay complete as components are registered."""
+
+    def test_all_registered_delay_models_covered(self):
+        assert set(DELAY_MODELS.names()) == set(DELAY_PARAMS)
+
+    def test_all_registered_loss_models_covered(self):
+        assert set(LOSS_MODELS.names()) == set(LOSS_PARAMS)
+
+    def test_all_registered_adversaries_covered(self):
+        assert set(ADVERSARIES.names()) == set(ADVERSARY_SPECS)
+
+
+@pytest.mark.parametrize("delay", sorted(DELAY_PARAMS))
+def test_delay_model_engine_parity(delay):
+    condition = ConditionSpec(delay=delay, delay_params=DELAY_PARAMS[delay])
+    _assert_three_way(_spec(condition), streaming_ok=delay not in NON_STREAMABLE_DELAY)
+
+
+@pytest.mark.parametrize("loss", sorted(LOSS_PARAMS))
+def test_loss_model_engine_parity(loss):
+    condition = ConditionSpec(
+        delay="jitter",
+        delay_params={"base_delay": 0.8e-3, "jitter_std": 0.2e-3},
+        loss=loss,
+        loss_params=LOSS_PARAMS[loss],
+    )
+    _assert_three_way(_spec(condition))
+
+
+@pytest.mark.parametrize("adversary", sorted(ADVERSARY_SPECS))
+def test_adversary_engine_parity(adversary):
+    condition = ConditionSpec(
+        delay="jitter",
+        delay_params={"base_delay": 0.8e-3, "jitter_std": 0.2e-3},
+        loss="bernoulli",
+        loss_params={"loss_rate": 0.03},
+    )
+    _assert_three_way(_spec(condition, ADVERSARY_SPECS[adversary]))
+
+
+def test_reordering_engine_parity():
+    condition = ConditionSpec(
+        delay="jitter",
+        delay_params={"base_delay": 0.8e-3, "jitter_std": 0.2e-3},
+        reordering="window",
+        reordering_params={"window": 0.4e-3, "reorder_probability": 0.15},
+    )
+    _assert_three_way(_spec(condition))

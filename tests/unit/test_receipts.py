@@ -112,6 +112,25 @@ class TestSampleReceipt:
         second = SampleReceipt(path_id=path_id, samples=(SampleRecord(2, 2.0),))
         assert first.merged_with(second).pkt_ids == frozenset({1, 2})
 
+    def test_merged_with_rejects_mismatched_sampling_threshold(self, path_id):
+        first = SampleReceipt(
+            path_id=path_id, samples=(SampleRecord(1, 1.0),), sampling_threshold=42
+        )
+        second = SampleReceipt(
+            path_id=path_id, samples=(SampleRecord(2, 2.0),), sampling_threshold=43
+        )
+        with pytest.raises(ValueError, match="sampling"):
+            first.merged_with(second)
+        # None (unpublished threshold) also differs from a concrete value.
+        third = SampleReceipt(path_id=path_id, samples=(SampleRecord(3, 3.0),))
+        with pytest.raises(ValueError, match="sampling"):
+            first.merged_with(third)
+        # Matching thresholds still combine.
+        fourth = SampleReceipt(
+            path_id=path_id, samples=(SampleRecord(4, 4.0),), sampling_threshold=42
+        )
+        assert first.merged_with(fourth).pkt_ids == frozenset({1, 4})
+
 
 class TestAggregateReceipt:
     def test_basic_properties(self, path_id):
