@@ -1,11 +1,14 @@
 #!/usr/bin/env python3
 """Perf-regression guard: measure engine throughput against checked-in floors.
 
-Runs two quick probes on a fixed 300k-packet cell (jitter delay + bursty loss
-in X, paper-scale aggregation knobs):
+Runs three quick probes:
 
-* the **batch** engine (synthesize + propagate + collect + estimate), and
-* the **streaming** engine (same cell, chunked execution);
+* the **batch** engine on a fixed 300k-packet cell (jitter delay + bursty
+  loss in X, paper-scale aggregation knobs),
+* the **streaming** engine (same cell, chunked execution), and
+* the **mesh** runner on a 4-path star mesh (60k packets per path, shared
+  transit core, per-path verification + triangulation) — throughput counted
+  over the total packets of all paths;
 
 then compares packets/second against ``benchmarks/perf_thresholds.json``.
 A probe fails when it runs more than ``regression_tolerance`` (25%) below its
@@ -32,17 +35,22 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.api import ExperimentSpec  # noqa: E402
-from repro.api.runner import clear_trace_cache, run_cell  # noqa: E402
+from repro.api.runner import clear_trace_cache, run_cell, run_mesh_cell  # noqa: E402
 from repro.api.spec import (  # noqa: E402
     ConditionSpec,
     HOPSpec,
+    MeshSpec,
     PathSpec,
     ProtocolSpec,
+    TopologySpec,
     TrafficSpec,
 )
 
 THRESHOLDS_PATH = REPO_ROOT / "benchmarks" / "perf_thresholds.json"
 PACKETS = 300_000
+MESH_PATHS = 4
+MESH_PACKETS_PER_PATH = 60_000
+ENGINES = ("batch", "streaming", "mesh")
 
 
 def probe_spec() -> ExperimentSpec:
@@ -66,6 +74,28 @@ def probe_spec() -> ExperimentSpec:
     )
 
 
+def mesh_probe_spec() -> MeshSpec:
+    return MeshSpec(
+        name="mesh-perf-probe",
+        seed=99,
+        topology=TopologySpec(kind="star", params={"path_count": MESH_PATHS}, seed=0),
+        traffic=TrafficSpec(
+            workload=None, packet_count=MESH_PACKETS_PER_PATH, payload_bytes=8
+        ),
+        conditions={
+            "X": ConditionSpec(
+                delay="jitter",
+                delay_params={"base_delay": 1.0e-3, "jitter_std": 0.5e-3},
+                loss="gilbert-elliott-rate",
+                loss_params={"target_rate": 0.02},
+            )
+        },
+        protocol=ProtocolSpec(
+            default=HOPSpec(sampling_rate=0.005, aggregate_size=50_000)
+        ),
+    )
+
+
 def measure() -> dict[str, float]:
     spec = probe_spec()
     measurements: dict[str, float] = {}
@@ -76,6 +106,14 @@ def measure() -> dict[str, float]:
         elapsed = time.perf_counter() - started
         measurements[f"{engine}_packets_per_second"] = PACKETS / elapsed
         measurements[f"{engine}_seconds"] = elapsed
+
+    started = time.perf_counter()
+    run_mesh_cell(mesh_probe_spec(), engine="batch")
+    elapsed = time.perf_counter() - started
+    measurements["mesh_packets_per_second"] = (
+        MESH_PATHS * MESH_PACKETS_PER_PATH / elapsed
+    )
+    measurements["mesh_seconds"] = elapsed
     return measurements
 
 
@@ -98,7 +136,7 @@ def main() -> int:
             "regression_tolerance": 0.25,
             "thresholds_packets_per_second": {
                 engine: round(measurements[f"{engine}_packets_per_second"] * 0.6)
-                for engine in ("batch", "streaming")
+                for engine in ENGINES
             },
         }
         print("suggested thresholds:")

@@ -38,11 +38,11 @@ See ``DESIGN.md`` for the full system inventory and ``EXPERIMENTS.md`` for the
 reproduction of every table and figure.
 """
 
-from repro.api import Experiment, ExperimentSpec
+from repro.api import Experiment, ExperimentSpec, MeshSpec, TopologySpec
 from repro.core.aggregation import Aggregator
 from repro.core.domain import DomainAgent
 from repro.core.hop import HOPCollector, HOPProcessor
-from repro.core.protocol import VPMSession
+from repro.core.protocol import MeshSession, VPMSession
 from repro.core.receipts import (
     AggregateReceipt,
     PathID,
@@ -51,10 +51,11 @@ from repro.core.receipts import (
 )
 from repro.core.sampling import DelaySampler
 from repro.core.verifier import Verifier
-from repro.engine import ScenarioStream, StreamingResult, StreamingRunner
+from repro.engine import MeshRunner, ScenarioStream, StreamingResult, StreamingRunner
 from repro.net.batch import PacketBatch
 from repro.net.packet import Packet
 from repro.net.topology import Domain, HOP, HOPPath, Topology
+from repro.simulation.mesh import MeshObservation, MeshScenario
 from repro.simulation.scenario import (
     BatchDomainTruth,
     BatchPathObservation,
@@ -79,6 +80,11 @@ __all__ = [
     "HOPCollector",
     "HOPPath",
     "HOPProcessor",
+    "MeshObservation",
+    "MeshRunner",
+    "MeshScenario",
+    "MeshSession",
+    "MeshSpec",
     "Packet",
     "PacketBatch",
     "PathID",
@@ -90,6 +96,7 @@ __all__ = [
     "StreamingRunner",
     "SyntheticTrace",
     "Topology",
+    "TopologySpec",
     "TraceConfig",
     "VPMSession",
     "Verifier",

@@ -24,13 +24,14 @@ new strategies plug in via :func:`repro.api.register_adversary`.
 
 from repro.adversary.bias import BiasedTreatmentAttack
 from repro.adversary.collusion import ColludingDomainAgent
-from repro.adversary.lying import LyingDomainAgent
+from repro.adversary.lying import LyingDomainAgent, MeshLyingDomainAgent
 from repro.adversary.marker_drop import MarkerDropAttack, marker_exposure_rate
 
 __all__ = [
     "BiasedTreatmentAttack",
     "ColludingDomainAgent",
     "LyingDomainAgent",
+    "MeshLyingDomainAgent",
     "MarkerDropAttack",
     "marker_exposure_rate",
 ]

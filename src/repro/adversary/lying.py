@@ -16,6 +16,7 @@ implicated.
 from __future__ import annotations
 
 from dataclasses import replace
+from typing import Sequence
 
 from repro.core.domain import DomainAgent
 from repro.core.hop import HOPConfig, HOPReport
@@ -27,7 +28,50 @@ from repro.core.receipts import (
 )
 from repro.net.topology import Domain, HOPPath
 
-__all__ = ["LyingDomainAgent"]
+__all__ = ["LyingDomainAgent", "MeshLyingDomainAgent"]
+
+
+def _fabricated_samples(
+    receipts: Sequence[SampleReceipt],
+    egress_path_id: PathID,
+    claimed_delay: float,
+    hide_delay: bool,
+) -> list[SampleReceipt]:
+    """Sample receipts re-labelled as the egress's, shifted by the claimed delay."""
+    fabricated: list[SampleReceipt] = []
+    for receipt in receipts:
+        records = tuple(
+            SampleRecord(pkt_id=record.pkt_id, time=record.time + claimed_delay)
+            if hide_delay
+            else record
+            for record in receipt.samples
+        )
+        fabricated.append(
+            SampleReceipt(
+                path_id=egress_path_id,
+                samples=records,
+                sampling_threshold=receipt.sampling_threshold,
+            )
+        )
+    return fabricated
+
+
+def _fabricated_aggregates(
+    receipts: Sequence[AggregateReceipt],
+    egress_path_id: PathID,
+    claimed_delay: float,
+) -> list[AggregateReceipt]:
+    """Aggregate receipts re-labelled as the egress's, shifted by the claimed delay."""
+    return [
+        replace(
+            receipt,
+            path_id=egress_path_id,
+            start_time=receipt.start_time + claimed_delay,
+            end_time=receipt.end_time + claimed_delay,
+            time_sum=receipt.time_sum + claimed_delay * receipt.pkt_count,
+        )
+        for receipt in receipts
+    ]
 
 
 class LyingDomainAgent(DomainAgent):
@@ -82,41 +126,21 @@ class LyingDomainAgent(DomainAgent):
         egress_path_id = self._egress_path_id()
         egress_hop_id = self.hop_ids[-1]
 
-        fabricated_samples: list[SampleReceipt] = []
         source_samples = (
             ingress_report.sample_receipts if self.hide_loss else honest_egress.sample_receipts
         )
-        for receipt in source_samples:
-            records = tuple(
-                SampleRecord(pkt_id=record.pkt_id, time=record.time + self.claimed_delay)
-                if self.hide_delay
-                else record
-                for record in receipt.samples
-            )
-            fabricated_samples.append(
-                SampleReceipt(
-                    path_id=egress_path_id,
-                    samples=records,
-                    sampling_threshold=receipt.sampling_threshold,
-                )
-            )
+        fabricated_samples = _fabricated_samples(
+            source_samples, egress_path_id, self.claimed_delay, self.hide_delay
+        )
 
-        fabricated_aggregates: list[AggregateReceipt] = []
         source_aggregates = (
             ingress_report.aggregate_receipts
             if self.hide_loss
             else honest_egress.aggregate_receipts
         )
-        for receipt in source_aggregates:
-            fabricated_aggregates.append(
-                replace(
-                    receipt,
-                    path_id=egress_path_id,
-                    start_time=receipt.start_time + self.claimed_delay,
-                    end_time=receipt.end_time + self.claimed_delay,
-                    time_sum=receipt.time_sum + self.claimed_delay * receipt.pkt_count,
-                )
-            )
+        fabricated_aggregates = _fabricated_aggregates(
+            source_aggregates, egress_path_id, self.claimed_delay
+        )
 
         return HOPReport(
             hop_id=egress_hop_id,
@@ -136,3 +160,81 @@ class LyingDomainAgent(DomainAgent):
         honest[egress_hop_id] = fabricated
         self.last_fabricated_report = fabricated
         return honest
+
+
+class MeshLyingDomainAgent(DomainAgent):
+    """A lying transit domain crossed by several paths of a mesh.
+
+    The per-path generalization of :class:`LyingDomainAgent`: for *every*
+    path on which the domain is a transit domain, the receipts its egress HOP
+    produced for that path's prefix pair are replaced by the ingress HOP's
+    receipts for the same pair, shifted by ``claimed_delay`` — the same
+    "everything that entered left promptly" lie, told once per path.  In a
+    mesh the domain's ingress/egress HOPs differ per path, so each path's
+    fabrication implicates a *different* downstream link — which is exactly
+    what cross-path triangulation
+    (:func:`repro.analysis.localization.triangulate_suspects`) exploits.
+    """
+
+    def __init__(
+        self,
+        domain: Domain | str,
+        paths: HOPPath | Sequence[HOPPath],
+        config: HOPConfig | None = None,
+        max_diff: float = 1e-3,
+        claimed_delay: float = 0.5e-3,
+        hide_loss: bool = True,
+        hide_delay: bool = True,
+    ) -> None:
+        super().__init__(domain, paths, config=config, max_diff=max_diff)
+        self._transit_paths = tuple(
+            entry for entry in self.paths if len(entry.hops_of(self.domain_name)) >= 2
+        )
+        if not self._transit_paths:
+            raise ValueError(
+                f"a lying mesh domain needs an ingress and an egress HOP on at "
+                f"least one path; {self.domain_name!r} is a transit domain of none"
+            )
+        self.claimed_delay = float(claimed_delay)
+        self.hide_loss = bool(hide_loss)
+        self.hide_delay = bool(hide_delay)
+
+    def reports(self, flush: bool = True) -> dict[int, HOPReport]:
+        produced = super().reports(flush=flush)
+        for path in self._transit_paths:
+            domain_hops = path.hops_of(self.domain_name)
+            ingress_id = domain_hops[0].hop_id
+            egress_id = domain_hops[-1].hop_id
+            pair = path.prefix_pair
+            egress_path_id = self.collector(egress_id).path_state(path).path_id
+
+            ingress_report = produced[ingress_id]
+            egress_report = produced[egress_id]
+            source = ingress_report if self.hide_loss else egress_report
+            fabricated_samples = _fabricated_samples(
+                [r for r in source.sample_receipts if r.path_id.prefix_pair == pair],
+                egress_path_id,
+                self.claimed_delay,
+                self.hide_delay,
+            )
+            fabricated_aggregates = _fabricated_aggregates(
+                [r for r in source.aggregate_receipts if r.path_id.prefix_pair == pair],
+                egress_path_id,
+                self.claimed_delay,
+            )
+            produced[egress_id] = HOPReport(
+                hop_id=egress_id,
+                sample_receipts=tuple(
+                    r
+                    for r in egress_report.sample_receipts
+                    if r.path_id.prefix_pair != pair
+                )
+                + tuple(fabricated_samples),
+                aggregate_receipts=tuple(
+                    r
+                    for r in egress_report.aggregate_receipts
+                    if r.path_id.prefix_pair != pair
+                )
+                + tuple(fabricated_aggregates),
+            )
+        return produced

@@ -2,10 +2,13 @@
 
 from repro.analysis.localization import (
     DomainDiagnosis,
+    DomainImplication,
+    MeshTriangulation,
     PathDiagnosis,
     SuspectLink,
     identify_suspects,
     localize_performance,
+    triangulate_suspects,
 )
 from repro.analysis.metrics import (
     AccuracyReport,
@@ -20,6 +23,8 @@ from repro.analysis.statistics import summarize
 __all__ = [
     "AccuracyReport",
     "DomainDiagnosis",
+    "DomainImplication",
+    "MeshTriangulation",
     "PathDiagnosis",
     "SLASpec",
     "SLAVerdict",
@@ -33,4 +38,5 @@ __all__ = [
     "quantile_error",
     "relative_error",
     "summarize",
+    "triangulate_suspects",
 ]

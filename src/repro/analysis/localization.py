@@ -12,13 +12,17 @@ per-domain outputs into that answer:
 * :func:`identify_suspects` interprets receipt inconsistencies: for every
   inter-domain link with disagreeing receipts it names the two domains
   involved, reflecting the paper's exposure semantics (the rest of the world
-  cannot tell which of the two is lying, but each of them knows).
+  cannot tell which of the two is lying, but each of them knows);
+* :func:`triangulate_suspects` reasons *across paths*: when several paths
+  cross the same domain via different neighbors, the suspect pairs they
+  produce share exactly one member — the lying domain — so the mesh narrows
+  the exposure beyond what any single path can.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Mapping, Sequence
 
 from repro.analysis.sla import SLASpec, SLAVerdict, check_sla
 from repro.core.consistency import Inconsistency
@@ -27,10 +31,14 @@ from repro.net.topology import HOPPath
 
 __all__ = [
     "DomainDiagnosis",
+    "DomainImplication",
+    "MeshTriangulation",
     "PathDiagnosis",
     "SuspectLink",
+    "exposure_rule",
     "localize_performance",
     "identify_suspects",
+    "triangulate_suspects",
 ]
 
 
@@ -170,3 +178,107 @@ def identify_suspects(
             )
         )
     return tuple(suspects)
+
+
+# -- cross-path triangulation ---------------------------------------------------------
+
+
+def exposure_rule(partners: Sequence[str], paths: Sequence[str]) -> bool:
+    """The triangulation exposure rule, shared with the result summaries.
+
+    A domain is exposed when it was implicated with **two or more distinct
+    partners** across **two or more distinct paths**.  Both conditions are
+    required: two flagged links on a *single* path (e.g. a faulty link on
+    each side of an honest middle domain) reproduce the multi-partner
+    signature without any cross-path evidence, and exposure is exactly the
+    narrowing a single path cannot do.
+    """
+    return len(partners) >= 2 and len(paths) >= 2
+
+
+@dataclass(frozen=True)
+class DomainImplication:
+    """How often (and with whom) one domain appears in suspect pairs.
+
+    ``links`` are the distinct flagged inter-domain links involving the
+    domain (as (upstream domain, downstream domain) name pairs); ``partners``
+    are the distinct *other* domains it was paired with; ``paths`` are the
+    prefix-pair labels of the paths whose verdicts implicated it.
+    """
+
+    domain: str
+    links: tuple[tuple[str, str], ...]
+    partners: tuple[str, ...]
+    paths: tuple[str, ...]
+
+    @property
+    def exposed(self) -> bool:
+        """Whether triangulation pins this domain down beyond a link pair.
+
+        A single flagged link only exposes a *pair* (either endpoint may be
+        lying, or the link itself may be faulty).  When a domain is implicated
+        with two or more *distinct* partners across two or more *paths*, it is
+        the only common member of those pairs — under the parsimonious
+        single-culprit reading, it is the liar.  (Multiple independent liars
+        or simultaneously faulty links could still mimic this; the paper's
+        per-link semantics remain the ground truth each implicated pair can
+        resolve internally.)
+        """
+        return exposure_rule(self.partners, self.paths)
+
+
+@dataclass(frozen=True)
+class MeshTriangulation:
+    """The cross-path suspect analysis of one mesh run."""
+
+    implications: tuple[DomainImplication, ...]
+
+    @property
+    def exposed_domains(self) -> tuple[str, ...]:
+        """Domains triangulation exposes beyond a link pair, sorted."""
+        return tuple(
+            entry.domain for entry in self.implications if entry.exposed
+        )
+
+    def implication_for(self, domain: str) -> DomainImplication | None:
+        """The implication record of one domain, or ``None``."""
+        for entry in self.implications:
+            if entry.domain == domain:
+                return entry
+        return None
+
+
+def triangulate_suspects(
+    suspects_by_path: Mapping[str, Sequence[SuspectLink]],
+) -> MeshTriangulation:
+    """Narrow the lying domain from every path's suspect links.
+
+    ``suspects_by_path`` maps a path label (conventionally
+    ``str(path.prefix_pair)``) to the :func:`identify_suspects` output of that
+    path's verifier.  Every suspect link names a pair that single-path
+    verification cannot split; a domain appearing in pairs with **two or more
+    distinct partners across two or more paths** (:func:`exposure_rule`) is
+    the unique common member of those pairs and is reported as exposed — the
+    cross-path narrowing single paths cannot do.  Implications are returned
+    for every implicated domain (exposed or not), sorted by name.
+    """
+    links: dict[str, set[tuple[str, str]]] = {}
+    partners: dict[str, set[str]] = {}
+    paths: dict[str, set[str]] = {}
+    for label in sorted(suspects_by_path):
+        for suspect in suspects_by_path[label]:
+            pair = (suspect.upstream_domain, suspect.downstream_domain)
+            for domain, partner in (pair, pair[::-1]):
+                links.setdefault(domain, set()).add(pair)
+                partners.setdefault(domain, set()).add(partner)
+                paths.setdefault(domain, set()).add(label)
+    implications = tuple(
+        DomainImplication(
+            domain=domain,
+            links=tuple(sorted(links[domain])),
+            partners=tuple(sorted(partners[domain])),
+            paths=tuple(sorted(paths[domain])),
+        )
+        for domain in sorted(links)
+    )
+    return MeshTriangulation(implications=implications)

@@ -42,33 +42,40 @@ from repro.api.registry import (
     LOSS_MODELS,
     REORDERING_MODELS,
     SCENARIOS,
+    TOPOLOGIES,
     Registry,
     register_adversary,
     register_delay_model,
     register_loss_model,
     register_reordering_model,
     register_scenario,
+    register_topology,
 )
 from repro.api.results import (
     CellResult,
     DomainEstimate,
+    MeshPathResult,
+    MeshResult,
     OverheadSummary,
     QuantileEstimate,
     SweepCell,
     SweepResult,
     TargetResult,
+    TriangulationSummary,
     TruthSummary,
     VerificationSummary,
 )
-from repro.api.runner import Experiment, clear_trace_cache, run_cell
+from repro.api.runner import Experiment, clear_trace_cache, run_cell, run_mesh_cell
 from repro.api.spec import (
     AdversarySpec,
     ConditionSpec,
     EstimationSpec,
     ExperimentSpec,
     HOPSpec,
+    MeshSpec,
     PathSpec,
     ProtocolSpec,
+    TopologySpec,
     TrafficSpec,
     derive_seed,
 )
@@ -85,6 +92,9 @@ __all__ = [
     "ExperimentSpec",
     "HOPSpec",
     "LOSS_MODELS",
+    "MeshPathResult",
+    "MeshResult",
+    "MeshSpec",
     "OverheadSummary",
     "PathSpec",
     "ProtocolSpec",
@@ -94,8 +104,11 @@ __all__ = [
     "SCENARIOS",
     "SweepCell",
     "SweepResult",
+    "TOPOLOGIES",
     "TargetResult",
+    "TopologySpec",
     "TrafficSpec",
+    "TriangulationSummary",
     "TruthSummary",
     "VerificationSummary",
     "clear_trace_cache",
@@ -105,5 +118,7 @@ __all__ = [
     "register_loss_model",
     "register_reordering_model",
     "register_scenario",
+    "register_topology",
     "run_cell",
+    "run_mesh_cell",
 ]

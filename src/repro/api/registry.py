@@ -46,6 +46,12 @@ from repro.adversary.marker_drop import MarkerDropAttack
 from repro.core.sampling import DEFAULT_MARKER_RATE
 from repro.net.batch import PacketBatch
 from repro.net.hashing import MASK64, splitmix64_batch, threshold_for_rate
+from repro.net.topology import (
+    MeshTopologyConfig,
+    figure1_topology,
+    generate_mesh_topology,
+    star_topology,
+)
 from repro.simulation.scenario import PathScenario
 from repro.traffic.delay_models import (
     CongestionDelayModel,
@@ -67,11 +73,13 @@ __all__ = [
     "REORDERING_MODELS",
     "ADVERSARIES",
     "SCENARIOS",
+    "TOPOLOGIES",
     "register_delay_model",
     "register_loss_model",
     "register_reordering_model",
     "register_adversary",
     "register_scenario",
+    "register_topology",
 ]
 
 
@@ -138,6 +146,7 @@ LOSS_MODELS = Registry("loss model")
 REORDERING_MODELS = Registry("reordering model")
 ADVERSARIES = Registry("adversary")
 SCENARIOS = Registry("scenario")
+TOPOLOGIES = Registry("topology")
 
 
 def register_delay_model(name: str, factory: Callable | None = None, **kwargs):
@@ -177,6 +186,16 @@ def register_scenario(name: str, factory: Callable | None = None, **kwargs):
     return SCENARIOS.register(name, factory, **kwargs)
 
 
+def register_topology(name: str, factory: Callable | None = None, **kwargs):
+    """Register a topology factory for use in ``TopologySpec.kind``.
+
+    The factory signature is ``seed=..., **params -> (Topology, tuple[HOPPath, ...])``:
+    it returns the topology and the HOP paths (distinct prefix pairs) a mesh
+    workload drives over it.
+    """
+    return TOPOLOGIES.register(name, factory, **kwargs)
+
+
 # -- built-in traffic models ---------------------------------------------------------
 
 DELAY_MODELS.register("constant", ConstantDelayModel)
@@ -200,6 +219,44 @@ REORDERING_MODELS.register("window", WindowReordering)
 def _figure1_scenario(seed: int = 0) -> PathScenario:
     """The paper's Figure-1 path S → L → X → N → D (HOPs 1..8)."""
     return PathScenario(seed=seed)
+
+
+# -- built-in topologies -------------------------------------------------------------
+
+
+@register_topology("figure1")
+def _figure1_topology_entry(seed: int = 0):
+    """The Figure-1 topology as a one-path mesh (its named instance)."""
+    topology, path = figure1_topology()
+    return topology, (path,)
+
+
+@register_topology("star")
+def _star_topology_entry(seed: int = 0, path_count: int = 3):
+    """Core-and-spokes: every path crosses the single transit core ``X``."""
+    return star_topology(path_count=path_count)
+
+
+@register_topology("mesh-random")
+def _mesh_random_topology_entry(
+    seed: int = 0,
+    transit_domains: int = 4,
+    stub_domains: int = 4,
+    transit_degree: float = 2.0,
+    path_count: int = 4,
+    backbone: str = "ring",
+    stub_attachment: str = "random",
+):
+    """A seeded random transit/stub mesh (see :class:`MeshTopologyConfig`)."""
+    config = MeshTopologyConfig(
+        transit_domains=transit_domains,
+        stub_domains=stub_domains,
+        transit_degree=transit_degree,
+        path_count=path_count,
+        backbone=backbone,
+        stub_attachment=stub_attachment,
+    )
+    return generate_mesh_topology(config, seed=seed)
 
 
 # -- built-in adversaries ------------------------------------------------------------

@@ -21,6 +21,9 @@ __all__ = [
     "OverheadSummary",
     "TargetResult",
     "CellResult",
+    "MeshPathResult",
+    "MeshResult",
+    "TriangulationSummary",
     "SweepCell",
     "SweepResult",
 ]
@@ -388,11 +391,163 @@ class CellResult:
 
 
 @dataclass(frozen=True)
+class MeshPathResult:
+    """Everything one mesh cell computed about one of its paths."""
+
+    pair: str
+    observer: str
+    targets: tuple[TargetResult, ...] = ()
+    consistency_findings: int = 0
+    suspect_links: tuple[tuple[str, str], ...] = ()
+
+    def target(self, domain: str) -> TargetResult:
+        """The result for one transit domain; KeyError when not evaluated."""
+        for entry in self.targets:
+            if entry.domain == domain:
+                return entry
+        raise KeyError(f"domain {domain!r} is not a transit domain of path {self.pair}")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "pair": self.pair,
+            "observer": self.observer,
+            "targets": [entry.to_dict() for entry in self.targets],
+            "consistency_findings": self.consistency_findings,
+            "suspect_links": [list(link) for link in self.suspect_links],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MeshPathResult":
+        return cls(
+            pair=data["pair"],
+            observer=data["observer"],
+            targets=tuple(TargetResult.from_dict(entry) for entry in data["targets"]),
+            consistency_findings=data["consistency_findings"],
+            suspect_links=tuple(
+                (link[0], link[1]) for link in data["suspect_links"]
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class TriangulationSummary:
+    """The cross-path suspect triangulation of one mesh cell.
+
+    ``implications`` record, per implicated domain, the distinct flagged
+    links, the distinct partner domains and the paths involved; a domain
+    satisfying :func:`repro.analysis.localization.exposure_rule` (two or more
+    distinct partners across two or more paths) is *exposed* — single-path
+    verification could only ever name it as half of a pair.
+    ``exposed_domains`` is derived from the implications through that shared
+    rule, never stored, so the summary and the analysis layer can not
+    disagree.
+    """
+
+    implications: tuple[dict[str, Any], ...] = ()
+
+    @property
+    def exposed_domains(self) -> tuple[str, ...]:
+        """Domains the triangulation rule exposes, in implication order."""
+        from repro.analysis.localization import exposure_rule
+
+        return tuple(
+            entry["domain"]
+            for entry in self.implications
+            if exposure_rule(entry["partners"], entry["paths"])
+        )
+
+    @classmethod
+    def from_triangulation(cls, triangulation) -> "TriangulationSummary":
+        """Summarize a :class:`repro.analysis.localization.MeshTriangulation`."""
+        return cls(
+            implications=tuple(
+                {
+                    "domain": entry.domain,
+                    "links": [list(link) for link in entry.links],
+                    "partners": list(entry.partners),
+                    "paths": list(entry.paths),
+                }
+                for entry in triangulation.implications
+            ),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "implications": [dict(entry) for entry in self.implications],
+            "exposed_domains": list(self.exposed_domains),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TriangulationSummary":
+        return cls(
+            implications=tuple(dict(entry) for entry in data["implications"]),
+        )
+
+
+@dataclass(frozen=True)
+class MeshResult:
+    """The complete outcome of one mesh experiment cell.
+
+    ``spec`` is the cell's :meth:`MeshSpec.to_dict` for provenance.  Paths
+    appear in topology path order; every transit domain of every path carries
+    its estimate, ground truth and verification verdict, and the per-path
+    suspect links are triangulated across paths.
+    """
+
+    spec: dict[str, Any]
+    paths: tuple[MeshPathResult, ...] = ()
+    triangulation: TriangulationSummary | None = None
+    overhead: OverheadSummary | None = None
+
+    def path(self, pair: str) -> MeshPathResult:
+        """The result for one path by its prefix-pair label."""
+        for entry in self.paths:
+            if entry.pair == pair:
+                return entry
+        raise KeyError(f"no mesh path with prefix pair {pair!r}")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "spec": self.spec,
+            "paths": [entry.to_dict() for entry in self.paths],
+            "triangulation": (
+                self.triangulation.to_dict() if self.triangulation is not None else None
+            ),
+            "overhead": self.overhead.to_dict() if self.overhead is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MeshResult":
+        return cls(
+            spec=dict(data["spec"]),
+            paths=tuple(MeshPathResult.from_dict(entry) for entry in data["paths"]),
+            triangulation=(
+                TriangulationSummary.from_dict(data["triangulation"])
+                if data.get("triangulation") is not None
+                else None
+            ),
+            overhead=(
+                OverheadSummary.from_dict(data["overhead"])
+                if data.get("overhead") is not None
+                else None
+            ),
+        )
+
+    def to_json(self) -> str:
+        """Byte-stable JSON (sorted keys, fixed separators)."""
+        return _stable_json(self.to_dict())
+
+    @classmethod
+    def from_json(cls, payload: str) -> "MeshResult":
+        return cls.from_dict(json.loads(payload))
+
+
+@dataclass(frozen=True)
 class SweepCell:
     """One grid point of a sweep: the overrides applied and the result."""
 
     overrides: dict[str, Any] = field(default_factory=dict)
-    result: CellResult | None = None
+    result: CellResult | MeshResult | None = None
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -402,14 +557,15 @@ class SweepCell:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "SweepCell":
-        return cls(
-            overrides=dict(data["overrides"]),
-            result=(
-                CellResult.from_dict(data["result"])
-                if data.get("result") is not None
-                else None
-            ),
-        )
+        payload = data.get("result")
+        result: CellResult | MeshResult | None = None
+        if payload is not None:
+            # Mesh cells carry per-path results; single-path cells carry targets.
+            if "paths" in payload:
+                result = MeshResult.from_dict(payload)
+            else:
+                result = CellResult.from_dict(payload)
+        return cls(overrides=dict(data["overrides"]), result=result)
 
 
 @dataclass(frozen=True)

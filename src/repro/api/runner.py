@@ -23,39 +23,53 @@ from concurrent.futures import ProcessPoolExecutor
 from functools import lru_cache, partial
 from typing import Any, Mapping, Sequence
 
+from repro.analysis.localization import identify_suspects, triangulate_suspects
 from repro.api.registry import ADVERSARIES
 from repro.api.results import (
     CellResult,
     DomainEstimate,
+    MeshPathResult,
+    MeshResult,
     OverheadSummary,
     SweepCell,
     SweepResult,
     TargetResult,
+    TriangulationSummary,
     TruthSummary,
     VerificationSummary,
 )
-from repro.api.spec import ExperimentSpec, TrafficSpec, derive_seed
+from repro.api.spec import ExperimentSpec, MeshSpec, TrafficSpec, derive_seed
+from repro.adversary.lying import MeshLyingDomainAgent
 from repro.core.hop import HOPConfig
-from repro.core.protocol import VPMSession
+from repro.core.protocol import MeshSession, VPMSession
+from repro.engine.mesh import MeshCell, MeshRunner
 from repro.engine.streaming import DEFAULT_CHUNK_SIZE, StreamingCell, StreamingRunner
 from repro.net.batch import PacketBatch
 from repro.net.packet import Packet
+from repro.net.prefixes import PrefixPair
 from repro.net.topology import HOPPath
+from repro.simulation.mesh import MeshScenario
 from repro.simulation.scenario import PathScenario
 from repro.traffic.trace import SyntheticTrace, default_prefix_pair
 
-__all__ = ["Experiment", "clear_trace_cache", "run_cell"]
+__all__ = ["Experiment", "clear_trace_cache", "run_cell", "run_mesh_cell"]
 
 
 # Traffic synthesis is the one reusable piece of a cell (scenarios and
 # sessions are stateful and must be rebuilt per cell, but a trace is a pure
-# function of its spec and seed).  A small per-process cache means a sweep
-# over protocol knobs synthesizes its packet sequence once, and — for
-# batches — every cell shares one digest pass through the memoized root.
-@lru_cache(maxsize=4)
-def _cached_batch(traffic: TrafficSpec, seed: int) -> PacketBatch:
+# function of its spec, seed and prefix pair).  A small per-process cache
+# means a sweep over protocol knobs synthesizes its packet sequence once, and
+# — for batches — every cell shares one digest pass through the memoized
+# root.  The batch cache is sized to hold a whole mesh's per-path traces, so
+# mesh sweeps that don't touch traffic reuse them too.
+@lru_cache(maxsize=8)
+def _cached_batch(
+    traffic: TrafficSpec, seed: int, prefix_pair: PrefixPair | None = None
+) -> PacketBatch:
     return SyntheticTrace(
-        config=traffic.trace_config(), prefix_pair=default_prefix_pair(), seed=seed
+        config=traffic.trace_config(),
+        prefix_pair=prefix_pair or default_prefix_pair(),
+        seed=seed,
     ).packet_batch()
 
 
@@ -71,7 +85,7 @@ def _cached_packets(traffic: TrafficSpec, seed: int) -> tuple[Packet, ...]:
 def clear_trace_cache() -> None:
     """Release the cached traffic traces (and their memoized digest arrays).
 
-    The cache holds at most 4 batches + 4 packet tuples, but at million-packet
+    The cache holds at most 8 batches + 4 packet tuples, but at million-packet
     scale those pin substantial memory for the process lifetime — call this
     after a large run to hand it back.
     """
@@ -250,17 +264,231 @@ def run_cell(
     return _summarize_cell(spec, cell.session, observation)
 
 
-def _run_cell_payload(payload: dict[str, Any]) -> CellResult:
+# -- mesh cells ----------------------------------------------------------------------
+
+
+def _build_mesh_cell(payload: dict[str, Any]) -> MeshCell:
+    """Build the (mesh scenario, per-path traces, mesh session) triple.
+
+    The single construction path for the batch and streaming mesh engines —
+    top-level and dict-fed so ``shards > 1`` worker processes can rebuild the
+    identical cell (a mesh cell is a pure function of the spec's seeds).
+    """
+    spec = MeshSpec.from_dict(payload)
+    topology, paths = spec.topology.build(spec.seed)
+    scenario = MeshScenario(topology, paths, seed=spec.seed)
+
+    transit_names = set(scenario.transit_domain_names())
+    for domain in sorted(spec.conditions):
+        if domain not in transit_names:
+            known = ", ".join(sorted(transit_names)) or "<none>"
+            raise ValueError(
+                f"MeshSpec.conditions names {domain!r}, which is a transit "
+                f"domain of no path (transit domains: {known})"
+            )
+        condition_spec = spec.conditions[domain]
+        scenario.configure_domain(
+            domain,
+            lambda index, name=domain, built=condition_spec: built.build(
+                spec.seed, domain=f"{name}.path{index}"
+            ),
+        )
+
+    all_domains: list[str] = []
+    for path in paths:
+        for domain in path.domains:
+            if domain.name not in all_domains:
+                all_domains.append(domain.name)
+
+    agents: dict[str, Any] = {}
+    for adversary in spec.adversaries:
+        if adversary.domain not in all_domains:
+            raise ValueError(
+                f"adversary {adversary.kind!r} targets domain "
+                f"{adversary.domain!r}, which is on no mesh path "
+                f"(mesh domains: {sorted(all_domains)})"
+            )
+        if adversary.role == "condition":
+            factory = ADVERSARIES.get(adversary.kind)
+            try:
+                overrides = factory(**adversary.params)
+            except TypeError as exc:
+                raise ValueError(
+                    f"invalid parameters for adversary {adversary.kind!r}: {exc}"
+                ) from exc
+            scenario.override_domain(adversary.domain, **overrides)
+            continue
+        if adversary.kind != "lying":
+            raise ValueError(
+                f"agent-role adversary {adversary.kind!r} is not supported on "
+                f"meshes yet; the mesh engines support 'lying' (per-path "
+                f"fabrication) and every condition-role adversary"
+            )
+
+    configs = spec.protocol.build_configs_for(all_domains)
+    for adversary in spec.adversaries:
+        if adversary.role != "agent":
+            continue
+        config = configs[adversary.domain]
+        if config is None:
+            raise ValueError(
+                f"adversary {adversary.kind!r} at domain {adversary.domain!r} "
+                f"fabricates receipts, but the protocol spec declares that "
+                f"domain non-deployed (config None)"
+            )
+        crossing = tuple(
+            path
+            for path in paths
+            if any(hop.domain.name == adversary.domain for hop in path.hops)
+        )
+        try:
+            agents[adversary.domain] = MeshLyingDomainAgent(
+                adversary.domain,
+                crossing,
+                config=config,
+                max_diff=spec.protocol.max_diff,
+                **adversary.params,
+            )
+        except TypeError as exc:
+            raise ValueError(
+                f"invalid parameters for adversary {adversary.kind!r}: {exc}"
+            ) from exc
+
+    session = MeshSession(
+        paths, configs=configs, agents=agents, max_diff=spec.protocol.max_diff
+    )
+    traces = tuple(
+        SyntheticTrace(
+            config=spec.traffic.trace_config(),
+            prefix_pair=path.prefix_pair,
+            seed=spec.traffic_seed(index),
+        )
+        for index, path in enumerate(paths)
+    )
+    return MeshCell(scenario=scenario, traces=traces, session=session)
+
+
+def _summarize_mesh(spec: MeshSpec, session: MeshSession, truth_for) -> MeshResult:
+    """Turn a fed mesh session (+ per-path ground truth) into a :class:`MeshResult`.
+
+    ``truth_for(path_index, domain)`` returns the ground truth of one domain
+    on one path — the batch observation and the streaming result both provide
+    it, with elementwise-identical values.
+    """
+    path_results: list[MeshPathResult] = []
+    suspects_by_path: dict[str, tuple] = {}
+    for index, path in enumerate(session.paths):
+        observer = path.domains[0].name
+        verifier = session.verifier_for(observer, path, quantiles=spec.quantiles)
+        findings = verifier.check_consistency()
+        suspects = identify_suspects(path, findings)
+        suspects_by_path[str(path.prefix_pair)] = suspects
+
+        targets: list[TargetResult] = []
+        for domain, _, _ in path.domain_segments():
+            performance = verifier.estimate_domain(domain)
+            truth = TruthSummary.from_truth(
+                truth_for(index, domain.name), spec.quantiles
+            )
+            verification = VerificationSummary.from_result(
+                verifier.verify_domain(domain)
+            )
+            independent = None
+            neighbor_view = verifier.estimate_domain_via_neighbors(domain)
+            if neighbor_view is not None:
+                independent = DomainEstimate.from_performance(neighbor_view)
+            targets.append(
+                TargetResult(
+                    estimate=DomainEstimate.from_performance(performance),
+                    truth=truth,
+                    verification=verification,
+                    independent=independent,
+                )
+            )
+        path_results.append(
+            MeshPathResult(
+                pair=str(path.prefix_pair),
+                observer=observer,
+                targets=tuple(targets),
+                consistency_findings=len(findings),
+                suspect_links=tuple(
+                    (entry.upstream_domain, entry.downstream_domain)
+                    for entry in suspects
+                ),
+            )
+        )
+
+    triangulation = TriangulationSummary.from_triangulation(
+        triangulate_suspects(suspects_by_path)
+    )
+    return MeshResult(
+        spec=spec.to_dict(),
+        paths=tuple(path_results),
+        triangulation=triangulation,
+        overhead=OverheadSummary.from_overhead(session.overhead()),
+    )
+
+
+def run_mesh_cell(
+    spec: MeshSpec,
+    engine: str | None = None,
+    shards: int = 1,
+    chunk_size: int | None = None,
+) -> MeshResult:
+    """Execute one mesh cell and summarize everything it produced.
+
+    Like :func:`run_cell`, ``engine`` overrides the spec's engine for
+    execution only; batch and streaming (any ``shards``/``chunk_size``)
+    produce byte-identical ``MeshResult.to_json()``.
+    """
+    engine = engine or spec.engine
+    if engine not in ("batch", "streaming"):
+        raise ValueError(
+            f"mesh engine must be 'batch' or 'streaming', got {engine!r}"
+        )
+    if engine != "streaming":
+        if shards != 1:
+            raise ValueError(f"engine {engine!r} does not support shards")
+        if chunk_size is not None:
+            raise ValueError(
+                f"engine {engine!r} does not support chunk_size (the batch "
+                f"engine materializes every path's whole trace)"
+            )
+
+    if engine == "streaming":
+        runner = MeshRunner(
+            partial(_build_mesh_cell, spec.to_dict()),
+            chunk_size=chunk_size or DEFAULT_CHUNK_SIZE,
+            shards=shards,
+        )
+        streamed = runner.run()
+        return _summarize_mesh(spec, streamed.session, streamed.truth_for)
+
+    cell = _build_mesh_cell(spec.to_dict())
+    batches = [
+        _cached_batch(spec.traffic, spec.traffic_seed(index), path.prefix_pair)
+        for index, path in enumerate(cell.scenario.paths)
+    ]
+    observation = cell.scenario.run_batch(batches)
+    cell.session.run(observation)
+    return _summarize_mesh(spec, cell.session, observation.truth_for)
+
+
+def _run_cell_payload(payload: dict[str, Any]) -> CellResult | MeshResult:
     """Worker entry point: rebuild the spec from plain data and run the cell.
 
     Specs cross the process boundary as dicts (their canonical wire form), so
     a worker reconstructs and re-validates them against its own registries.
+    Mesh payloads are recognized by their ``topology`` key.
     """
+    if "topology" in payload:
+        return run_mesh_cell(MeshSpec.from_dict(payload))
     return run_cell(ExperimentSpec.from_dict(payload))
 
 
 class Experiment:
-    """Runs a declarative :class:`~repro.api.spec.ExperimentSpec`.
+    """Runs a declarative :class:`~repro.api.spec.ExperimentSpec` or
+    :class:`~repro.api.spec.MeshSpec`.
 
     >>> spec = ExperimentSpec(
     ...     traffic=TrafficSpec(workload="bench-sequence"),
@@ -269,9 +497,13 @@ class Experiment:
     ... )
     >>> result = Experiment(spec).run()
     >>> result.target("X").estimate.loss_rate
+
+    A mesh spec runs the same way (``.run()`` returns a
+    :class:`~repro.api.results.MeshResult`), and sweeps accept the same
+    dotted-path grids over either spec type.
     """
 
-    def __init__(self, spec: ExperimentSpec) -> None:
+    def __init__(self, spec: ExperimentSpec | MeshSpec) -> None:
         self.spec = spec
 
     # -- single cell -----------------------------------------------------------------
@@ -281,7 +513,7 @@ class Experiment:
         engine: str | None = None,
         shards: int = 1,
         chunk_size: int | None = None,
-    ) -> CellResult:
+    ) -> CellResult | MeshResult:
         """Run one cell.
 
         By default the spec's engine runs (the batch fast path unless the
@@ -294,6 +526,10 @@ class Experiment:
         The override affects execution only — the returned result embeds the
         spec unchanged, so results are directly comparable across engines.
         """
+        if isinstance(self.spec, MeshSpec):
+            return run_mesh_cell(
+                self.spec, engine=engine, shards=shards, chunk_size=chunk_size
+            )
         return run_cell(self.spec, engine=engine, shards=shards, chunk_size=chunk_size)
 
     # -- sweeps ----------------------------------------------------------------------
@@ -336,7 +572,12 @@ class Experiment:
             with ProcessPoolExecutor(max_workers=workers) as pool:
                 results = list(pool.map(_run_cell_payload, payloads))
         else:
-            results = [run_cell(cell_spec) for cell_spec in specs]
+            results = [
+                run_mesh_cell(cell_spec)
+                if isinstance(cell_spec, MeshSpec)
+                else run_cell(cell_spec)
+                for cell_spec in specs
+            ]
 
         return SweepResult(
             cells=tuple(
@@ -358,6 +599,11 @@ class Experiment:
         from repro.core.campaign import MeasurementCampaign
 
         spec = self.spec
+        if isinstance(spec, MeshSpec):
+            raise ValueError(
+                "campaigns run over single-path ExperimentSpecs; run a mesh "
+                "with Experiment.run() / .sweep() instead"
+            )
         scenario = spec.path.build(spec.seed)
         _apply_condition_adversaries(spec, scenario)
         configs = spec.protocol.build_configs(scenario.path)

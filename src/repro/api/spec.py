@@ -26,7 +26,7 @@ import dataclasses
 import hashlib
 import inspect
 from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping
+from typing import Any, Callable, Mapping, Sequence
 
 from repro.api.registry import (
     ADVERSARIES,
@@ -34,13 +34,14 @@ from repro.api.registry import (
     LOSS_MODELS,
     REORDERING_MODELS,
     SCENARIOS,
+    TOPOLOGIES,
     Registry,
 )
 from repro.core.aggregation import AggregatorConfig
 from repro.core.estimation import DEFAULT_QUANTILES
 from repro.core.hop import HOPConfig
 from repro.core.sampling import DEFAULT_MARKER_RATE, SamplerConfig
-from repro.net.topology import HOPPath
+from repro.net.topology import HOPPath, Topology
 from repro.simulation.scenario import PathScenario, SegmentCondition
 from repro.traffic.flows import FlowGeneratorConfig
 from repro.traffic.trace import SyntheticTrace, TraceConfig, default_prefix_pair
@@ -57,11 +58,13 @@ __all__ = [
     "TrafficSpec",
     "ConditionSpec",
     "PathSpec",
+    "TopologySpec",
     "HOPSpec",
     "ProtocolSpec",
     "AdversarySpec",
     "EstimationSpec",
     "ExperimentSpec",
+    "MeshSpec",
 ]
 
 _SEED_SPACE = 2**63
@@ -371,6 +374,57 @@ class PathSpec:
         return cls(**payload)
 
 
+@dataclass(frozen=True)
+class TopologySpec:
+    """Which topology to build, by registry key (:data:`~repro.api.registry.TOPOLOGIES`).
+
+    A topology factory returns ``(Topology, tuple[HOPPath, ...])`` — the
+    shared domain/HOP graph and the paths a mesh workload drives over it.
+    ``"figure1"`` is the paper's running example as a one-path mesh;
+    ``"star"`` and ``"mesh-random"`` generate multi-path meshes with shared
+    HOPs.
+    """
+
+    kind: str = "mesh-random"
+    params: dict[str, Any] = field(default_factory=dict)
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        _normalize_params(self, "params")
+        _check_factory_signature(TOPOLOGIES, self.kind, self.params)
+
+    def effective_seed(self, root_seed: int) -> int:
+        return self.seed if self.seed is not None else derive_seed(root_seed, "topology")
+
+    def build(self, root_seed: int = 0) -> tuple[Topology, tuple[HOPPath, ...]]:
+        """Build the topology and its paths (deterministic per root seed)."""
+        factory = TOPOLOGIES.get(self.kind)
+        try:
+            topology, paths = factory(
+                seed=self.effective_seed(root_seed), **self.params
+            )
+        except TypeError as exc:
+            raise ValueError(
+                f"invalid parameters for topology {self.kind!r}: {exc}"
+            ) from exc
+        paths = tuple(paths)
+        if not paths:
+            raise ValueError(f"topology {self.kind!r} produced no paths")
+        return topology, paths
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "params": _normalize_value(self.params, "params"),
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TopologySpec":
+        _check_keys(cls, data)
+        return cls(**data)
+
+
 # -- protocol configuration ----------------------------------------------------------
 
 
@@ -448,17 +502,25 @@ class ProtocolSpec:
         not on the path — a typo'd override would otherwise silently leave the
         intended domain on the default config.
         """
-        path_names = {domain.name for domain in path.domains}
-        unknown = sorted(set(self.domains) - path_names)
+        return self.build_configs_for(
+            [domain.name for domain in path.domains], where="the path"
+        )
+
+    def build_configs_for(
+        self, domain_names: Sequence[str], where: str = "the mesh"
+    ) -> dict[str, HOPConfig | None]:
+        """The per-domain config mapping for an explicit domain list (mesh form)."""
+        known = set(domain_names)
+        unknown = sorted(set(self.domains) - known)
         if unknown:
             raise ValueError(
-                f"ProtocolSpec.domains names {unknown}, which are not on the "
-                f"path (path domains: {sorted(path_names)})"
+                f"ProtocolSpec.domains names {unknown}, which are not on "
+                f"{where} (domains: {sorted(known)})"
             )
         configs: dict[str, HOPConfig | None] = {}
-        for domain in path.domains:
-            hop_spec = self.domains.get(domain.name, self.default)
-            configs[domain.name] = hop_spec.build() if hop_spec is not None else None
+        for name in domain_names:
+            hop_spec = self.domains.get(name, self.default)
+            configs[name] = hop_spec.build() if hop_spec is not None else None
         return configs
 
     def to_dict(self) -> dict[str, Any]:
@@ -617,13 +679,7 @@ class ExperimentSpec:
         ``"path.conditions.X.loss_params.target_rate"``.  Replacement re-runs
         every touched spec's validation.
         """
-        spec: ExperimentSpec = self
-        for dotted, value in overrides.items():
-            parts = dotted.split(".")
-            if not all(parts):
-                raise ValueError(f"invalid override path {dotted!r}")
-            spec = _replace_path(spec, parts, value, dotted)
-        return spec
+        return _apply_overrides(self, overrides)
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -657,6 +713,16 @@ class ExperimentSpec:
         return cls(**payload)
 
 
+def _apply_overrides(spec, overrides: Mapping[str, Any]):
+    """Apply dotted-path overrides to any frozen spec (shared by the specs)."""
+    for dotted, value in overrides.items():
+        parts = dotted.split(".")
+        if not all(parts):
+            raise ValueError(f"invalid override path {dotted!r}")
+        spec = _replace_path(spec, parts, value, dotted)
+    return spec
+
+
 def _replace_path(obj: Any, parts: list[str], value: Any, dotted: str) -> Any:
     head, rest = parts[0], parts[1:]
     if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
@@ -680,3 +746,128 @@ def _replace_path(obj: Any, parts: list[str], value: Any, dotted: str) -> Any:
     raise ValueError(
         f"override {dotted!r}: cannot descend into {type(obj).__name__} at {head!r}"
     )
+
+
+# -- mesh experiments ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MeshSpec:
+    """One mesh evaluation cell: N paths over one topology, run together.
+
+    The mesh sibling of :class:`ExperimentSpec`.  ``traffic`` is the
+    *per-path* traffic template — every path synthesizes its own trace with
+    its prefix pair and a seed derived per path index, so the workload scales
+    with the path count.  ``conditions`` configure each transit domain once;
+    at build time each crossing path gets its own freshly seeded model
+    instances (per-(path, domain) seed labels), which is what keeps every
+    path's outcome bit-identical to running it in isolation.
+
+    ``engine`` is ``"batch"`` (materialize every path's trace) or
+    ``"streaming"`` (chunked lockstep execution, ``shards=N`` at run time);
+    both produce byte-identical results.  Estimation is fixed-form: every
+    transit domain of every path is estimated and verified (observed by that
+    path's source domain), and the per-path suspect links are triangulated
+    across paths (:func:`repro.analysis.localization.triangulate_suspects`).
+    """
+
+    name: str = "mesh"
+    seed: int = 0
+    engine: str = "batch"
+    topology: TopologySpec = field(default_factory=TopologySpec)
+    traffic: TrafficSpec = field(default_factory=TrafficSpec)
+    conditions: dict[str, ConditionSpec] = field(default_factory=dict)
+    protocol: ProtocolSpec = field(default_factory=ProtocolSpec)
+    adversaries: tuple[AdversarySpec, ...] = ()
+    quantiles: tuple[float, ...] = DEFAULT_QUANTILES
+
+    def __post_init__(self) -> None:
+        if self.engine not in ("batch", "streaming"):
+            raise ValueError(
+                f"mesh engine must be 'batch' or 'streaming', got {self.engine!r}"
+            )
+        if not isinstance(self.topology, TopologySpec):
+            raise ValueError(
+                f"MeshSpec.topology must be a TopologySpec, "
+                f"got {type(self.topology).__name__}"
+            )
+        for domain, condition in self.conditions.items():
+            if not isinstance(condition, ConditionSpec):
+                raise ValueError(
+                    f"MeshSpec.conditions[{domain!r}] must be a ConditionSpec, "
+                    f"got {type(condition).__name__}"
+                )
+        object.__setattr__(self, "adversaries", tuple(self.adversaries))
+        for adversary in self.adversaries:
+            if not isinstance(adversary, AdversarySpec):
+                raise ValueError(
+                    f"adversaries must be AdversarySpec instances, "
+                    f"got {type(adversary).__name__}"
+                )
+        object.__setattr__(self, "quantiles", tuple(float(q) for q in self.quantiles))
+        if not self.quantiles:
+            raise ValueError("MeshSpec.quantiles must name at least one quantile")
+        for quantile in self.quantiles:
+            check_probability("quantile", quantile)
+
+    # -- convenience -------------------------------------------------------------------
+
+    def run(self):
+        """Run this spec as a one-cell mesh experiment."""
+        from repro.api.runner import Experiment
+
+        return Experiment(self).run()
+
+    def with_overrides(self, overrides: Mapping[str, Any]) -> "MeshSpec":
+        """A copy of this spec with dotted-path overrides applied.
+
+        Same path language as :meth:`ExperimentSpec.with_overrides`, e.g.
+        ``"topology.params.path_count"`` or
+        ``"conditions.T1.loss_params.loss_rate"``.
+        """
+        return _apply_overrides(self, overrides)
+
+    def traffic_seed(self, path_index: int) -> int:
+        """The trace seed of one path (derived per index, pinnable as a base)."""
+        base = self.traffic.seed if self.traffic.seed is not None else self.seed
+        return derive_seed(base, f"mesh.traffic.{path_index}")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "seed": self.seed,
+            "engine": self.engine,
+            "topology": self.topology.to_dict(),
+            "traffic": self.traffic.to_dict(),
+            "conditions": {
+                domain: condition.to_dict()
+                for domain, condition in sorted(self.conditions.items())
+            },
+            "protocol": self.protocol.to_dict(),
+            "adversaries": [adversary.to_dict() for adversary in self.adversaries],
+            "quantiles": list(self.quantiles),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "MeshSpec":
+        _check_keys(cls, data)
+        payload = dict(data)
+        if "topology" in payload:
+            payload["topology"] = TopologySpec.from_dict(payload["topology"])
+        if "traffic" in payload:
+            payload["traffic"] = TrafficSpec.from_dict(payload["traffic"])
+        if "conditions" in payload:
+            payload["conditions"] = {
+                domain: ConditionSpec.from_dict(condition)
+                for domain, condition in dict(payload.get("conditions") or {}).items()
+            }
+        if "protocol" in payload:
+            payload["protocol"] = ProtocolSpec.from_dict(payload["protocol"])
+        if "adversaries" in payload:
+            payload["adversaries"] = tuple(
+                AdversarySpec.from_dict(adversary)
+                for adversary in payload["adversaries"]
+            )
+        if "quantiles" in payload:
+            payload["quantiles"] = tuple(payload["quantiles"])
+        return cls(**payload)

@@ -13,6 +13,7 @@ observe traffic it never saw).
 
 from __future__ import annotations
 
+from typing import Sequence
 
 from repro.core.hop import HOPCollector, HOPConfig, HOPProcessor, HOPReport
 from repro.net.topology import Domain, HOPPath
@@ -22,14 +23,18 @@ __all__ = ["DomainAgent"]
 
 
 class DomainAgent:
-    """Runs VPM at every HOP a domain exposes on one path.
+    """Runs VPM at every HOP a domain exposes on one or more paths.
 
     Parameters
     ----------
     domain:
         The domain this agent acts for.
     path:
-        The HOP path the agent monitors.
+        The HOP path the agent monitors, or — in a mesh — the sequence of
+        paths crossing the domain.  Each of the domain's HOPs gets exactly one
+        collector, with every path through that HOP registered on it, so a
+        shared HOP's collector classifies the interleaved traffic union back
+        into per-(prefix-pair) state.
     config:
         The HOP configuration applied to all of the domain's HOPs on the path
         (per-HOP overrides can be passed via ``per_hop_config``).
@@ -44,17 +49,26 @@ class DomainAgent:
     def __init__(
         self,
         domain: Domain | str,
-        path: HOPPath,
+        path: HOPPath | Sequence[HOPPath],
         config: HOPConfig | None = None,
         max_diff: float = 1e-3,
         per_hop_config: dict[int, HOPConfig] | None = None,
     ) -> None:
         name = domain.name if isinstance(domain, Domain) else domain
-        hops = path.hops_of(name)
+        paths = (path,) if isinstance(path, HOPPath) else tuple(path)
+        if not paths:
+            raise ValueError(f"domain {name!r} was given no paths to monitor")
+        hops = []
+        for entry in paths:
+            for hop in entry.hops_of(name):
+                if all(existing.hop_id != hop.hop_id for existing in hops):
+                    hops.append(hop)
         if not hops:
-            raise ValueError(f"domain {name!r} has no HOPs on path {path}")
+            described = ", ".join(str(entry) for entry in paths)
+            raise ValueError(f"domain {name!r} has no HOPs on {described}")
         self.domain_name = name
-        self.path = path
+        self.path = paths[0]
+        self.paths = paths
         self.config = config or HOPConfig()
         self.max_diff = float(max_diff)
         per_hop_config = per_hop_config or {}
@@ -64,7 +78,9 @@ class DomainAgent:
         for hop in hops:
             hop_config = per_hop_config.get(hop.hop_id, self.config)
             collector = HOPCollector(hop, hop_config)
-            collector.register_path(path, max_diff=self.max_diff)
+            for entry in paths:
+                if any(candidate.hop_id == hop.hop_id for candidate in entry.hops):
+                    collector.register_path(entry, max_diff=self.max_diff)
             self._collectors[hop.hop_id] = collector
             self._processors[hop.hop_id] = HOPProcessor(collector)
 

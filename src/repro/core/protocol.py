@@ -23,11 +23,13 @@ from typing import Mapping, Sequence
 from repro.core.domain import DomainAgent
 from repro.core.hop import HOPConfig, HOPReport
 from repro.core.verifier import DomainPerformance, VerificationResult, Verifier
+from repro.net.prefixes import PrefixPair
 from repro.net.topology import Domain, HOPPath
-from repro.reporting.dissemination import ReceiptBus
+from repro.reporting.dissemination import MeshReceiptBus, ReceiptBus
+from repro.simulation.mesh import MeshObservation
 from repro.simulation.scenario import BatchPathObservation, PathObservation
 
-__all__ = ["SessionOverhead", "VPMSession"]
+__all__ = ["MeshSession", "SessionOverhead", "VPMSession"]
 
 
 @dataclass(frozen=True)
@@ -48,6 +50,32 @@ class SessionOverhead:
     def bandwidth_overhead(self) -> float:
         """Receipt bytes relative to observed traffic bytes (the 0.046% figure)."""
         return self.receipt_bytes / self.observed_bytes if self.observed_bytes else 0.0
+
+
+def _session_overhead(
+    agents: Mapping[str, DomainAgent], last_reports: Mapping[int, HOPReport]
+) -> SessionOverhead:
+    """Aggregate resource accounting over a session's agents and last reports.
+
+    Shared by the single-path and mesh sessions so overhead accounting cannot
+    drift between them.
+    """
+    observed_packets = 0
+    observed_bytes = 0
+    max_buffer = 0
+    for agent in agents.values():
+        for hop_id in agent.hop_ids:
+            collector = agent.collector(hop_id)
+            observed_packets += collector.observed_packets
+            observed_bytes += collector.observed_bytes
+            max_buffer = max(max_buffer, collector.max_temp_buffer_occupancy)
+    receipt_bytes = sum(report.wire_bytes for report in last_reports.values())
+    return SessionOverhead(
+        observed_packets=observed_packets,
+        observed_bytes=observed_bytes,
+        receipt_bytes=receipt_bytes,
+        max_temp_buffer_packets=max_buffer,
+    )
 
 
 class VPMSession:
@@ -168,19 +196,137 @@ class VPMSession:
 
     def overhead(self) -> SessionOverhead:
         """Resource accounting for the last interval."""
-        observed_packets = 0
-        observed_bytes = 0
-        max_buffer = 0
+        return _session_overhead(self.agents, self._last_reports)
+
+
+class MeshSession:
+    """Runs VPM for one measurement interval over a mesh of paths.
+
+    The mesh twin of :class:`VPMSession`: one :class:`DomainAgent` per
+    participating domain, each owning *one collector per HOP* with every path
+    through that HOP registered — so a shared HOP's collector classifies the
+    interleaved traffic union back into per-(prefix-pair) state, and the
+    receipts it reports for each pair byte-match an isolated single-path run.
+    Verification is per path: :meth:`verifier_for` hands an observer a
+    standard :class:`~repro.core.verifier.Verifier` over one path's receipts
+    only (each shared HOP's report sliced to the pair).
+
+    Parameters
+    ----------
+    paths:
+        The mesh's HOP paths (distinct prefix pairs).
+    configs:
+        A single :class:`HOPConfig` for every domain, or a mapping of domain
+        name to config; a domain mapped to ``None`` has not deployed VPM.
+    agents:
+        Pre-built agents (e.g. :class:`~repro.adversary.lying.MeshLyingDomainAgent`)
+        keyed by domain name, overriding the default honest agents.
+    max_diff:
+        The MaxDiff written into all PathIDs.
+    """
+
+    def __init__(
+        self,
+        paths: Sequence[HOPPath],
+        configs: Mapping[str, HOPConfig | None] | HOPConfig | None = None,
+        agents: Mapping[str, DomainAgent] | None = None,
+        max_diff: float = 1e-3,
+    ) -> None:
+        self.paths = tuple(paths)
+        if not self.paths:
+            raise ValueError("a mesh session needs at least one path")
+        self.max_diff = float(max_diff)
+
+        # Participating domains in deterministic order of first appearance.
+        domains: list[Domain] = []
+        for path in self.paths:
+            for domain in path.domains:
+                if all(existing.name != domain.name for existing in domains):
+                    domains.append(domain)
+        if isinstance(configs, HOPConfig):
+            configs = {domain.name: configs for domain in domains}
+        configs = dict(configs or {})
+        agents = dict(agents or {})
+
+        self.agents: dict[str, DomainAgent] = {}
+        for domain in domains:
+            name = domain.name
+            if name in agents:
+                self.agents[name] = agents[name]
+                continue
+            if name in configs and configs[name] is None:
+                continue  # domain has not deployed VPM
+            config = configs.get(name) or HOPConfig()
+            crossing = tuple(
+                path
+                for path in self.paths
+                if any(hop.domain.name == name for hop in path.hops)
+            )
+            self.agents[name] = DomainAgent(
+                domain, crossing, config=config, max_diff=self.max_diff
+            )
+
+        self.bus = MeshReceiptBus(self.paths)
+        self._last_reports: dict[int, HOPReport] = {}
+
+    # -- execution ---------------------------------------------------------------------
+
+    def observe(self, observation: MeshObservation) -> None:
+        """Feed every collector its HOP's merged traffic union."""
         for agent in self.agents.values():
             for hop_id in agent.hop_ids:
-                collector = agent.collector(hop_id)
-                observed_packets += collector.observed_packets
-                observed_bytes += collector.observed_bytes
-                max_buffer = max(max_buffer, collector.max_temp_buffer_occupancy)
-        receipt_bytes = sum(report.wire_bytes for report in self._last_reports.values())
-        return SessionOverhead(
-            observed_packets=observed_packets,
-            observed_bytes=observed_bytes,
-            receipt_bytes=receipt_bytes,
-            max_temp_buffer_packets=max_buffer,
+                batch, times = observation.at_hop(hop_id)
+                agent.collector(hop_id).observe_batch(batch, times)
+
+    def run(self, observation: MeshObservation) -> dict[int, HOPReport]:
+        """Observe one interval's mesh traffic and collect all reports."""
+        self.observe(observation)
+        return self.collect_reports()
+
+    def collect_reports(self) -> dict[int, HOPReport]:
+        """Generate, transform and publish reports from already-fed collectors."""
+        reports: dict[int, HOPReport] = {}
+        for agent in self.agents.values():
+            for hop_id, report in agent.reports(flush=True).items():
+                reports[hop_id] = report
+                self.bus.publish(agent.domain_name, report)
+        self._last_reports = reports
+        return reports
+
+    # -- verification helpers ----------------------------------------------------------
+
+    def path_for(self, path: HOPPath | PrefixPair | int) -> HOPPath:
+        """Resolve a path reference (path, prefix pair, or path index)."""
+        if isinstance(path, HOPPath):
+            return path
+        if isinstance(path, PrefixPair):
+            return self.bus.path_for(path)
+        return self.paths[path]
+
+    def verifier_for(
+        self,
+        observer: Domain | str,
+        path: HOPPath | PrefixPair | int,
+        quantiles: Sequence[float] | None = None,
+    ) -> Verifier:
+        """A per-path verifier over the receipts ``observer`` may see.
+
+        The verifier is the ordinary single-path one — cross-path reasoning
+        happens a level up (:func:`repro.analysis.localization.triangulate_suspects`
+        over the per-path verdicts).
+        """
+        resolved = self.path_for(path)
+        if quantiles is not None:
+            verifier = Verifier(resolved, quantiles=quantiles)
+        else:
+            verifier = Verifier(resolved)
+        verifier.add_reports(
+            self.bus.reports_visible_to(observer, resolved.prefix_pair)
         )
+        return verifier
+
+    # -- accounting --------------------------------------------------------------------
+
+    def overhead(self) -> SessionOverhead:
+        """Resource accounting for the last interval, summed over all HOPs."""
+        return _session_overhead(self.agents, self._last_reports)

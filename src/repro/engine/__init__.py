@@ -14,6 +14,12 @@ component (see ``README.md`` § Engines); the only documented difference is
 ``AggregateReceipt.time_sum``, whose float accumulation order varies.
 """
 
+from repro.engine.mesh import (
+    MeshCell,
+    MeshRunner,
+    MeshStreamingResult,
+    run_mesh_batch,
+)
 from repro.engine.streaming import (
     DEFAULT_CHUNK_SIZE,
     ScenarioStream,
@@ -25,9 +31,13 @@ from repro.engine.streaming import (
 
 __all__ = [
     "DEFAULT_CHUNK_SIZE",
+    "MeshCell",
+    "MeshRunner",
+    "MeshStreamingResult",
     "ScenarioStream",
     "StreamingCell",
     "StreamingResult",
     "StreamingRunner",
     "StreamingTruth",
+    "run_mesh_batch",
 ]

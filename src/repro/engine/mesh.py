@@ -1,0 +1,231 @@
+"""Mesh execution: N paths over one topology, batch or chunked/sharded.
+
+Two engines drive a :class:`~repro.simulation.mesh.MeshScenario`:
+
+* :func:`run_mesh_batch` materializes every path's whole trace, propagates it
+  (:meth:`MeshScenario.run_batch`), and feeds each HOP's merged observation
+  union to the session's collectors in one call;
+* :class:`MeshRunner` streams all paths *in lockstep*, one trace chunk per
+  path per round, pushing each path's chunk through its own
+  :class:`~repro.engine.streaming.ScenarioStream` and feeding each HOP the
+  chunk-wise timestamp-merged union.  ``shards=N`` splits the chunk-index
+  range across a process pool exactly as the single-path streaming engine
+  does, merging per-shard collector states in stream order
+  (:meth:`~repro.core.hop.HOPCollector.merge` handles multi-path state).
+
+Both engines leave every collector in bit-identical state: per-path collector
+state depends only on that path's sub-stream (in its own time order), which
+both the whole-run merge and the chunk-wise merges preserve — so receipts,
+estimates, verdicts and triangulation byte-match across engines and shard
+counts (``time_sum`` at its documented tolerance), which the mesh conformance
+suite asserts.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Iterable, NamedTuple, Sequence
+
+import numpy as np
+
+from repro.core.hop import HOPCollector, HOPReport
+from repro.core.protocol import MeshSession
+from repro.engine.streaming import (
+    DEFAULT_CHUNK_SIZE,
+    ScenarioStream,
+    StreamingTruth,
+    _collectors_by_hop,
+    _merge_shard_states,
+    _session_digesters,
+    _shard_bounds,
+)
+from repro.net.batch import PacketBatch
+from repro.net.topology import Domain
+from repro.simulation.mesh import MeshObservation, MeshScenario, merge_hop_streams
+from repro.traffic.trace import SyntheticTrace
+
+__all__ = ["MeshCell", "MeshRunner", "MeshStreamingResult", "run_mesh_batch"]
+
+
+class MeshCell(NamedTuple):
+    """Everything one mesh run needs: scenario, one trace per path, session."""
+
+    scenario: MeshScenario
+    traces: tuple[SyntheticTrace, ...]
+    session: MeshSession
+
+
+@dataclass
+class MeshStreamingResult:
+    """Everything a streaming mesh run produced.
+
+    ``path_truth[i]`` maps domain name to that domain's
+    :class:`~repro.engine.streaming.StreamingTruth` on path ``i`` — the same
+    read API as the batch engine's per-path ground truth, and elementwise
+    identical delay/loss values.
+    """
+
+    reports: dict[int, HOPReport]
+    session: MeshSession
+    path_truth: tuple[dict[str, StreamingTruth], ...]
+    chunk_size: int
+    shards: int
+    chunks: int
+
+    def truth_for(self, path_index: int, domain: Domain | str) -> StreamingTruth:
+        name = domain.name if isinstance(domain, Domain) else domain
+        return self.path_truth[path_index][name]
+
+
+def run_mesh_batch(cell: MeshCell) -> MeshObservation:
+    """Drive a mesh cell through the batch engine (observe + report)."""
+    batches = [trace.packet_batch() for trace in cell.traces]
+    observation = cell.scenario.run_batch(batches)
+    cell.session.run(observation)
+    return observation
+
+
+def _total_chunks(traces: Sequence[SyntheticTrace], chunk_size: int) -> int:
+    return max(
+        -(-trace.config.packet_count // chunk_size) for trace in traces
+    )
+
+
+def _feed_merged(
+    collectors: dict[int, HOPCollector],
+    per_path_emissions: Iterable[list[tuple[int, PacketBatch, np.ndarray]]],
+) -> None:
+    """Merge one round's emissions across paths per HOP and feed collectors."""
+    spans_by_hop: dict[int, list[tuple[PacketBatch, np.ndarray]]] = {}
+    for emissions in per_path_emissions:
+        for hop_id, batch, times in emissions:
+            if len(batch):
+                spans_by_hop.setdefault(hop_id, []).append((batch, times))
+    for hop_id, spans in spans_by_hop.items():
+        collector = collectors.get(hop_id)
+        if collector is None:
+            continue
+        batch, times = merge_hop_streams(spans)
+        collector.observe_batch(batch, times)
+
+
+def _advance_round(
+    streams: Sequence[ScenarioStream], iterators: Sequence, flush: bool = False
+) -> list[list[tuple[int, PacketBatch, np.ndarray]]]:
+    """Push one chunk per path (or flush every stream) and gather emissions."""
+    per_path: list[list[tuple[int, PacketBatch, np.ndarray]]] = []
+    for stream, iterator in zip(streams, iterators):
+        if flush:
+            per_path.append(stream.flush())
+            continue
+        chunk = next(iterator, None)
+        per_path.append(stream.push(chunk) if chunk is not None else [])
+    return per_path
+
+
+def _run_mesh_shard(
+    setup: Callable[[], MeshCell], chunk_size: int, shards: int, shard: int
+) -> dict[int, HOPCollector]:
+    """Worker entry point: rebuild the mesh cell, replay every path's stream
+    prefix, feed only this shard's chunk span, return the collector states.
+
+    The chunk index is synchronized across paths, so a shard's span covers a
+    contiguous sub-stream of *every* path — exactly what stream-order
+    collector merging requires.
+    """
+    cell = setup()
+    collectors = _collectors_by_hop(cell.session)
+    digesters = _session_digesters(cell.session)
+    streams = [
+        ScenarioStream(scenario, collect_truth=False, predigest=digesters)
+        for scenario in cell.scenario.path_scenarios
+    ]
+    iterators = [trace.iter_batches(chunk_size) for trace in cell.traces]
+    total_chunks = _total_chunks(cell.traces, chunk_size)
+    bounds = _shard_bounds(total_chunks, shards)
+    start, stop = bounds[shard], bounds[shard + 1]
+    for index in range(stop):
+        per_path = _advance_round(streams, iterators)
+        if index >= start:
+            _feed_merged(collectors, per_path)
+    return collectors
+
+
+class MeshRunner:
+    """Drives a mesh measurement interval chunk-by-chunk, optionally sharded.
+
+    Mirrors :class:`~repro.engine.streaming.StreamingRunner`: ``setup`` is a
+    ready :class:`MeshCell` or a picklable zero-argument callable returning
+    one (required for ``shards > 1``); shard ``N-1`` runs in the calling
+    process and accumulates per-path ground truth, shards ``0..N-2`` run on a
+    process pool and their collector states merge in stream order —
+    receipt-identical to ``shards=1``, which is receipt-identical to the
+    batch engine.
+    """
+
+    def __init__(
+        self,
+        setup: MeshCell | Callable[[], MeshCell],
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        shards: int = 1,
+    ) -> None:
+        if chunk_size <= 0:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if shards > 1 and not callable(setup):
+            raise ValueError(
+                "shards > 1 needs a picklable zero-argument setup callable so "
+                "worker processes can rebuild the mesh cell"
+            )
+        self._setup = setup
+        self.chunk_size = int(chunk_size)
+        self.shards = int(shards)
+
+    def run(self) -> MeshStreamingResult:
+        cell = self._setup() if callable(self._setup) else self._setup
+        futures = []
+        pool = None
+        if self.shards > 1:
+            pool = ProcessPoolExecutor(max_workers=self.shards - 1)
+            futures = [
+                pool.submit(
+                    _run_mesh_shard, self._setup, self.chunk_size, self.shards, shard
+                )
+                for shard in range(self.shards - 1)
+            ]
+
+        try:
+            collectors = _collectors_by_hop(cell.session)
+            digesters = _session_digesters(cell.session)
+            streams = [
+                ScenarioStream(scenario, collect_truth=True, predigest=digesters)
+                for scenario in cell.scenario.path_scenarios
+            ]
+            iterators = [trace.iter_batches(self.chunk_size) for trace in cell.traces]
+            total_chunks = _total_chunks(cell.traces, self.chunk_size)
+            start = _shard_bounds(total_chunks, self.shards)[self.shards - 1]
+            for index in range(total_chunks):
+                per_path = _advance_round(streams, iterators)
+                if index >= start:
+                    _feed_merged(collectors, per_path)
+            _feed_merged(collectors, _advance_round(streams, iterators, flush=True))
+
+            if futures:
+                _merge_shard_states(
+                    [future.result() for future in futures], collectors, cell.session
+                )
+        finally:
+            if pool is not None:
+                pool.shutdown()
+
+        reports = cell.session.collect_reports()
+        return MeshStreamingResult(
+            reports=reports,
+            session=cell.session,
+            path_truth=tuple(stream.domain_truth for stream in streams),
+            chunk_size=self.chunk_size,
+            shards=self.shards,
+            chunks=total_chunks,
+        )

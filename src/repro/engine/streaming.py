@@ -394,6 +394,30 @@ def _shard_bounds(total_chunks: int, shards: int) -> list[int]:
     return [shard * total_chunks // shards for shard in range(shards + 1)]
 
 
+def _merge_shard_states(
+    shard_states: list[dict[int, HOPCollector]],
+    local_collectors: dict[int, HOPCollector],
+    session,
+) -> None:
+    """Fold shard collector states in stream order and install the result.
+
+    ``shard_states`` are the pool shards' collectors in shard (= stream)
+    order; ``local_collectors`` belong to the calling process, which ran the
+    last span, so they fold in last.  The merged collectors replace the
+    session agents' — shared by the single-path and mesh runners so the
+    merge discipline cannot drift between engines.
+    """
+    merged = shard_states[0]
+    for state in shard_states[1:]:
+        for hop_id, collector in merged.items():
+            collector.merge(state[hop_id])
+    for hop_id, collector in merged.items():
+        collector.merge(local_collectors[hop_id])
+    for agent in session.agents.values():
+        for hop_id in agent.hop_ids:
+            agent.replace_collector(hop_id, merged[hop_id])
+
+
 def _feed(
     collectors: dict[int, HOPCollector],
     emissions: Iterable[tuple[int, PacketBatch, np.ndarray]],
@@ -507,18 +531,9 @@ class StreamingRunner:
             _feed(collectors, stream.flush())
 
             if futures:
-                # Merge shard states in stream order; this process ran the
-                # last span, so its collectors fold in last.
-                shard_states = [future.result() for future in futures]
-                merged = shard_states[0]
-                for state in shard_states[1:]:
-                    for hop_id, collector in merged.items():
-                        collector.merge(state[hop_id])
-                for hop_id, collector in merged.items():
-                    collector.merge(collectors[hop_id])
-                for agent in cell.session.agents.values():
-                    for hop_id in agent.hop_ids:
-                        agent.replace_collector(hop_id, merged[hop_id])
+                _merge_shard_states(
+                    [future.result() for future in futures], collectors, cell.session
+                )
         finally:
             if pool is not None:
                 pool.shutdown()

@@ -2,6 +2,7 @@
 
 from repro.simulation.congestion import CongestionScenario
 from repro.simulation.engine import Event, EventScheduler
+from repro.simulation.mesh import MeshObservation, MeshScenario, merge_hop_streams
 from repro.simulation.queueing import BottleneckQueue, QueueStats
 from repro.simulation.scenario import (
     DomainGroundTruth,
@@ -16,8 +17,11 @@ __all__ = [
     "DomainGroundTruth",
     "Event",
     "EventScheduler",
+    "MeshObservation",
+    "MeshScenario",
     "PathObservation",
     "PathScenario",
     "QueueStats",
     "SegmentCondition",
+    "merge_hop_streams",
 ]

@@ -12,8 +12,9 @@ from __future__ import annotations
 
 from functools import partial
 
-from repro.api.runner import _build_cell
-from repro.engine import DEFAULT_CHUNK_SIZE, StreamingRunner
+from repro.api.runner import _build_cell, _build_mesh_cell
+from repro.engine import DEFAULT_CHUNK_SIZE, MeshRunner, StreamingRunner
+from repro.engine.mesh import run_mesh_batch
 
 
 def canonical_receipts(reports) -> dict:
@@ -68,6 +69,23 @@ def run_streaming_reports(spec, shards: int = 1, chunk_size: int = DEFAULT_CHUNK
     """The streaming engine's receipts for a spec."""
     runner = StreamingRunner(
         partial(_build_cell, spec.to_dict()),
+        chunk_size=chunk_size,
+        shards=shards,
+    )
+    return runner.run().reports
+
+
+def run_mesh_batch_reports(spec):
+    """The batch mesh engine's receipts for a MeshSpec (fresh cell)."""
+    cell = _build_mesh_cell(spec.to_dict())
+    run_mesh_batch(cell)
+    return cell.session._last_reports
+
+
+def run_mesh_streaming_reports(spec, shards: int = 1, chunk_size: int = DEFAULT_CHUNK_SIZE):
+    """The streaming mesh engine's receipts for a MeshSpec."""
+    runner = MeshRunner(
+        partial(_build_mesh_cell, spec.to_dict()),
         chunk_size=chunk_size,
         shards=shards,
     )

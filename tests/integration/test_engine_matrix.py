@@ -1,4 +1,4 @@
-"""Three-way differential test matrix: scalar vs batch vs streaming engines.
+"""Differential test matrices: scalar vs batch vs streaming, path and mesh.
 
 Every registered delay model, loss model and adversary runs under all three
 execution engines on the same spec; the engines must produce
@@ -13,6 +13,13 @@ The one declared exception: ``CongestionDelayModel`` simulates the whole
 arrival series per call and is not streamable — the streaming engine must
 refuse it with a clear error rather than silently produce different traffic,
 and the scalar/batch pair is still compared.
+
+The mesh matrix runs every registered *topology* through the mesh runner on
+both mesh engines (batch vs streaming, plus a sharded pass), with the same
+byte-identity requirements on ``MeshResult.to_json()`` and receipts, and a
+registry-completeness guard so new topologies cannot silently skip it.  The
+acceptance-scale case — a ≥8-domain, ≥6-path random mesh under ``shards=4``
+— lives here too.
 """
 
 from __future__ import annotations
@@ -20,13 +27,22 @@ from __future__ import annotations
 import pytest
 
 from repro.api import ExperimentSpec
-from repro.api.registry import ADVERSARIES, DELAY_MODELS, LOSS_MODELS
-from repro.api.runner import run_cell
-from repro.api.spec import AdversarySpec, ConditionSpec, PathSpec, TrafficSpec
+from repro.api.registry import ADVERSARIES, DELAY_MODELS, LOSS_MODELS, TOPOLOGIES
+from repro.api.runner import _build_mesh_cell, run_cell, run_mesh_cell
+from repro.api.spec import (
+    AdversarySpec,
+    ConditionSpec,
+    MeshSpec,
+    PathSpec,
+    TopologySpec,
+    TrafficSpec,
+)
 
 from tests.conformance.canon import (
     canonical_receipts,
     run_batch_reports,
+    run_mesh_batch_reports,
+    run_mesh_streaming_reports,
     run_scalar_reports,
     run_streaming_reports,
 )
@@ -141,3 +157,134 @@ def test_reordering_engine_parity():
         reordering_params={"window": 0.4e-3, "reorder_probability": 0.15},
     )
     _assert_three_way(_spec(condition))
+
+
+# -- mesh matrix ----------------------------------------------------------------------
+
+MESH_CHUNK_SIZE = 256
+
+# One pinned TopologySpec per registered topology (parameters chosen so every
+# generator actually shares HOPs where it can), plus the transit domains the
+# matrix installs conditions on for that pinned instance.
+TOPOLOGY_SPECS: dict[str, tuple[TopologySpec, tuple[str, ...]]] = {
+    "figure1": (TopologySpec(kind="figure1", seed=0), ("X",)),
+    "star": (TopologySpec(kind="star", params={"path_count": 3}, seed=0), ("X",)),
+    "mesh-random": (
+        TopologySpec(
+            kind="mesh-random",
+            params={"transit_domains": 3, "stub_domains": 4, "path_count": 4},
+            seed=2026,
+        ),
+        ("T1", "T2", "T3"),
+    ),
+}
+
+_MESH_CONDITION = ConditionSpec(
+    delay="jitter",
+    delay_params={"base_delay": 0.9e-3, "jitter_std": 0.3e-3},
+    loss="bernoulli",
+    loss_params={"loss_rate": 0.04},
+)
+
+
+def _mesh_spec(name: str, lying_domain: str | None = None) -> MeshSpec:
+    topology, transit_domains = TOPOLOGY_SPECS[name]
+    return MeshSpec(
+        name=f"mesh-matrix-{name}",
+        seed=42,
+        topology=topology,
+        traffic=TrafficSpec(workload="smoke-sequence", packet_count=1200),
+        conditions={domain: _MESH_CONDITION for domain in transit_domains},
+        adversaries=(
+            (AdversarySpec(kind="lying", domain=lying_domain),)
+            if lying_domain is not None
+            else ()
+        ),
+    )
+
+
+def _assert_mesh_two_way(spec: MeshSpec, shards: int = 1) -> None:
+    batch = run_mesh_cell(spec, engine="batch")
+    streaming = run_mesh_cell(
+        spec, engine="streaming", shards=shards, chunk_size=MESH_CHUNK_SIZE
+    )
+    assert streaming.to_json() == batch.to_json()
+    assert canonical_receipts(
+        run_mesh_streaming_reports(spec, shards=shards, chunk_size=MESH_CHUNK_SIZE)
+    ) == canonical_receipts(run_mesh_batch_reports(spec))
+
+
+class TestMeshRegistryCoverage:
+    """The mesh matrix must stay complete as topologies are registered."""
+
+    def test_all_registered_topologies_covered(self):
+        assert set(TOPOLOGIES.names()) == set(TOPOLOGY_SPECS)
+
+    def test_every_matrix_condition_domain_is_transit(self):
+        for name, (topology, transit_domains) in TOPOLOGY_SPECS.items():
+            _, paths = topology.build(42)
+            actual = {
+                segment[0].name
+                for path in paths
+                for segment in path.domain_segments()
+            }
+            assert set(transit_domains) <= actual, (
+                f"{name}: matrix names non-transit domains "
+                f"{sorted(set(transit_domains) - actual)}"
+            )
+
+
+@pytest.mark.parametrize("name", sorted(TOPOLOGY_SPECS))
+def test_topology_mesh_engine_parity(name):
+    _assert_mesh_two_way(_mesh_spec(name))
+
+
+def test_star_mesh_lying_engine_parity():
+    _assert_mesh_two_way(_mesh_spec("star", lying_domain="X"), shards=2)
+
+
+def test_acceptance_scale_mesh_sharded_byte_identical():
+    """A ≥8-domain, ≥6-path mesh: batch vs streaming shards=4, byte-identical.
+
+    The ISSUE-4 acceptance bar: per-HOP receipts equal across engines and
+    shard counts at mesh scale, with the isolation-parity machinery already
+    covered by the property suite.
+    """
+    topology = TopologySpec(
+        kind="mesh-random",
+        params={
+            "transit_domains": 4,
+            "stub_domains": 6,
+            "transit_degree": 2.5,
+            "path_count": 6,
+        },
+        seed=77,
+    )
+    built, paths = topology.build(7)
+    domains = {hop.domain.name for path in paths for hop in path.hops}
+    assert len(domains) >= 8, f"only {len(domains)} domains on paths: {sorted(domains)}"
+    assert len(paths) >= 6
+    transit = sorted(
+        {segment[0].name for path in paths for segment in path.domain_segments()}
+    )
+    spec = MeshSpec(
+        name="mesh-acceptance",
+        seed=7,
+        topology=topology,
+        traffic=TrafficSpec(workload="smoke-sequence", packet_count=1000),
+        conditions={domain: _MESH_CONDITION for domain in transit},
+    )
+    cell = _build_mesh_cell(spec.to_dict())
+    shared = {
+        hop_id
+        for hop_id in {
+            hop.hop_id for path in cell.scenario.paths for hop in path.hops
+        }
+        if sum(
+            any(hop.hop_id == hop_id for hop in path.hops)
+            for path in cell.scenario.paths
+        )
+        > 1
+    }
+    assert shared, "acceptance mesh must actually share HOPs between paths"
+    _assert_mesh_two_way(spec, shards=4)

@@ -6,7 +6,16 @@ import pytest
 
 from repro.net.link import InterDomainLink
 from repro.net.prefixes import OriginPrefix, PrefixPair
-from repro.net.topology import Domain, HOP, HOPPath, Topology, figure1_topology
+from repro.net.topology import (
+    Domain,
+    HOP,
+    HOPPath,
+    MeshTopologyConfig,
+    Topology,
+    figure1_topology,
+    generate_mesh_topology,
+    star_topology,
+)
 
 
 def _pair() -> PrefixPair:
@@ -151,3 +160,105 @@ class TestFigure1:
         )
         _, path = figure1_topology(pair)
         assert path.prefix_pair == pair
+
+
+def _topology_fingerprint(topology: Topology, paths) -> tuple:
+    """A complete structural fingerprint: domains, HOPs, links, paths."""
+    return (
+        tuple(domain.name for domain in topology.domains),
+        tuple((hop.hop_id, hop.domain.name, hop.role) for hop in topology.hops),
+        tuple(
+            sorted(
+                (min(a.hop_id, b.hop_id), max(a.hop_id, b.hop_id))
+                for a, b in (
+                    (topology.hop(first), topology.hop(second))
+                    for first, second in _link_keys(topology)
+                )
+            )
+        ),
+        tuple(
+            (str(path.prefix_pair), tuple(hop.hop_id for hop in path.hops))
+            for path in paths
+        ),
+    )
+
+
+def _link_keys(topology: Topology):
+    return list(topology._links)
+
+
+class TestMeshTopologyGeneration:
+    def test_same_seed_is_byte_identical(self):
+        config = MeshTopologyConfig(
+            transit_domains=3, stub_domains=4, transit_degree=2.5, path_count=6
+        )
+        first = generate_mesh_topology(config, seed=99)
+        second = generate_mesh_topology(config, seed=99)
+        assert _topology_fingerprint(*first) == _topology_fingerprint(*second)
+
+    def test_different_seeds_differ(self):
+        config = MeshTopologyConfig(
+            transit_domains=4, stub_domains=5, transit_degree=2.5, path_count=8
+        )
+        fingerprints = {
+            _topology_fingerprint(*generate_mesh_topology(config, seed=seed))
+            for seed in range(6)
+        }
+        assert len(fingerprints) > 1
+
+    def test_paths_have_distinct_prefix_pairs_and_valid_structure(self):
+        topology, paths = generate_mesh_topology(
+            MeshTopologyConfig(transit_domains=3, stub_domains=4, path_count=8),
+            seed=3,
+        )
+        pairs = [path.prefix_pair for path in paths]
+        assert len(set(pairs)) == len(pairs)
+        for path in paths:
+            # stubs at both ends, at least one transit segment in between
+            assert path.hops[0].domain.name.startswith("S")
+            assert path.hops[-1].domain.name.startswith("S")
+            assert path.domain_segments()
+            # every inter-domain hop pair is backed by a registered link
+            for upstream, downstream in path.inter_domain_pairs():
+                assert topology.link_between(upstream, downstream) is not None
+
+    def test_zero_transit_domains_rejected(self):
+        with pytest.raises(ValueError, match="at least one transit domain"):
+            MeshTopologyConfig(transit_domains=0)
+
+    def test_too_many_paths_rejected(self):
+        with pytest.raises(ValueError, match="exceeds the 2 distinct ordered"):
+            MeshTopologyConfig(stub_domains=2, path_count=3)
+
+    def test_disconnected_prefix_pair_rejected(self):
+        # No backbone, no chords: S1 on T1 and S2 on T2 cannot reach each other.
+        config = MeshTopologyConfig(
+            transit_domains=2,
+            stub_domains=2,
+            transit_degree=0.0,
+            path_count=1,
+            backbone="none",
+            stub_attachment="round-robin",
+        )
+        with pytest.raises(ValueError, match="disconnected"):
+            generate_mesh_topology(config, seed=0)
+
+    def test_bad_backbone_rejected(self):
+        with pytest.raises(ValueError, match="backbone"):
+            MeshTopologyConfig(backbone="mesh")
+
+
+class TestStarTopology:
+    def test_structure_shares_core_hops_per_path(self):
+        topology, paths = star_topology(path_count=3)
+        assert len(paths) == 3
+        assert {domain.name for domain in topology.domains} == {
+            "X", "S1", "S2", "S3", "D1", "D2", "D3",
+        }
+        for path in paths:
+            segments = path.domain_segments()
+            assert [segment[0].name for segment in segments] == ["X"]
+
+    def test_path_count_validation(self):
+        with pytest.raises(ValueError, match="path_count"):
+            star_topology(path_count=0)
