@@ -1,14 +1,17 @@
 #!/usr/bin/env python3
 """Perf-regression guard: measure engine throughput against checked-in floors.
 
-Runs three quick probes:
+Runs four quick probes:
 
 * the **batch** engine on a fixed 300k-packet cell (jitter delay + bursty
   loss in X, paper-scale aggregation knobs),
-* the **streaming** engine (same cell, chunked execution), and
+* the **streaming** engine (same cell, chunked execution),
 * the **mesh** runner on a 4-path star mesh (60k packets per path, shared
   transit core, per-path verification + triangulation) — throughput counted
-  over the total packets of all paths;
+  over the total packets of all paths, and
+* the **campaign** runner on a 4-interval checkpointed campaign (60k packets
+  per interval into a scratch run store — per-interval stats folding,
+  receipt digests and atomic checkpoint writes included in the measurement);
 
 then compares packets/second against ``benchmarks/perf_thresholds.json``.
 A probe fails when it runs more than ``regression_tolerance`` (25%) below its
@@ -28,6 +31,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -37,20 +41,26 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.api import ExperimentSpec  # noqa: E402
 from repro.api.runner import clear_trace_cache, run_cell, run_mesh_cell  # noqa: E402
 from repro.api.spec import (  # noqa: E402
+    CampaignSpec,
     ConditionSpec,
     HOPSpec,
     MeshSpec,
     PathSpec,
     ProtocolSpec,
+    SLATargetSpec,
     TopologySpec,
     TrafficSpec,
 )
+from repro.engine.campaign import CampaignRunner  # noqa: E402
+from repro.store import RunStore  # noqa: E402
 
 THRESHOLDS_PATH = REPO_ROOT / "benchmarks" / "perf_thresholds.json"
 PACKETS = 300_000
 MESH_PATHS = 4
 MESH_PACKETS_PER_PATH = 60_000
-ENGINES = ("batch", "streaming", "mesh")
+CAMPAIGN_INTERVALS = 4
+CAMPAIGN_PACKETS_PER_INTERVAL = 60_000
+ENGINES = ("batch", "streaming", "mesh", "campaign")
 
 
 def probe_spec() -> ExperimentSpec:
@@ -96,6 +106,23 @@ def mesh_probe_spec() -> MeshSpec:
     )
 
 
+def campaign_probe_spec() -> CampaignSpec:
+    cell = probe_spec()
+    # Same conditions as the single-cell probe, scaled to the per-interval
+    # packet budget; the campaign probe therefore measures the checkpointing
+    # machinery (record building, receipt digests, atomic store writes, the
+    # mergeable pooled-quantile fold) on top of known engine throughput.
+    cell = cell.with_overrides(
+        {"name": "campaign-perf-probe", "traffic.packet_count": CAMPAIGN_PACKETS_PER_INTERVAL}
+    )
+    return CampaignSpec(
+        name="campaign-perf-probe",
+        intervals=CAMPAIGN_INTERVALS,
+        cell=cell,
+        sla=SLATargetSpec(delay_bound=10e-3, delay_quantile=0.9, loss_bound=0.1),
+    )
+
+
 def measure() -> dict[str, float]:
     spec = probe_spec()
     measurements: dict[str, float] = {}
@@ -114,6 +141,17 @@ def measure() -> dict[str, float]:
         MESH_PATHS * MESH_PACKETS_PER_PATH / elapsed
     )
     measurements["mesh_seconds"] = elapsed
+
+    clear_trace_cache()
+    with tempfile.TemporaryDirectory(prefix="repro-perf-campaign-") as scratch:
+        store = RunStore.create(Path(scratch) / "run", campaign_probe_spec())
+        started = time.perf_counter()
+        CampaignRunner(campaign_probe_spec(), store).run()
+        elapsed = time.perf_counter() - started
+    measurements["campaign_packets_per_second"] = (
+        CAMPAIGN_INTERVALS * CAMPAIGN_PACKETS_PER_INTERVAL / elapsed
+    )
+    measurements["campaign_seconds"] = elapsed
     return measurements
 
 

@@ -1,8 +1,9 @@
 """Package metadata for the VPM reproduction.
 
-Installs the ``repro`` package from ``src/``.  The ``dev`` extra pins the
-tooling CI uses (pytest + benchmark/hypothesis plugins and ruff) so
-``pip install -e ".[dev]"`` reproduces the exact environment of
+Installs the ``repro`` package from ``src/`` and the ``repro`` console script
+(campaign run/resume/report + golden-fixture regeneration).  The ``dev``
+extra pins the tooling CI uses (pytest + benchmark/hypothesis plugins and
+ruff) so ``pip install -e ".[dev]"`` reproduces the exact environment of
 ``.github/workflows/ci.yml`` locally.
 """
 
@@ -10,12 +11,13 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-vpm",
-    version="1.1.0",
+    version="1.2.0",
     description=(
         "Reproduction of 'Verifiable network-performance measurements' "
         "(ArgyrakiMS10): HOP receipts, bias-resistant delay sampling and "
-        "tunable aggregation, with a vectorized batch fast path and a "
-        "declarative experiment API"
+        "tunable aggregation, with a vectorized batch fast path, a "
+        "declarative experiment API, and checkpointable long-horizon "
+        "campaigns with a durable run store"
     ),
     package_dir={"": "src"},
     packages=find_packages("src"),
@@ -29,6 +31,11 @@ setup(
             "pytest-benchmark>=4.0",
             "hypothesis>=6.0",
             "ruff>=0.4",
+        ],
+    },
+    entry_points={
+        "console_scripts": [
+            "repro=repro.cli:main",
         ],
     },
 )

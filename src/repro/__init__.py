@@ -39,6 +39,7 @@ reproduction of every table and figure.
 """
 
 from repro.api import Experiment, ExperimentSpec, MeshSpec, TopologySpec
+from repro.api.spec import CampaignSpec, SLATargetSpec
 from repro.core.aggregation import Aggregator
 from repro.core.domain import DomainAgent
 from repro.core.hop import HOPCollector, HOPProcessor
@@ -51,7 +52,13 @@ from repro.core.receipts import (
 )
 from repro.core.sampling import DelaySampler
 from repro.core.verifier import Verifier
-from repro.engine import MeshRunner, ScenarioStream, StreamingResult, StreamingRunner
+from repro.engine import (
+    CampaignRunner,
+    MeshRunner,
+    ScenarioStream,
+    StreamingResult,
+    StreamingRunner,
+)
 from repro.net.batch import PacketBatch
 from repro.net.packet import Packet
 from repro.net.topology import Domain, HOP, HOPPath, Topology
@@ -62,15 +69,18 @@ from repro.simulation.scenario import (
     PathScenario,
 )
 from repro.traffic.trace import SyntheticTrace, TraceConfig
+from repro.store import RunStore
 from repro.traffic.workload import make_workload
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Aggregator",
     "AggregateReceipt",
     "BatchDomainTruth",
     "BatchPathObservation",
+    "CampaignRunner",
+    "CampaignSpec",
     "DelaySampler",
     "Domain",
     "DomainAgent",
@@ -89,6 +99,8 @@ __all__ = [
     "PacketBatch",
     "PathID",
     "PathScenario",
+    "RunStore",
+    "SLATargetSpec",
     "SampleReceipt",
     "SampleRecord",
     "ScenarioStream",

@@ -65,9 +65,19 @@ from repro.api.results import (
     TruthSummary,
     VerificationSummary,
 )
-from repro.api.runner import Experiment, clear_trace_cache, run_cell, run_mesh_cell
+from repro.api.runner import (
+    CellRun,
+    Experiment,
+    MeshRun,
+    clear_trace_cache,
+    run_cell,
+    run_cell_full,
+    run_mesh_cell,
+    run_mesh_cell_full,
+)
 from repro.api.spec import (
     AdversarySpec,
+    CampaignSpec,
     ConditionSpec,
     EstimationSpec,
     ExperimentSpec,
@@ -75,6 +85,7 @@ from repro.api.spec import (
     MeshSpec,
     PathSpec,
     ProtocolSpec,
+    SLATargetSpec,
     TopologySpec,
     TrafficSpec,
     derive_seed,
@@ -83,7 +94,9 @@ from repro.api.spec import (
 __all__ = [
     "ADVERSARIES",
     "AdversarySpec",
+    "CampaignSpec",
     "CellResult",
+    "CellRun",
     "ConditionSpec",
     "DELAY_MODELS",
     "DomainEstimate",
@@ -94,6 +107,7 @@ __all__ = [
     "LOSS_MODELS",
     "MeshPathResult",
     "MeshResult",
+    "MeshRun",
     "MeshSpec",
     "OverheadSummary",
     "PathSpec",
@@ -102,6 +116,7 @@ __all__ = [
     "REORDERING_MODELS",
     "Registry",
     "SCENARIOS",
+    "SLATargetSpec",
     "SweepCell",
     "SweepResult",
     "TOPOLOGIES",
@@ -120,5 +135,7 @@ __all__ = [
     "register_scenario",
     "register_topology",
     "run_cell",
+    "run_cell_full",
     "run_mesh_cell",
+    "run_mesh_cell_full",
 ]

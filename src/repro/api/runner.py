@@ -21,7 +21,7 @@ import dataclasses
 import itertools
 from concurrent.futures import ProcessPoolExecutor
 from functools import lru_cache, partial
-from typing import Any, Mapping, Sequence
+from typing import Any, Mapping, NamedTuple, Sequence
 
 from repro.analysis.localization import identify_suspects, triangulate_suspects
 from repro.api.registry import ADVERSARIES
@@ -52,7 +52,16 @@ from repro.simulation.mesh import MeshScenario
 from repro.simulation.scenario import PathScenario
 from repro.traffic.trace import SyntheticTrace, default_prefix_pair
 
-__all__ = ["Experiment", "clear_trace_cache", "run_cell", "run_mesh_cell"]
+__all__ = [
+    "CellRun",
+    "Experiment",
+    "MeshRun",
+    "clear_trace_cache",
+    "run_cell",
+    "run_cell_full",
+    "run_mesh_cell",
+    "run_mesh_cell_full",
+]
 
 
 # Traffic synthesis is the one reusable piece of a cell (scenarios and
@@ -217,19 +226,31 @@ def _summarize_cell(spec: ExperimentSpec, session: VPMSession, truth_source) -> 
     )
 
 
-def run_cell(
+class CellRun(NamedTuple):
+    """One executed cell with its engine-layer artefacts still attached.
+
+    ``result`` is the summarized :class:`CellResult`; ``session`` is the fed
+    :class:`VPMSession` (its bus holds the published reports, so callers can
+    build further verifiers); ``reports`` are the per-HOP receipts — what the
+    campaign engine digests into its per-interval audit records.
+    """
+
+    result: CellResult
+    session: VPMSession
+    reports: dict[str, Any]
+
+
+def run_cell_full(
     spec: ExperimentSpec,
     engine: str | None = None,
     shards: int = 1,
     chunk_size: int | None = None,
-) -> CellResult:
-    """Execute one experiment cell and summarize everything it produced.
+) -> CellRun:
+    """Execute one cell and return the result *and* its session/receipts.
 
-    ``engine`` overrides the spec's engine *for execution only* — the result
-    still embeds the spec unchanged, so the same spec run under different
-    engines yields byte-identical ``CellResult.to_json()`` (the engines'
-    exactness guarantee, asserted by the conformance suite).  ``shards`` and
-    ``chunk_size`` apply to the streaming engine.
+    The engine contract of :func:`run_cell` applies unchanged; this variant
+    exists for callers (the campaign runner, receipt auditing) that need the
+    receipts or additional verifier views, not just the summary.
     """
     engine = engine or spec.engine
     if engine not in ("batch", "scalar", "streaming"):
@@ -252,7 +273,8 @@ def run_cell(
             shards=shards,
         )
         streamed = runner.run()
-        return _summarize_cell(spec, streamed.session, streamed)
+        result = _summarize_cell(spec, streamed.session, streamed)
+        return CellRun(result=result, session=streamed.session, reports=streamed.reports)
 
     cell = _build_cell(spec.to_dict())
     traffic_seed = spec.traffic.effective_seed(spec.seed)
@@ -260,8 +282,28 @@ def run_cell(
         observation = cell.scenario.run_batch(_cached_batch(spec.traffic, traffic_seed))
     else:
         observation = cell.scenario.run(_cached_packets(spec.traffic, traffic_seed))
-    cell.session.run(observation)
-    return _summarize_cell(spec, cell.session, observation)
+    reports = cell.session.run(observation)
+    result = _summarize_cell(spec, cell.session, observation)
+    return CellRun(result=result, session=cell.session, reports=reports)
+
+
+def run_cell(
+    spec: ExperimentSpec,
+    engine: str | None = None,
+    shards: int = 1,
+    chunk_size: int | None = None,
+) -> CellResult:
+    """Execute one experiment cell and summarize everything it produced.
+
+    ``engine`` overrides the spec's engine *for execution only* — the result
+    still embeds the spec unchanged, so the same spec run under different
+    engines yields byte-identical ``CellResult.to_json()`` (the engines'
+    exactness guarantee, asserted by the conformance suite).  ``shards`` and
+    ``chunk_size`` apply to the streaming engine.
+    """
+    return run_cell_full(
+        spec, engine=engine, shards=shards, chunk_size=chunk_size
+    ).result
 
 
 # -- mesh cells ----------------------------------------------------------------------
@@ -429,18 +471,21 @@ def _summarize_mesh(spec: MeshSpec, session: MeshSession, truth_for) -> MeshResu
     )
 
 
-def run_mesh_cell(
+class MeshRun(NamedTuple):
+    """One executed mesh cell with its engine-layer artefacts still attached."""
+
+    result: MeshResult
+    session: MeshSession
+    reports: dict[str, Any]
+
+
+def run_mesh_cell_full(
     spec: MeshSpec,
     engine: str | None = None,
     shards: int = 1,
     chunk_size: int | None = None,
-) -> MeshResult:
-    """Execute one mesh cell and summarize everything it produced.
-
-    Like :func:`run_cell`, ``engine`` overrides the spec's engine for
-    execution only; batch and streaming (any ``shards``/``chunk_size``)
-    produce byte-identical ``MeshResult.to_json()``.
-    """
+) -> MeshRun:
+    """Execute one mesh cell and return the result *and* its session/receipts."""
     engine = engine or spec.engine
     if engine not in ("batch", "streaming"):
         raise ValueError(
@@ -462,7 +507,8 @@ def run_mesh_cell(
             shards=shards,
         )
         streamed = runner.run()
-        return _summarize_mesh(spec, streamed.session, streamed.truth_for)
+        result = _summarize_mesh(spec, streamed.session, streamed.truth_for)
+        return MeshRun(result=result, session=streamed.session, reports=streamed.reports)
 
     cell = _build_mesh_cell(spec.to_dict())
     batches = [
@@ -470,8 +516,26 @@ def run_mesh_cell(
         for index, path in enumerate(cell.scenario.paths)
     ]
     observation = cell.scenario.run_batch(batches)
-    cell.session.run(observation)
-    return _summarize_mesh(spec, cell.session, observation.truth_for)
+    reports = cell.session.run(observation)
+    result = _summarize_mesh(spec, cell.session, observation.truth_for)
+    return MeshRun(result=result, session=cell.session, reports=reports)
+
+
+def run_mesh_cell(
+    spec: MeshSpec,
+    engine: str | None = None,
+    shards: int = 1,
+    chunk_size: int | None = None,
+) -> MeshResult:
+    """Execute one mesh cell and summarize everything it produced.
+
+    Like :func:`run_cell`, ``engine`` overrides the spec's engine for
+    execution only; batch and streaming (any ``shards``/``chunk_size``)
+    produce byte-identical ``MeshResult.to_json()``.
+    """
+    return run_mesh_cell_full(
+        spec, engine=engine, shards=shards, chunk_size=chunk_size
+    ).result
 
 
 def _run_cell_payload(payload: dict[str, Any]) -> CellResult | MeshResult:
@@ -620,6 +684,39 @@ class Experiment:
             observer=spec.estimation.observer,
             configs=configs,
             agents_factory=agents_factory,
+        )
+
+    def campaign_runner(
+        self,
+        intervals: int,
+        sla=None,
+        name: str | None = None,
+        store=None,
+        engine: str | None = None,
+        shards: int = 1,
+        chunk_size: int | None = None,
+    ):
+        """A checkpointable :class:`~repro.engine.campaign.CampaignRunner`.
+
+        Wraps this experiment's spec (single-path or mesh) in a
+        :class:`~repro.api.spec.CampaignSpec` over ``intervals`` intervals
+        with the optional declarative ``sla``
+        (:class:`~repro.api.spec.SLATargetSpec`), checkpointing into
+        ``store`` (a :class:`repro.store.RunStore`, or ``None`` for an
+        in-memory run).  Each interval runs the whole cell on the fast
+        engines; see :mod:`repro.engine.campaign` for the resume contract.
+        """
+        from repro.api.spec import CampaignSpec
+        from repro.engine.campaign import CampaignRunner
+
+        spec = CampaignSpec(
+            name=name or f"{self.spec.name}-campaign",
+            intervals=intervals,
+            cell=self.spec,
+            sla=sla,
+        )
+        return CampaignRunner(
+            spec, store=store, engine=engine, shards=shards, chunk_size=chunk_size
         )
 
     def interval_packets(self, count: int, first: int = 0) -> list[list[Packet]]:

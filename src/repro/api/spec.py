@@ -65,6 +65,8 @@ __all__ = [
     "EstimationSpec",
     "ExperimentSpec",
     "MeshSpec",
+    "SLATargetSpec",
+    "CampaignSpec",
 ]
 
 _SEED_SPACE = 2**63
@@ -871,3 +873,204 @@ class MeshSpec:
         if "quantiles" in payload:
             payload["quantiles"] = tuple(payload["quantiles"])
         return cls(**payload)
+
+
+# -- long-horizon campaigns ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SLATargetSpec:
+    """A declarative SLA contract a campaign is held to (see :mod:`repro.analysis.sla`).
+
+    ``delay_bound`` (seconds) applies at ``delay_quantile`` of the pooled
+    campaign delay samples; ``loss_bound`` applies to the campaign-wide loss
+    rate — the "certain level of packet loss per month" framing the paper
+    opens with.
+    """
+
+    delay_bound: float = 50e-3
+    delay_quantile: float = 0.9
+    loss_bound: float = 0.001
+    name: str = "default-sla"
+
+    def __post_init__(self) -> None:
+        self.build()  # eagerly validate bounds via SLASpec's own checks
+
+    def build(self):
+        """Materialize the :class:`repro.analysis.sla.SLASpec` this describes."""
+        from repro.analysis.sla import SLASpec
+
+        return SLASpec(
+            delay_bound=self.delay_bound,
+            delay_quantile=self.delay_quantile,
+            loss_bound=self.loss_bound,
+            name=self.name,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "delay_bound": self.delay_bound,
+            "delay_quantile": self.delay_quantile,
+            "loss_bound": self.loss_bound,
+            "name": self.name,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SLATargetSpec":
+        _check_keys(cls, data)
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A long-horizon measurement campaign: N intervals of one cell spec.
+
+    SLAs are contracted over long horizons while receipts arrive per
+    reporting interval; a campaign runs ``cell`` (an :class:`ExperimentSpec`
+    or a :class:`MeshSpec` — any engine, including streaming and mesh) once
+    per interval and folds the interval outcomes into campaign-level
+    statistics held against ``sla``.
+
+    Interval ``i`` runs the cell re-rooted at
+    ``derive_seed(cell.seed, f"interval.{i}")`` — the existing BLAKE2b
+    seed-spacing — so every interval draws fresh, statistically independent
+    traffic *and* path randomness while the whole campaign stays a pure
+    function of the one root seed.  That purity is what makes campaigns
+    checkpointable: interval ``i`` is a function of ``(spec, i)`` alone, so a
+    resumed campaign reproduces the remaining intervals byte-identically
+    (see :class:`repro.engine.campaign.CampaignRunner` and
+    :class:`repro.store.RunStore`).
+
+    Execution knobs (engine override, shards, chunk size) are deliberately
+    *not* part of the spec: the engines are byte-identical, so they may vary
+    freely between a run and its resume without perturbing the stored record.
+    """
+
+    name: str = "campaign"
+    intervals: int = 6
+    cell: "ExperimentSpec | MeshSpec" = field(default_factory=lambda: ExperimentSpec())
+    sla: SLATargetSpec | None = None
+
+    def __post_init__(self) -> None:
+        check_positive("intervals", self.intervals)
+        if not isinstance(self.cell, (ExperimentSpec, MeshSpec)):
+            raise ValueError(
+                f"CampaignSpec.cell must be an ExperimentSpec or MeshSpec, "
+                f"got {type(self.cell).__name__}"
+            )
+        if self.sla is not None and not isinstance(self.sla, SLATargetSpec):
+            raise ValueError(
+                f"CampaignSpec.sla must be an SLATargetSpec or None, "
+                f"got {type(self.sla).__name__}"
+            )
+        if not self.name:
+            raise ValueError("CampaignSpec.name must be non-empty")
+        if self.sla is not None:
+            # The delay check silently passes (verdict "unknown" counts as
+            # compliant) when the SLA's quantile is never estimated — refuse
+            # the mismatch up front instead of certifying compliance on a
+            # quantile nobody measured.
+            estimated = (
+                self.cell.quantiles
+                if isinstance(self.cell, MeshSpec)
+                else self.cell.estimation.quantiles
+            )
+            if self.sla.delay_quantile not in estimated:
+                raise ValueError(
+                    f"CampaignSpec.sla checks delay at quantile "
+                    f"{self.sla.delay_quantile}, but the cell only estimates "
+                    f"{sorted(estimated)}; add it to the cell's quantiles"
+                )
+
+    # -- interval derivation -----------------------------------------------------------
+
+    def interval_seed(self, index: int) -> int:
+        """The root seed of interval ``index`` (BLAKE2b seed-spacing)."""
+        if not 0 <= index < self.intervals:
+            raise ValueError(
+                f"interval index {index} out of range [0, {self.intervals})"
+            )
+        return derive_seed(self.cell.seed, f"interval.{index}")
+
+    def interval_cell(self, index: int) -> "ExperimentSpec | MeshSpec":
+        """The cell spec interval ``index`` executes.
+
+        The cell is re-rooted at the interval seed; a traffic seed pinned in
+        the template is re-spaced per interval too (otherwise every interval
+        would replay identical traffic, which is never what a campaign
+        means).  A mesh cell's *topology* seed is the opposite case: the
+        network under contract is one fixed graph, so the template's
+        effective topology seed is pinned before re-rooting — intervals vary
+        traffic and path randomness, never the topology.
+        """
+        seed = self.interval_seed(index)
+        replaced: dict[str, Any] = {"seed": seed}
+        if self.cell.traffic.seed is not None:
+            replaced["traffic"] = dataclasses.replace(
+                self.cell.traffic,
+                seed=derive_seed(self.cell.traffic.seed, f"interval.{index}"),
+            )
+        if isinstance(self.cell, MeshSpec) and self.cell.topology.seed is None:
+            replaced["topology"] = dataclasses.replace(
+                self.cell.topology,
+                seed=self.cell.topology.effective_seed(self.cell.seed),
+            )
+        return dataclasses.replace(self.cell, **replaced)
+
+    # -- identity ----------------------------------------------------------------------
+
+    def spec_hash(self) -> str:
+        """Stable hex digest of the campaign's canonical JSON form.
+
+        Recorded in every run-store record; resume refuses to continue a
+        store whose spec hash does not match the spec it was opened with.
+        """
+        return hashlib.blake2b(
+            self.to_json().encode("utf-8"), digest_size=16
+        ).hexdigest()
+
+    # -- convenience -------------------------------------------------------------------
+
+    def with_overrides(self, overrides: Mapping[str, Any]) -> "CampaignSpec":
+        """A copy with dotted-path overrides applied (``"cell.traffic.packet_count"``)."""
+        return _apply_overrides(self, overrides)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "intervals": self.intervals,
+            "cell": self.cell.to_dict(),
+            "sla": self.sla.to_dict() if self.sla is not None else None,
+        }
+
+    def to_json(self) -> str:
+        """Byte-stable JSON (sorted keys, fixed separators)."""
+        import json
+
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CampaignSpec":
+        _check_keys(cls, data)
+        payload = dict(data)
+        if "cell" in payload and not isinstance(
+            payload["cell"], (ExperimentSpec, MeshSpec)
+        ):
+            cell_data = payload["cell"]
+            # Mesh cells are recognized by their topology key, exactly as the
+            # sweep worker entry point recognizes mesh payloads.
+            if "topology" in cell_data:
+                payload["cell"] = MeshSpec.from_dict(cell_data)
+            else:
+                payload["cell"] = ExperimentSpec.from_dict(cell_data)
+        if payload.get("sla") is not None and not isinstance(
+            payload["sla"], SLATargetSpec
+        ):
+            payload["sla"] = SLATargetSpec.from_dict(payload["sla"])
+        return cls(**payload)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "CampaignSpec":
+        import json
+
+        return cls.from_dict(json.loads(payload))

@@ -1,0 +1,475 @@
+"""The ``repro`` command-line interface.
+
+Campaigns are the protocol's unit of accountability — a spec is contracted,
+run over N intervals, and its durable store is what a customer audits later.
+The CLI covers that whole lifecycle plus the repo's golden-fixture workflow:
+
+* ``repro run spec.json`` — create a run store and execute the campaign,
+  checkpointing after every interval; safe to kill at any instant.
+* ``repro resume runs/<id>`` — continue a (possibly killed) run from its last
+  completed interval; the finished store is byte-identical to an
+  uninterrupted run, whatever engine either invocation used.
+* ``repro report runs/<id>`` — the campaign SLA verdict table (per-interval
+  history + campaign-level pooled statistics and verdicts).
+* ``repro regen-goldens`` — regenerate the conformance golden fixtures, or
+  (``--check``) regenerate into a scratch directory and diff against the
+  committed ones, failing with a readable diff on drift.
+
+Engine selection (``--engine``, ``--shards``, ``--chunk-size``) is an
+execution-only knob: the engines produce byte-identical results, so a store
+written by one engine resumes and verifies under any other.
+"""
+
+from __future__ import annotations
+
+import argparse
+import difflib
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, NoReturn, Sequence
+
+from repro.api.spec import CampaignSpec, MeshSpec
+from repro.engine.campaign import CampaignAccumulator, CampaignRunner
+from repro.store import RunStore, RunStoreError
+
+__all__ = ["main"]
+
+
+def _fail(message: str) -> NoReturn:
+    raise SystemExit(f"repro: error: {message}")
+
+
+def _check_engine(spec: CampaignSpec, args: argparse.Namespace) -> None:
+    """Reject execution knobs the spec's cell cannot honor, before any work."""
+    if isinstance(spec.cell, MeshSpec) and args.engine == "scalar":
+        _fail(
+            f"campaign {spec.name!r} runs a mesh cell, which has no scalar "
+            f"engine; use --engine batch or --engine streaming"
+        )
+    effective = args.engine or spec.cell.engine
+    if effective != "streaming" and (args.shards != 1 or args.chunk_size is not None):
+        _fail(
+            f"--shards/--chunk-size apply to the streaming engine only "
+            f"(this run executes on {effective!r}; add --engine streaming)"
+        )
+
+
+def _load_spec(path: str) -> CampaignSpec:
+    spec_path = Path(path)
+    if not spec_path.exists():
+        _fail(f"spec file {path} does not exist")
+    try:
+        return CampaignSpec.from_json(spec_path.read_text())
+    except (ValueError, json.JSONDecodeError) as exc:
+        _fail(f"cannot load campaign spec from {path}: {exc}")
+
+
+def _execution_knobs(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--engine",
+        choices=("batch", "scalar", "streaming"),
+        default=None,
+        help="execution-only engine override (results are byte-identical)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="process-parallel shards (streaming engine only)",
+    )
+    parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="trace packets per streaming chunk",
+    )
+    parser.add_argument(
+        "--max-intervals",
+        type=int,
+        default=None,
+        metavar="K",
+        help="stop after K further intervals (deterministic partial run; "
+        "resume later with `repro resume`)",
+    )
+    parser.add_argument(
+        "--throttle",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="sleep after each interval checkpoint (lets a test harness kill "
+        "the run mid-campaign deterministically)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-interval progress"
+    )
+
+
+def _drive(runner: CampaignRunner, args: argparse.Namespace, store: RunStore) -> int:
+    spec = runner.spec
+
+    def progress(record: dict[str, Any]) -> None:
+        if args.throttle > 0:
+            # The record is already durably checkpointed; sleeping here gives
+            # a kill signal a deterministic window between intervals.
+            time.sleep(args.throttle)
+        if args.quiet:
+            return
+        verdicts = record["verdicts"]
+        flags = " ".join(
+            f"{domain}:{'ok' if verdict['accepted'] else 'REJECTED'}"
+            if verdict["accepted"] is not None
+            else f"{domain}:unverified"
+            for domain, verdict in sorted(verdicts.items())
+        )
+        print(
+            f"interval {record['interval'] + 1}/{spec.intervals} done "
+            f"[receipts {record['receipts_digest'][:12]}] {flags}",
+            flush=True,
+        )
+
+    try:
+        outcome = runner.run(max_intervals=args.max_intervals, on_interval=progress)
+    except KeyboardInterrupt:
+        print(
+            f"\ninterrupted after {runner.next_interval} completed interval(s); "
+            f"continue with: repro resume {store.path}",
+            file=sys.stderr,
+        )
+        return 130
+    if outcome.completed:
+        if not args.quiet:
+            print(f"campaign complete: {store.path} ({spec.intervals} intervals)")
+            _print_report(store)
+    else:
+        print(
+            f"stopped after {outcome.next_interval}/{spec.intervals} intervals; "
+            f"continue with: repro resume {store.path}"
+        )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = _load_spec(args.spec)
+    if args.run_dir is not None:
+        run_dir = Path(args.run_dir)
+    else:
+        run_id = f"{spec.name}-{spec.spec_hash()[:10]}"
+        run_dir = Path(args.runs_dir) / run_id
+    _check_engine(spec, args)
+    try:
+        store = RunStore.create(run_dir, spec)
+    except RunStoreError as exc:
+        _fail(str(exc))
+    if not args.quiet:
+        print(f"run store: {run_dir} (spec hash {spec.spec_hash()[:12]})")
+    runner = CampaignRunner(
+        spec,
+        store,
+        engine=args.engine,
+        shards=args.shards,
+        chunk_size=args.chunk_size,
+    )
+    return _drive(runner, args, store)
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    try:
+        store = RunStore.open(args.run_dir)
+    except RunStoreError as exc:
+        _fail(str(exc))
+    _check_engine(store.spec(), args)
+    runner = CampaignRunner.resume(
+        store,
+        engine=args.engine,
+        shards=args.shards,
+        chunk_size=args.chunk_size,
+    )
+    if not args.quiet:
+        print(
+            f"resuming {store.path} from interval "
+            f"{runner.next_interval + 1}/{runner.spec.intervals}"
+        )
+    return _drive(runner, args, store)
+
+
+def _format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    widths = [
+        max(len(str(header)), *(len(str(row[i])) for row in rows)) if rows else len(header)
+        for i, header in enumerate(headers)
+    ]
+    lines = [
+        "  ".join(str(header).ljust(width) for header, width in zip(headers, widths)),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in rows:
+        lines.append("  ".join(str(cell).ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _print_report(store: RunStore) -> None:
+    spec = store.spec()
+    records = store.records()
+    accumulator = CampaignAccumulator.from_records(spec, records)
+    summary = accumulator.summary()
+    persisted = store.summary()
+    sla = spec.sla
+
+    print(f"campaign {spec.name!r}: {len(records)}/{spec.intervals} intervals "
+          f"(spec hash {store.spec_hash[:12]})")
+    if sla is not None:
+        print(
+            f"SLA {sla.name!r}: delay <= {sla.delay_bound * 1e3:g} ms at "
+            f"q={sla.delay_quantile:g}, loss <= {sla.loss_bound * 100:g} %"
+        )
+
+    rows = []
+    for record in records:
+        for domain, estimate in sorted(record["estimates"].items()):
+            verdict = record["verdicts"][domain]
+            quantile_key = repr(float(sla.delay_quantile)) if sla is not None else None
+            delay_text = "n/a"
+            quantile_payload = estimate["quantiles"]
+            if quantile_payload:
+                key = (
+                    quantile_key
+                    if quantile_key in quantile_payload
+                    else sorted(quantile_payload)[0]
+                )
+                delay_text = f"{quantile_payload[key]['estimate'] * 1e3:.3f}"
+            rows.append(
+                (
+                    record["interval"],
+                    domain,
+                    delay_text,
+                    f"{estimate['loss_rate'] * 100:.3f}",
+                    {True: "accepted", False: "REJECTED", None: "unverified"}[
+                        verdict["accepted"]
+                    ],
+                    {True: "ok", False: "VIOLATED", None: "-"}[
+                        verdict["sla_compliant"]
+                    ],
+                )
+            )
+    print()
+    print(
+        _format_table(
+            ("interval", "domain", "delay[ms]", "loss[%]", "receipts", "sla"), rows
+        )
+    )
+
+    print()
+    campaign_rows = []
+    for domain, entry in sorted(summary["domains"].items()):
+        delay_text = "n/a"
+        if entry["pooled_quantiles"]:
+            key = (
+                repr(float(sla.delay_quantile))
+                if sla is not None and repr(float(sla.delay_quantile)) in entry["pooled_quantiles"]
+                else sorted(entry["pooled_quantiles"])[0]
+            )
+            delay_text = f"{entry['pooled_quantiles'][key]['estimate'] * 1e3:.3f}"
+        campaign_rows.append(
+            (
+                domain,
+                entry["delay_sample_count"],
+                delay_text,
+                f"{entry['loss_rate'] * 100:.3f}",
+                f"{entry['acceptance_rate'] * 100:.0f}%",
+                {True: "COMPLIANT", False: "IN VIOLATION", None: "-"}[
+                    entry["sla_compliant"]
+                ],
+            )
+        )
+    print(
+        _format_table(
+            ("domain", "samples", "pooled delay[ms]", "loss[%]", "accepted", "sla verdict"),
+            campaign_rows,
+        )
+    )
+
+    if persisted is not None and persisted != summary:
+        print(
+            "\nWARNING: persisted summary.json disagrees with the summary "
+            "recomputed from the records — the store has been edited",
+            file=sys.stderr,
+        )
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    try:
+        store = RunStore.open(args.run_dir)
+    except RunStoreError as exc:
+        _fail(str(exc))
+    _print_report(store)
+    return 0
+
+
+def _find_conformance_dir() -> Path:
+    """Locate tests/conformance by walking up from the working directory."""
+    probe = Path.cwd().resolve()
+    for candidate in (probe, *probe.parents):
+        conformance = candidate / "tests" / "conformance"
+        if (conformance / "scenarios.py").exists():
+            return conformance
+    _fail(
+        "cannot find tests/conformance above the current directory; "
+        "run from a repository checkout"
+    )
+
+
+def _regen_into(target: Path, conformance: Path) -> int:
+    environment = dict(os.environ)
+    environment["REPRO_GOLDEN_DIR"] = str(target)
+    completed = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "pytest",
+            str(conformance),
+            "-q",
+            "--regen-goldens",
+        ],
+        cwd=conformance.parent.parent,
+        env=environment,
+    )
+    return completed.returncode
+
+
+def _cmd_regen_goldens(args: argparse.Namespace) -> int:
+    conformance = _find_conformance_dir()
+    committed = conformance / "goldens"
+
+    if args.check:
+        with tempfile.TemporaryDirectory(prefix="repro-goldens-") as scratch:
+            target = Path(scratch) / "goldens"
+            target.mkdir()
+            status = _regen_into(target, conformance)
+            if status != 0:
+                _fail(f"golden regeneration failed (pytest exit {status})")
+            drift = _diff_golden_dirs(committed, target)
+            if drift:
+                print(drift)
+                print(
+                    "\ngolden drift detected: the committed conformance goldens "
+                    "no longer reproduce; regenerate with `repro regen-goldens` "
+                    "and review the diff",
+                    file=sys.stderr,
+                )
+                return 1
+            print(f"goldens reproduce: {committed} matches a fresh regeneration")
+            return 0
+
+    target = Path(args.out) if args.out else committed
+    target.mkdir(parents=True, exist_ok=True)
+    status = _regen_into(target, conformance)
+    if status != 0:
+        _fail(f"golden regeneration failed (pytest exit {status})")
+    print(f"goldens regenerated into {target}")
+    return 0
+
+
+def _diff_golden_dirs(committed: Path, fresh: Path) -> str:
+    """A readable unified diff between two golden directories ('' when equal)."""
+    chunks: list[str] = []
+    names = sorted(
+        {path.name for path in committed.glob("*.json")}
+        | {path.name for path in fresh.glob("*.json")}
+    )
+    for name in names:
+        committed_path = committed / name
+        fresh_path = fresh / name
+        committed_lines = (
+            committed_path.read_text().splitlines(keepends=True)
+            if committed_path.exists()
+            else []
+        )
+        fresh_lines = (
+            fresh_path.read_text().splitlines(keepends=True)
+            if fresh_path.exists()
+            else []
+        )
+        if committed_lines == fresh_lines:
+            continue
+        chunks.append(
+            "".join(
+                difflib.unified_diff(
+                    committed_lines,
+                    fresh_lines,
+                    fromfile=f"committed/{name}",
+                    tofile=f"regenerated/{name}",
+                )
+            )
+        )
+    return "\n".join(chunks)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Verifiable network-performance measurement campaigns "
+        "(checkpointable runs, durable stores, conformance goldens).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = commands.add_parser(
+        "run", help="run a campaign spec into a fresh run store"
+    )
+    run_parser.add_argument("spec", help="path to a CampaignSpec JSON file")
+    run_parser.add_argument(
+        "--runs-dir",
+        default="runs",
+        help="directory holding run stores (default: ./runs)",
+    )
+    run_parser.add_argument(
+        "--run-dir",
+        default=None,
+        help="explicit run-store directory (overrides --runs-dir/<id>)",
+    )
+    _execution_knobs(run_parser)
+    run_parser.set_defaults(handler=_cmd_run)
+
+    resume_parser = commands.add_parser(
+        "resume", help="continue a (possibly killed) run from its store"
+    )
+    resume_parser.add_argument("run_dir", help="the run-store directory")
+    _execution_knobs(resume_parser)
+    resume_parser.set_defaults(handler=_cmd_resume)
+
+    report_parser = commands.add_parser(
+        "report", help="print the campaign SLA verdict table for a run store"
+    )
+    report_parser.add_argument("run_dir", help="the run-store directory")
+    report_parser.set_defaults(handler=_cmd_report)
+
+    regen_parser = commands.add_parser(
+        "regen-goldens",
+        help="regenerate the conformance golden fixtures (or --check for drift)",
+    )
+    regen_parser.add_argument(
+        "--out",
+        default=None,
+        help="write regenerated goldens here instead of tests/conformance/goldens",
+    )
+    regen_parser.add_argument(
+        "--check",
+        action="store_true",
+        help="regenerate into a scratch directory and fail with a diff if the "
+        "committed goldens no longer reproduce",
+    )
+    regen_parser.set_defaults(handler=_cmd_regen_goldens)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

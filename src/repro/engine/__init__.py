@@ -12,8 +12,20 @@ a process pool (``shards=N``), merging the per-shard collector states exactly
 All three engines produce identical receipts and results for every streamable
 component (see ``README.md`` § Engines); the only documented difference is
 ``AggregateReceipt.time_sum``, whose float accumulation order varies.
+
+On top of the per-interval engines,
+:class:`~repro.engine.campaign.CampaignRunner` drives long-horizon campaigns
+— one cell run per interval on any of the engines — checkpointing every
+interval into a :class:`repro.store.RunStore` so a killed campaign resumes
+byte-identically.
 """
 
+from repro.engine.campaign import (
+    CampaignAccumulator,
+    CampaignRunner,
+    CampaignRunOutcome,
+    interval_record,
+)
 from repro.engine.mesh import (
     MeshCell,
     MeshRunner,
@@ -31,6 +43,9 @@ from repro.engine.streaming import (
 
 __all__ = [
     "DEFAULT_CHUNK_SIZE",
+    "CampaignAccumulator",
+    "CampaignRunOutcome",
+    "CampaignRunner",
     "MeshCell",
     "MeshRunner",
     "MeshStreamingResult",
@@ -39,5 +54,6 @@ __all__ = [
     "StreamingResult",
     "StreamingRunner",
     "StreamingTruth",
+    "interval_record",
     "run_mesh_batch",
 ]

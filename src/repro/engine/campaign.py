@@ -1,0 +1,509 @@
+"""Checkpointable long-horizon campaign execution.
+
+The paper's framing is a contract held over a long horizon ("a certain level
+of packet loss per month") audited from per-interval receipts.
+:class:`CampaignRunner` executes a :class:`~repro.api.spec.CampaignSpec` one
+interval at a time on the fast engines (batch, streaming with any shard
+count, or the mesh engines, per the cell spec / runtime override), folds each
+interval into campaign-level statistics **incrementally** — pooled delay
+quantiles live in a :class:`~repro.analysis.quantiles.MergedDelayPool`, never
+re-pooled from raw samples — and checkpoints after every interval to a
+:class:`~repro.store.RunStore`.
+
+Because interval ``i`` is a pure function of ``(spec, i)`` (the spec's
+BLAKE2b seed-spacing) and the store append is atomic, a campaign killed at
+any instant resumes from its last completed interval and finishes with a
+store **byte-identical** to an uninterrupted run — the property the
+``campaign-smoke`` CI job and the resume property suite enforce.  Engine
+choice never perturbs the store either: the engines' byte-identical results
+contract means a run started on the batch engine may resume on streaming
+``shards=4`` and still match.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Callable, Mapping, NamedTuple, Sequence
+
+import numpy as np
+
+from repro.analysis.quantiles import MergedDelayPool
+from repro.analysis.sla import SLAVerdict, check_sla
+from repro.api.spec import CampaignSpec, ExperimentSpec, MeshSpec
+from repro.core.estimation import (
+    DelayQuantileEstimate,
+    estimate_delay_quantiles,
+    match_sample_delays,
+)
+from repro.core.verifier import DomainPerformance, Verifier
+from repro.net.topology import HOPPath
+from repro.reporting.serialization import receipts_digest
+from repro.store import RunStore
+
+__all__ = [
+    "CampaignAccumulator",
+    "CampaignRunner",
+    "CampaignRunOutcome",
+    "interval_record",
+]
+
+RECORD_VERSION = 1
+
+
+def _matched_delays(verifier: Verifier, path: HOPPath, domain: str) -> np.ndarray:
+    """The domain's matched ingress/egress delay samples on one path."""
+    hops = path.hops_of(domain)
+    if len(hops) < 2:
+        return np.empty(0, dtype=np.float64)
+    ingress = verifier.sample_receipt_for(hops[0].hop_id)
+    egress = verifier.sample_receipt_for(hops[-1].hop_id)
+    if ingress is None or egress is None:
+        return np.empty(0, dtype=np.float64)
+    return match_sample_delays(ingress, egress)
+
+
+def _performance_from(
+    domain: str,
+    delays: np.ndarray,
+    quantiles: Sequence[float],
+    offered: int,
+    lost: int,
+) -> DomainPerformance:
+    """A synthetic performance view over pooled samples (for SLA checking)."""
+    estimates: dict[float, DelayQuantileEstimate] = {}
+    if len(delays):
+        estimates = estimate_delay_quantiles(delays, quantiles)
+    return DomainPerformance(
+        domain=domain,
+        delay_quantiles=estimates,
+        delay_sample_count=int(len(delays)),
+        offered_packets=int(offered),
+        lost_packets=int(lost),
+    )
+
+
+def _quantile_payload(
+    delays: np.ndarray, quantiles: Sequence[float]
+) -> dict[str, dict[str, float]]:
+    if not len(delays):
+        return {}
+    estimates = estimate_delay_quantiles(delays, quantiles)
+    return {
+        repr(float(quantile)): {
+            "estimate": entry.estimate,
+            "lower": entry.lower,
+            "upper": entry.upper,
+        }
+        for quantile, entry in sorted(estimates.items())
+    }
+
+
+class _IntervalOutcome(NamedTuple):
+    """Per-domain raw material of one executed interval."""
+
+    delays: dict[str, np.ndarray]
+    offered: dict[str, int]
+    lost: dict[str, int]
+    accepted: dict[str, bool | None]
+    receipts_digest: str
+    result_digest: str
+
+
+def _run_single_path_interval(
+    cell: ExperimentSpec,
+    engine: str | None,
+    shards: int,
+    chunk_size: int | None,
+) -> _IntervalOutcome:
+    from repro.api.runner import run_cell_full
+
+    run = run_cell_full(cell, engine=engine, shards=shards, chunk_size=chunk_size)
+    verifier = run.session.verifier_for(cell.estimation.observer)
+    path = run.session.path
+    delays: dict[str, np.ndarray] = {}
+    offered: dict[str, int] = {}
+    lost: dict[str, int] = {}
+    accepted: dict[str, bool | None] = {}
+    for target in cell.estimation.targets:
+        entry = run.result.target(target)
+        delays[target] = _matched_delays(verifier, path, target)
+        offered[target] = entry.estimate.offered_packets
+        lost[target] = entry.estimate.lost_packets
+        accepted[target] = (
+            entry.verification.accepted if entry.verification is not None else None
+        )
+    return _IntervalOutcome(
+        delays=delays,
+        offered=offered,
+        lost=lost,
+        accepted=accepted,
+        receipts_digest=receipts_digest(run.reports),
+        result_digest=hashlib.blake2b(
+            run.result.to_json().encode("utf-8"), digest_size=16
+        ).hexdigest(),
+    )
+
+
+def _run_mesh_interval(
+    cell: MeshSpec,
+    engine: str | None,
+    shards: int,
+    chunk_size: int | None,
+) -> _IntervalOutcome:
+    from repro.api.runner import run_mesh_cell_full
+
+    run = run_mesh_cell_full(cell, engine=engine, shards=shards, chunk_size=chunk_size)
+    delays: dict[str, list[np.ndarray]] = {}
+    offered: dict[str, int] = {}
+    lost: dict[str, int] = {}
+    accepted: dict[str, bool | None] = {}
+    for index, path in enumerate(run.session.paths):
+        observer = path.domains[0].name
+        verifier = run.session.verifier_for(observer, path)
+        path_result = run.result.paths[index]
+        for domain, _, _ in path.domain_segments():
+            name = domain.name
+            entry = path_result.target(name)
+            delays.setdefault(name, []).append(_matched_delays(verifier, path, name))
+            offered[name] = offered.get(name, 0) + entry.estimate.offered_packets
+            lost[name] = lost.get(name, 0) + entry.estimate.lost_packets
+            # A domain is accepted this interval only if every crossing
+            # path's verification accepted its receipts.
+            path_accepted = (
+                entry.verification.accepted if entry.verification is not None else None
+            )
+            if path_accepted is not None:
+                previous = accepted.get(name)
+                accepted[name] = (
+                    path_accepted if previous is None else (previous and path_accepted)
+                )
+            else:
+                accepted.setdefault(name, None)
+    pooled = {
+        name: np.concatenate(spans) if spans else np.empty(0, dtype=np.float64)
+        for name, spans in delays.items()
+    }
+    return _IntervalOutcome(
+        delays=pooled,
+        offered=offered,
+        lost=lost,
+        accepted=accepted,
+        receipts_digest=receipts_digest(run.reports),
+        result_digest=hashlib.blake2b(
+            run.result.to_json().encode("utf-8"), digest_size=16
+        ).hexdigest(),
+    )
+
+
+def interval_record(
+    spec: CampaignSpec,
+    index: int,
+    engine: str | None = None,
+    shards: int = 1,
+    chunk_size: int | None = None,
+) -> dict[str, Any]:
+    """Execute interval ``index`` and build its store record.
+
+    A pure function of ``(spec, index)`` — the execution knobs select an
+    engine but cannot perturb the record (the engines are byte-identical and
+    ``time_sum``, the one tolerant field, is canonicalized inside the
+    receipts digest).  This purity is the whole checkpoint/resume story.
+    """
+    cell = spec.interval_cell(index)
+    if isinstance(cell, MeshSpec):
+        outcome = _run_mesh_interval(cell, engine, shards, chunk_size)
+        quantiles = cell.quantiles
+    else:
+        outcome = _run_single_path_interval(cell, engine, shards, chunk_size)
+        quantiles = cell.estimation.quantiles
+
+    estimates: dict[str, Any] = {}
+    verdicts: dict[str, Any] = {}
+    delay_samples: dict[str, list[str]] = {}
+    for domain in sorted(outcome.delays):
+        delays = outcome.delays[domain]
+        offered = outcome.offered[domain]
+        lost = outcome.lost[domain]
+        estimates[domain] = {
+            "offered_packets": offered,
+            "lost_packets": lost,
+            "loss_rate": (lost / offered) if offered else 0.0,
+            "delay_sample_count": int(len(delays)),
+            "quantiles": _quantile_payload(delays, quantiles),
+        }
+        sla_compliant: bool | None = None
+        if spec.sla is not None:
+            performance = _performance_from(domain, delays, quantiles, offered, lost)
+            sla_compliant = check_sla(performance, spec.sla.build()).compliant
+        verdicts[domain] = {
+            "accepted": outcome.accepted[domain],
+            "sla_compliant": sla_compliant,
+        }
+        delay_samples[domain] = [value.hex() for value in delays.tolist()]
+
+    return {
+        "version": RECORD_VERSION,
+        "interval": index,
+        "spec_hash": spec.spec_hash(),
+        "seed": spec.interval_seed(index),
+        "receipts_digest": outcome.receipts_digest,
+        "result_digest": outcome.result_digest,
+        "estimates": estimates,
+        "verdicts": verdicts,
+        "delay_samples": delay_samples,
+    }
+
+
+class CampaignAccumulator:
+    """Campaign-level statistics folded incrementally from interval records.
+
+    Pooled delay quantiles come from a per-domain
+    :class:`~repro.analysis.quantiles.MergedDelayPool` — each record's
+    samples merge into sorted state in linear time, never re-pooling past
+    intervals.  The fold consumes *records* (not in-memory run objects), so a
+    resumed campaign rebuilding its state from disk takes exactly the same
+    path as an uninterrupted run and the final summary cannot diverge.
+    """
+
+    def __init__(self, spec: CampaignSpec) -> None:
+        self.spec = spec
+        self.pools: dict[str, MergedDelayPool] = {}
+        self.offered: dict[str, int] = {}
+        self.lost: dict[str, int] = {}
+        self.accepted_intervals: dict[str, int] = {}
+        self.verified_intervals: dict[str, int] = {}
+        self.intervals_folded = 0
+
+    @property
+    def quantiles(self) -> tuple[float, ...]:
+        cell = self.spec.cell
+        if isinstance(cell, MeshSpec):
+            return cell.quantiles
+        return cell.estimation.quantiles
+
+    def fold(self, record: Mapping[str, Any]) -> None:
+        """Fold one interval record (in interval order) into the campaign."""
+        if record.get("interval") != self.intervals_folded:
+            raise ValueError(
+                f"expected record for interval {self.intervals_folded}, "
+                f"got {record.get('interval')!r}"
+            )
+        for domain, estimate in record["estimates"].items():
+            self.offered[domain] = (
+                self.offered.get(domain, 0) + estimate["offered_packets"]
+            )
+            self.lost[domain] = self.lost.get(domain, 0) + estimate["lost_packets"]
+            pool = self.pools.setdefault(domain, MergedDelayPool())
+            pool.extend(
+                [float.fromhex(value) for value in record["delay_samples"][domain]]
+            )
+            verdict = record["verdicts"][domain]
+            if verdict["accepted"] is not None:
+                self.verified_intervals[domain] = (
+                    self.verified_intervals.get(domain, 0) + 1
+                )
+                if verdict["accepted"]:
+                    self.accepted_intervals[domain] = (
+                        self.accepted_intervals.get(domain, 0) + 1
+                    )
+        self.intervals_folded += 1
+
+    @classmethod
+    def from_records(
+        cls, spec: CampaignSpec, records: Sequence[Mapping[str, Any]]
+    ) -> "CampaignAccumulator":
+        accumulator = cls(spec)
+        for record in records:
+            accumulator.fold(record)
+        return accumulator
+
+    def sla_verdict(self, domain: str) -> SLAVerdict | None:
+        """The campaign-level SLA verdict for one domain (None without an SLA)."""
+        if self.spec.sla is None:
+            return None
+        pool = self.pools.get(domain, MergedDelayPool())
+        performance = _performance_from(
+            domain,
+            np.asarray(pool.sorted_samples),
+            self.quantiles,
+            self.offered.get(domain, 0),
+            self.lost.get(domain, 0),
+        )
+        return check_sla(performance, self.spec.sla.build())
+
+    def summary(self) -> dict[str, Any]:
+        """The campaign-level summary (a pure function of the folded records)."""
+        domains: dict[str, Any] = {}
+        for domain in sorted(self.pools):
+            pool = self.pools[domain]
+            offered = self.offered.get(domain, 0)
+            lost = self.lost.get(domain, 0)
+            verified = self.verified_intervals.get(domain, 0)
+            accepted = self.accepted_intervals.get(domain, 0)
+            verdict = self.sla_verdict(domain)
+            domains[domain] = {
+                "offered_packets": offered,
+                "lost_packets": lost,
+                "loss_rate": (lost / offered) if offered else 0.0,
+                "delay_sample_count": len(pool),
+                "pooled_quantiles": _quantile_payload(
+                    np.asarray(pool.sorted_samples), self.quantiles
+                ),
+                "pool_digest": pool.state_digest(),
+                "acceptance_rate": (accepted / verified) if verified else 1.0,
+                "sla_compliant": verdict.compliant if verdict is not None else None,
+            }
+        return {
+            "version": RECORD_VERSION,
+            "spec_hash": self.spec.spec_hash(),
+            "intervals": self.intervals_folded,
+            "sla": self.spec.sla.to_dict() if self.spec.sla is not None else None,
+            "domains": domains,
+        }
+
+
+class CampaignRunOutcome(NamedTuple):
+    """What one :meth:`CampaignRunner.run` call achieved."""
+
+    completed: bool
+    intervals_run: int
+    next_interval: int
+    summary: dict[str, Any] | None
+
+
+class CampaignRunner:
+    """Drives a :class:`~repro.api.spec.CampaignSpec` with per-interval checkpoints.
+
+    Parameters
+    ----------
+    spec:
+        The campaign to run.  May be omitted when ``store`` holds one (the
+        resume path); when both are given they must hash identically.
+    store:
+        The durable :class:`~repro.store.RunStore` to checkpoint into.  With
+        ``store=None`` the runner keeps records in memory only (useful for
+        programmatic one-shot campaigns and tests).
+    engine, shards, chunk_size:
+        Execution-only overrides forwarded to every interval's cell run; the
+        stored records never depend on them.
+    """
+
+    def __init__(
+        self,
+        spec: CampaignSpec | None = None,
+        store: RunStore | None = None,
+        engine: str | None = None,
+        shards: int = 1,
+        chunk_size: int | None = None,
+    ) -> None:
+        if spec is None and store is None:
+            raise ValueError("CampaignRunner needs a spec, a store, or both")
+        if store is not None and spec is not None:
+            store.validate_spec(spec)
+        if store is not None:
+            # The runner is the store's (single) writer: drop any tail a
+            # previous life's kill left mid-append before continuing.
+            store.repair_torn_tail()
+        self.spec = spec if spec is not None else store.spec()
+        self.store = store
+        self.engine = engine
+        self.shards = shards
+        self.chunk_size = chunk_size
+        self._memory_records: list[dict[str, Any]] = []
+        existing = store.records() if store is not None else []
+        self.accumulator = CampaignAccumulator.from_records(self.spec, existing)
+
+    @classmethod
+    def resume(
+        cls,
+        store: RunStore | str,
+        engine: str | None = None,
+        shards: int = 1,
+        chunk_size: int | None = None,
+    ) -> "CampaignRunner":
+        """Reopen a store and continue from its last completed interval.
+
+        The store's spec hash is re-validated on open; the accumulated
+        campaign state is rebuilt by folding the persisted records, so the
+        eventual summary is byte-identical to an uninterrupted run's.
+        """
+        if not isinstance(store, RunStore):
+            store = RunStore.open(store)
+        return cls(
+            spec=None, store=store, engine=engine, shards=shards, chunk_size=chunk_size
+        )
+
+    # -- progress ----------------------------------------------------------------------
+
+    @property
+    def next_interval(self) -> int:
+        return self.accumulator.intervals_folded
+
+    @property
+    def completed(self) -> bool:
+        return self.next_interval >= self.spec.intervals
+
+    def records(self) -> list[dict[str, Any]]:
+        if self.store is not None:
+            return self.store.records()
+        return list(self._memory_records)
+
+    # -- execution ---------------------------------------------------------------------
+
+    def run_interval(self, index: int) -> dict[str, Any]:
+        """Execute one interval, persist its record, fold it; returns the record."""
+        if index != self.next_interval:
+            raise ValueError(
+                f"intervals run strictly in order; next is {self.next_interval}, "
+                f"got {index}"
+            )
+        record = interval_record(
+            self.spec,
+            index,
+            engine=self.engine,
+            shards=self.shards,
+            chunk_size=self.chunk_size,
+        )
+        if self.store is not None:
+            self.store.append(record)
+        else:
+            self._memory_records.append(record)
+        self.accumulator.fold(record)
+        return record
+
+    def run(
+        self,
+        max_intervals: int | None = None,
+        on_interval: Callable[[dict[str, Any]], None] | None = None,
+    ) -> CampaignRunOutcome:
+        """Run remaining intervals (up to ``max_intervals``) with checkpoints.
+
+        On completion the campaign summary is written to the store.  The
+        runner may be killed at any point; a later :meth:`resume` continues
+        from the last completed interval.
+        """
+        if max_intervals is not None and max_intervals < 0:
+            raise ValueError(f"max_intervals must be >= 0, got {max_intervals}")
+        ran = 0
+        while not self.completed:
+            if max_intervals is not None and ran >= max_intervals:
+                break
+            record = self.run_interval(self.next_interval)
+            ran += 1
+            if on_interval is not None:
+                on_interval(record)
+        summary = None
+        if self.completed:
+            summary = self.accumulator.summary()
+            if self.store is not None and self.store.summary() != summary:
+                self.store.write_summary(summary)
+        return CampaignRunOutcome(
+            completed=self.completed,
+            intervals_run=ran,
+            next_interval=self.next_interval,
+            summary=summary,
+        )
+
+    def summary(self) -> dict[str, Any]:
+        """The campaign summary over the intervals folded so far."""
+        return self.accumulator.summary()

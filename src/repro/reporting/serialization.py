@@ -18,9 +18,10 @@ property-based tests.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import struct
-from typing import Any
+from typing import Any, Mapping
 
 from repro.core.hop import HOPReport
 from repro.core.receipts import AggregateReceipt, PathID, SampleReceipt, SampleRecord
@@ -33,6 +34,8 @@ __all__ = [
     "report_from_json",
     "encode_report",
     "decode_report",
+    "canonical_receipts",
+    "receipts_digest",
     "BinaryFormatError",
 ]
 
@@ -323,3 +326,66 @@ def decode_report(blob: bytes) -> HOPReport:
         sample_receipts=tuple(sample_receipts),
         aggregate_receipts=tuple(aggregate_receipts),
     )
+
+
+# ---------------------------------------------------------------------------
+# Canonical (engine-comparable) form
+# ---------------------------------------------------------------------------
+
+
+def canonical_receipts(reports: Mapping[int, HOPReport]) -> dict[str, Any]:
+    """Receipts of every HOP in a canonical, JSON-stable form.
+
+    Timestamps are rendered as exact float hex so the form is bit-faithful;
+    ``time_sum`` is rounded to its documented 10-significant-digit tolerance —
+    the one field whose float accumulation order legitimately differs between
+    the scalar, batch and streaming engines (and between shard counts).
+    Everything else — sample sets and order, thresholds, aggregate boundaries,
+    packet counts, AggTrans windows — is engine-invariant, so two engines (or
+    an interrupted-and-resumed campaign interval and an uninterrupted one)
+    agree on this form byte-for-byte.  Shared by the conformance suite and the
+    campaign run store's receipt digests.
+    """
+    canonical: dict[str, Any] = {}
+    for hop_id in sorted(reports):
+        report = reports[hop_id]
+        canonical[str(hop_id)] = {
+            "samples": [
+                {
+                    "path": str(receipt.path_id.prefix_pair),
+                    "reporting_hop": receipt.path_id.reporting_hop,
+                    "threshold": receipt.sampling_threshold,
+                    "records": [
+                        [record.pkt_id, record.time.hex()] for record in receipt.samples
+                    ],
+                }
+                for receipt in report.sample_receipts
+            ],
+            "aggregates": [
+                {
+                    "first_pkt_id": receipt.first_pkt_id,
+                    "last_pkt_id": receipt.last_pkt_id,
+                    "pkt_count": receipt.pkt_count,
+                    "start_time": receipt.start_time.hex(),
+                    "end_time": receipt.end_time.hex(),
+                    "time_sum": f"{receipt.time_sum:.9e}",
+                    "trans_before": list(receipt.trans_before),
+                    "trans_after": list(receipt.trans_after),
+                }
+                for receipt in report.aggregate_receipts
+            ],
+        }
+    return canonical
+
+
+def receipts_digest(reports: Mapping[int, HOPReport]) -> str:
+    """Stable hex digest of every HOP's receipts in canonical form.
+
+    Equal digests mean equal receipts up to the documented ``time_sum``
+    tolerance — the auditable per-interval fingerprint a campaign run store
+    records so a customer can later prove which receipts a verdict rests on.
+    """
+    payload = json.dumps(
+        canonical_receipts(reports), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.blake2b(payload.encode("utf-8"), digest_size=16).hexdigest()

@@ -1,0 +1,23 @@
+"""Durable run storage for long-horizon campaigns (see :mod:`repro.store.runstore`)."""
+
+from repro.store.runstore import (
+    RECORDS_FILE,
+    SPEC_FILE,
+    STORE_FORMAT_VERSION,
+    SUMMARY_FILE,
+    RunStore,
+    RunStoreError,
+    SpecMismatchError,
+    stable_json,
+)
+
+__all__ = [
+    "RECORDS_FILE",
+    "SPEC_FILE",
+    "STORE_FORMAT_VERSION",
+    "SUMMARY_FILE",
+    "RunStore",
+    "RunStoreError",
+    "SpecMismatchError",
+    "stable_json",
+]

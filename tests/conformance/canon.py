@@ -1,11 +1,12 @@
 """Canonical receipt serialization shared by conformance and engine tests.
 
-Receipts are canonicalized to JSON-stable data with exact float hex for every
-timestamp; ``time_sum`` is rounded to 10 significant digits — the one field
-whose float accumulation order legitimately differs between the scalar,
-batch and streaming engines (and between shard counts).  Everything else —
-sample sets and order, thresholds, aggregate boundaries, packet counts,
-AggTrans windows — must be bit-identical across engines.
+The canonical form itself lives in :mod:`repro.reporting.serialization`
+(:func:`~repro.reporting.serialization.canonical_receipts`) because the
+campaign run store records the same form's digest per interval; re-exported
+here so the conformance/engine tests keep one import site.  Exact float hex
+for every timestamp; ``time_sum`` rounded to 10 significant digits — the one
+field whose float accumulation order legitimately differs between the scalar,
+batch and streaming engines (and between shard counts).
 """
 
 from __future__ import annotations
@@ -15,40 +16,16 @@ from functools import partial
 from repro.api.runner import _build_cell, _build_mesh_cell
 from repro.engine import DEFAULT_CHUNK_SIZE, MeshRunner, StreamingRunner
 from repro.engine.mesh import run_mesh_batch
+from repro.reporting.serialization import canonical_receipts
 
-
-def canonical_receipts(reports) -> dict:
-    """Receipts of every HOP in a canonical, JSON-stable form."""
-    canonical: dict[str, dict] = {}
-    for hop_id in sorted(reports):
-        report = reports[hop_id]
-        canonical[str(hop_id)] = {
-            "samples": [
-                {
-                    "path": str(receipt.path_id.prefix_pair),
-                    "reporting_hop": receipt.path_id.reporting_hop,
-                    "threshold": receipt.sampling_threshold,
-                    "records": [
-                        [record.pkt_id, record.time.hex()] for record in receipt.samples
-                    ],
-                }
-                for receipt in report.sample_receipts
-            ],
-            "aggregates": [
-                {
-                    "first_pkt_id": receipt.first_pkt_id,
-                    "last_pkt_id": receipt.last_pkt_id,
-                    "pkt_count": receipt.pkt_count,
-                    "start_time": receipt.start_time.hex(),
-                    "end_time": receipt.end_time.hex(),
-                    "time_sum": f"{receipt.time_sum:.9e}",
-                    "trans_before": list(receipt.trans_before),
-                    "trans_after": list(receipt.trans_after),
-                }
-                for receipt in report.aggregate_receipts
-            ],
-        }
-    return canonical
+__all__ = [
+    "canonical_receipts",
+    "run_scalar_reports",
+    "run_batch_reports",
+    "run_streaming_reports",
+    "run_mesh_batch_reports",
+    "run_mesh_streaming_reports",
+]
 
 
 def run_scalar_reports(spec):

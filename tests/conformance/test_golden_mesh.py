@@ -20,6 +20,7 @@ shard-parallel mesh execution.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 import pytest
@@ -33,7 +34,11 @@ from tests.conformance.canon import (
 )
 from tests.conformance.scenarios import MESH_CONFORMANCE_SCENARIOS
 
-GOLDEN_DIR = Path(__file__).parent / "goldens"
+# REPRO_GOLDEN_DIR redirects regeneration to another directory (see
+# test_golden_scenarios.py and `repro regen-goldens --check`).
+GOLDEN_DIR = Path(
+    os.environ.get("REPRO_GOLDEN_DIR") or Path(__file__).parent / "goldens"
+)
 
 # Small enough to slice the 1500-packet per-path traces into several chunks
 # (and give every shard real work), so the lockstep merge and the holdback

@@ -19,6 +19,7 @@ acceptance bar for shard-parallel execution).
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 import pytest
@@ -32,7 +33,12 @@ from tests.conformance.canon import (
 )
 from tests.conformance.scenarios import CONFORMANCE_SCENARIOS
 
-GOLDEN_DIR = Path(__file__).parent / "goldens"
+# REPRO_GOLDEN_DIR redirects regeneration (and comparison) to another
+# directory — how `repro regen-goldens --check` diffs freshly regenerated
+# goldens against the committed ones without touching the working tree.
+GOLDEN_DIR = Path(
+    os.environ.get("REPRO_GOLDEN_DIR") or Path(__file__).parent / "goldens"
+)
 
 # Small enough to slice the 3000-packet conformance traces into several
 # chunks (and give every shard real work), so the holdback/merge machinery is

@@ -1,0 +1,324 @@
+"""Unit tests for the checkpointable campaign engine (CampaignRunner)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import Experiment
+from repro.api.spec import (
+    CampaignSpec,
+    ConditionSpec,
+    EstimationSpec,
+    ExperimentSpec,
+    HOPSpec,
+    MeshSpec,
+    PathSpec,
+    ProtocolSpec,
+    SLATargetSpec,
+    TopologySpec,
+    TrafficSpec,
+)
+from repro.engine.campaign import (
+    CampaignAccumulator,
+    CampaignRunner,
+    interval_record,
+)
+from repro.store import RunStore
+
+
+def _cell(packet_count: int = 500) -> ExperimentSpec:
+    return ExperimentSpec(
+        name="campaign-cell",
+        seed=17,
+        traffic=TrafficSpec(workload=None, packet_count=packet_count),
+        path=PathSpec(
+            conditions={
+                "X": ConditionSpec(
+                    delay="jitter",
+                    delay_params={"base_delay": 1e-3, "jitter_std": 0.3e-3},
+                    loss="bernoulli",
+                    loss_params={"loss_rate": 0.03},
+                )
+            }
+        ),
+        protocol=ProtocolSpec(
+            default=HOPSpec(sampling_rate=0.2, marker_rate=0.02, aggregate_size=200)
+        ),
+        estimation=EstimationSpec(observer="S", targets=("X",)),
+    )
+
+
+def _spec(intervals: int = 3, sla: bool = True, **cell_kwargs) -> CampaignSpec:
+    return CampaignSpec(
+        name="unit-campaign",
+        intervals=intervals,
+        cell=_cell(**cell_kwargs),
+        sla=SLATargetSpec(delay_bound=10e-3, delay_quantile=0.9, loss_bound=0.1)
+        if sla
+        else None,
+    )
+
+
+class TestIntervalDerivation:
+    def test_intervals_are_distinct_and_deterministic(self):
+        spec = _spec()
+        seeds = {spec.interval_seed(index) for index in range(3)}
+        assert len(seeds) == 3
+        assert spec.interval_cell(1) == spec.interval_cell(1)
+        assert spec.interval_cell(0) != spec.interval_cell(1)
+
+    def test_pinned_traffic_seed_is_respaced_per_interval(self):
+        import dataclasses
+
+        cell = _cell()
+        pinned = dataclasses.replace(
+            cell, traffic=dataclasses.replace(cell.traffic, seed=777)
+        )
+        spec = CampaignSpec(intervals=2, cell=pinned)
+        seeds = {spec.interval_cell(index).traffic.seed for index in range(2)}
+        assert len(seeds) == 2
+        assert 777 not in seeds
+
+    def test_interval_record_is_pure(self):
+        spec = _spec(intervals=2)
+        assert interval_record(spec, 0) == interval_record(spec, 0)
+        assert interval_record(spec, 0) != interval_record(spec, 1)
+
+    def test_interval_index_bounds(self):
+        spec = _spec(intervals=2)
+        with pytest.raises(ValueError, match="out of range"):
+            spec.interval_seed(2)
+
+    def test_sla_quantile_must_be_estimated(self):
+        """An SLA at a never-estimated quantile would silently always pass."""
+        with pytest.raises(ValueError, match="only estimates"):
+            CampaignSpec(
+                intervals=1,
+                cell=_cell(),
+                sla=SLATargetSpec(delay_quantile=0.999),
+            )
+
+    def test_mesh_topology_is_fixed_across_intervals(self):
+        """Intervals vary traffic/conditions, never the network under contract."""
+        spec = CampaignSpec(
+            intervals=3,
+            cell=MeshSpec(
+                seed=11,
+                topology=TopologySpec(kind="mesh-random", params={"path_count": 3}),
+                traffic=TrafficSpec(workload=None, packet_count=300),
+            ),
+        )
+        built = [
+            spec.interval_cell(index).topology.build(
+                spec.interval_cell(index).seed
+            )
+            for index in range(3)
+        ]
+        reference_paths = [str(path) for _, paths in built[:1] for path in paths]
+        for _, paths in built[1:]:
+            assert [str(path) for path in paths] == reference_paths
+        # while traffic still differs per interval
+        seeds = {
+            spec.interval_cell(index).traffic_seed(0) for index in range(3)
+        }
+        assert len(seeds) == 3
+
+
+class TestCampaignRunner:
+    def test_resume_equals_uninterrupted_byte_for_byte(self, tmp_path):
+        spec = _spec(intervals=4)
+        full = RunStore.create(tmp_path / "full", spec)
+        CampaignRunner(spec, full).run()
+
+        part = RunStore.create(tmp_path / "part", spec)
+        CampaignRunner(spec, part).run(max_intervals=2)
+        assert part.record_count == 2
+        outcome = CampaignRunner.resume(str(tmp_path / "part")).run()
+        assert outcome.completed and outcome.intervals_run == 2
+        assert part.digest() == full.digest()
+        assert (tmp_path / "part" / "records.jsonl").read_bytes() == (
+            tmp_path / "full" / "records.jsonl"
+        ).read_bytes()
+        assert (tmp_path / "part" / "summary.json").read_bytes() == (
+            tmp_path / "full" / "summary.json"
+        ).read_bytes()
+
+    def test_engines_write_identical_stores(self, tmp_path):
+        spec = _spec(intervals=2)
+        stores = {}
+        for label, knobs in {
+            "batch": {},
+            "scalar": {"engine": "scalar"},
+            "streaming": {"engine": "streaming", "chunk_size": 128},
+        }.items():
+            store = RunStore.create(tmp_path / label, spec)
+            CampaignRunner(spec, store, **knobs).run()
+            stores[label] = store.digest()
+        assert stores["batch"] == stores["scalar"] == stores["streaming"]
+
+    def test_resume_on_different_engine(self, tmp_path):
+        spec = _spec(intervals=3)
+        full = RunStore.create(tmp_path / "full", spec)
+        CampaignRunner(spec, full).run()
+        mixed = RunStore.create(tmp_path / "mixed", spec)
+        CampaignRunner(spec, mixed, engine="streaming", chunk_size=100).run(
+            max_intervals=1
+        )
+        CampaignRunner.resume(mixed, engine="scalar").run(max_intervals=1)
+        CampaignRunner.resume(mixed).run()
+        assert mixed.digest() == full.digest()
+
+    def test_resume_validates_spec_hash(self, tmp_path):
+        spec = _spec(intervals=2)
+        store = RunStore.create(tmp_path / "run", spec)
+        from repro.store import SpecMismatchError
+
+        with pytest.raises(SpecMismatchError):
+            CampaignRunner(_spec(intervals=3), store)
+
+    def test_memory_mode_without_store(self):
+        spec = _spec(intervals=2)
+        runner = CampaignRunner(spec)
+        outcome = runner.run()
+        assert outcome.completed
+        assert len(runner.records()) == 2
+        assert runner.summary()["intervals"] == 2
+
+    def test_summary_is_pure_function_of_records(self, tmp_path):
+        spec = _spec(intervals=3)
+        store = RunStore.create(tmp_path / "run", spec)
+        runner = CampaignRunner(spec, store)
+        runner.run()
+        recomputed = CampaignAccumulator.from_records(spec, store.records()).summary()
+        assert recomputed == store.summary()
+
+    def test_run_interval_enforces_order(self):
+        runner = CampaignRunner(_spec(intervals=2))
+        with pytest.raises(ValueError, match="strictly in order"):
+            runner.run_interval(1)
+
+    def test_progress_callback_sees_every_record(self):
+        seen = []
+        CampaignRunner(_spec(intervals=2)).run(on_interval=lambda r: seen.append(r))
+        assert [record["interval"] for record in seen] == [0, 1]
+
+    def test_needs_spec_or_store(self):
+        with pytest.raises(ValueError, match="spec, a store, or both"):
+            CampaignRunner()
+
+
+class TestCampaignStatistics:
+    def test_record_carries_auditable_fields(self):
+        spec = _spec(intervals=1)
+        record = interval_record(spec, 0)
+        assert record["interval"] == 0
+        assert record["spec_hash"] == spec.spec_hash()
+        assert record["seed"] == spec.interval_seed(0)
+        assert len(record["receipts_digest"]) == 32
+        assert len(record["result_digest"]) == 32
+        estimate = record["estimates"]["X"]
+        assert estimate["offered_packets"] > 0
+        assert estimate["delay_sample_count"] == len(record["delay_samples"]["X"])
+        assert record["verdicts"]["X"]["accepted"] is True
+        assert record["verdicts"]["X"]["sla_compliant"] is True
+
+    def test_summary_pools_across_intervals(self):
+        spec = _spec(intervals=3)
+        runner = CampaignRunner(spec)
+        runner.run()
+        summary = runner.summary()
+        entry = summary["domains"]["X"]
+        records = runner.records()
+        offered = sum(r["estimates"]["X"]["offered_packets"] for r in records)
+        samples = [
+            float.fromhex(value)
+            for record in records
+            for value in record["delay_samples"]["X"]
+        ]
+        assert entry["offered_packets"] == offered
+        assert entry["delay_sample_count"] == len(samples)
+        pooled = np.sort(np.asarray(samples))
+        quantile_key = "0.9"
+        assert entry["pooled_quantiles"][quantile_key]["estimate"] == float(
+            np.quantile(pooled, 0.9)
+        )
+        assert entry["acceptance_rate"] == 1.0
+        assert entry["sla_compliant"] is True
+
+    def test_sla_violation_detected(self):
+        spec = CampaignSpec(
+            intervals=1,
+            cell=_cell(),
+            sla=SLATargetSpec(delay_bound=0.1e-3, delay_quantile=0.9, loss_bound=1e-6),
+        )
+        summary = CampaignRunner(spec).run().summary
+        assert summary["domains"]["X"]["sla_compliant"] is False
+
+    def test_no_sla_means_no_verdict(self):
+        spec = _spec(intervals=1, sla=False)
+        summary = CampaignRunner(spec).run().summary
+        assert summary["domains"]["X"]["sla_compliant"] is None
+        assert summary["sla"] is None
+
+
+class TestMeshCampaign:
+    def _mesh_spec(self, intervals: int = 2) -> CampaignSpec:
+        return CampaignSpec(
+            name="mesh-campaign",
+            intervals=intervals,
+            cell=MeshSpec(
+                seed=5,
+                topology=TopologySpec(kind="star", params={"path_count": 3}, seed=3),
+                traffic=TrafficSpec(workload=None, packet_count=400),
+                conditions={
+                    "X": ConditionSpec(
+                        delay="jitter",
+                        delay_params={"base_delay": 1e-3, "jitter_std": 0.2e-3},
+                    )
+                },
+                protocol=ProtocolSpec(
+                    default=HOPSpec(
+                        sampling_rate=0.2, marker_rate=0.02, aggregate_size=150
+                    )
+                ),
+            ),
+            sla=SLATargetSpec(delay_bound=10e-3, loss_bound=0.1),
+        )
+
+    def test_mesh_campaign_resume_byte_identical(self, tmp_path):
+        spec = self._mesh_spec()
+        full = RunStore.create(tmp_path / "full", spec)
+        CampaignRunner(spec, full).run()
+        part = RunStore.create(tmp_path / "part", spec)
+        CampaignRunner(spec, part).run(max_intervals=1)
+        CampaignRunner.resume(part, engine="streaming", chunk_size=128).run()
+        assert part.digest() == full.digest()
+
+    def test_mesh_pools_across_paths(self):
+        spec = self._mesh_spec(intervals=1)
+        record = CampaignRunner(spec).run_interval(0)
+        # The shared core X is crossed by every path; its estimate sums the
+        # per-path offered packets (3 paths x 400 packets).
+        assert record["estimates"]["X"]["offered_packets"] == 3 * 400
+        assert record["verdicts"]["X"]["accepted"] is True
+
+
+class TestExperimentBridge:
+    def test_campaign_runner_from_experiment(self, tmp_path):
+        experiment = Experiment(_cell())
+        store = RunStore.create(
+            tmp_path / "run",
+            CampaignSpec(name="campaign-cell-campaign", intervals=2, cell=_cell()),
+        )
+        runner = experiment.campaign_runner(intervals=2, store=store)
+        outcome = runner.run()
+        assert outcome.completed
+        assert store.is_complete
+
+    def test_legacy_campaign_bridge_still_works(self):
+        experiment = Experiment(_cell())
+        campaign = experiment.campaign()
+        result = campaign.run(experiment.interval_packets(2))
+        assert result.interval_count == 2
+        assert result.pooled_delay_quantiles()

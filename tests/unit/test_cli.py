@@ -1,0 +1,180 @@
+"""Unit tests for the ``repro`` console CLI (run / resume / report)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api.spec import (
+    CampaignSpec,
+    ConditionSpec,
+    ExperimentSpec,
+    HOPSpec,
+    PathSpec,
+    ProtocolSpec,
+    SLATargetSpec,
+    TrafficSpec,
+)
+from repro.cli import main
+from repro.store import RunStore
+
+
+@pytest.fixture()
+def spec() -> CampaignSpec:
+    return CampaignSpec(
+        name="cli-test",
+        intervals=3,
+        cell=ExperimentSpec(
+            seed=23,
+            traffic=TrafficSpec(workload=None, packet_count=400),
+            path=PathSpec(
+                conditions={
+                    "X": ConditionSpec(
+                        delay="jitter",
+                        delay_params={"base_delay": 1e-3, "jitter_std": 0.2e-3},
+                    )
+                }
+            ),
+            protocol=ProtocolSpec(
+                default=HOPSpec(sampling_rate=0.2, marker_rate=0.02, aggregate_size=150)
+            ),
+        ),
+        sla=SLATargetSpec(delay_bound=10e-3, delay_quantile=0.9, loss_bound=0.05),
+    )
+
+
+@pytest.fixture()
+def spec_file(tmp_path, spec):
+    path = tmp_path / "spec.json"
+    path.write_text(spec.to_json())
+    return path
+
+
+class TestRun:
+    def test_run_to_completion(self, tmp_path, spec, spec_file, capsys):
+        status = main(
+            ["run", str(spec_file), "--runs-dir", str(tmp_path / "runs"), "--quiet"]
+        )
+        assert status == 0
+        run_dir = tmp_path / "runs" / f"cli-test-{spec.spec_hash()[:10]}"
+        store = RunStore.open(run_dir)
+        assert store.is_complete
+        assert store.summary() is not None
+
+    def test_run_dir_override_and_partial(self, tmp_path, spec_file, capsys):
+        status = main(
+            [
+                "run",
+                str(spec_file),
+                "--run-dir",
+                str(tmp_path / "partial"),
+                "--max-intervals",
+                "1",
+                "--quiet",
+            ]
+        )
+        assert status == 0
+        assert "continue with: repro resume" in capsys.readouterr().out
+        assert RunStore.open(tmp_path / "partial").record_count == 1
+
+    def test_run_refuses_existing_store(self, tmp_path, spec_file):
+        main(["run", str(spec_file), "--run-dir", str(tmp_path / "run"), "--quiet",
+              "--max-intervals", "1"])
+        with pytest.raises(SystemExit, match="already holds a run store"):
+            main(["run", str(spec_file), "--run-dir", str(tmp_path / "run"), "--quiet"])
+
+    def test_run_rejects_missing_spec(self, tmp_path):
+        with pytest.raises(SystemExit, match="does not exist"):
+            main(["run", str(tmp_path / "nope.json"), "--quiet"])
+
+    def test_run_rejects_invalid_spec(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"intervals": 0}))
+        with pytest.raises(SystemExit, match="cannot load campaign spec"):
+            main(["run", str(bad), "--quiet"])
+
+    def test_run_rejects_scalar_engine_for_mesh_cell(self, tmp_path):
+        from repro.api.spec import MeshSpec, TopologySpec
+
+        mesh_spec = CampaignSpec(
+            name="cli-mesh",
+            intervals=1,
+            cell=MeshSpec(
+                topology=TopologySpec(kind="star", params={"path_count": 2}, seed=1),
+                traffic=TrafficSpec(workload=None, packet_count=300),
+            ),
+        )
+        spec_path = tmp_path / "mesh.json"
+        spec_path.write_text(mesh_spec.to_json())
+        with pytest.raises(SystemExit, match="no scalar"):
+            main(["run", str(spec_path), "--run-dir", str(tmp_path / "run"),
+                  "--engine", "scalar", "--quiet"])
+        assert not (tmp_path / "run").exists()  # rejected before any work
+
+    def test_run_rejects_shards_without_streaming(self, tmp_path, spec_file):
+        with pytest.raises(SystemExit, match="streaming engine only"):
+            main(["run", str(spec_file), "--run-dir", str(tmp_path / "run"),
+                  "--shards", "4", "--quiet"])
+
+
+class TestResumeAndReport:
+    def test_kill_resume_byte_identical(self, tmp_path, spec_file, capsys):
+        main(["run", str(spec_file), "--run-dir", str(tmp_path / "full"), "--quiet"])
+        main(
+            [
+                "run",
+                str(spec_file),
+                "--run-dir",
+                str(tmp_path / "part"),
+                "--max-intervals",
+                "2",
+                "--quiet",
+            ]
+        )
+        status = main(["resume", str(tmp_path / "part"), "--quiet"])
+        assert status == 0
+        full = RunStore.open(tmp_path / "full")
+        part = RunStore.open(tmp_path / "part")
+        assert full.digest() == part.digest()
+
+    def test_resume_with_engine_override(self, tmp_path, spec_file):
+        main(["run", str(spec_file), "--run-dir", str(tmp_path / "full"), "--quiet"])
+        main(
+            ["run", str(spec_file), "--run-dir", str(tmp_path / "mixed"),
+             "--max-intervals", "1", "--quiet"]
+        )
+        status = main(
+            ["resume", str(tmp_path / "mixed"), "--engine", "streaming",
+             "--chunk-size", "128", "--quiet"]
+        )
+        assert status == 0
+        assert (
+            RunStore.open(tmp_path / "mixed").digest()
+            == RunStore.open(tmp_path / "full").digest()
+        )
+
+    def test_resume_rejects_non_store(self, tmp_path):
+        with pytest.raises(SystemExit, match="not a run store"):
+            main(["resume", str(tmp_path / "nowhere"), "--quiet"])
+
+    def test_report_prints_verdict_table(self, tmp_path, spec_file, capsys):
+        main(["run", str(spec_file), "--run-dir", str(tmp_path / "run"), "--quiet"])
+        capsys.readouterr()
+        status = main(["report", str(tmp_path / "run")])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "campaign 'cli-test': 3/3 intervals" in out
+        assert "SLA" in out and "sla verdict" in out
+        assert "COMPLIANT" in out
+        # one row per interval plus the campaign-level row
+        assert out.count("accepted") >= 3
+
+    def test_report_on_partial_store(self, tmp_path, spec_file, capsys):
+        main(
+            ["run", str(spec_file), "--run-dir", str(tmp_path / "part"),
+             "--max-intervals", "1", "--quiet"]
+        )
+        capsys.readouterr()
+        assert main(["report", str(tmp_path / "part")]) == 0
+        assert "1/3 intervals" in capsys.readouterr().out

@@ -183,3 +183,50 @@ class TestMeasurementCampaign:
         assert result.loss_rate == 0.0
         assert result.acceptance_rate == 1.0
         assert result.pooled_delay_quantiles() == {}
+
+    def test_pooled_equals_merged(self, prefix_pair):
+        """The incremental MergedDelayPool must equal one-shot re-pooling."""
+        import numpy as np
+
+        scenario = configured_scenario(seed=95)
+        campaign = MeasurementCampaign(
+            scenario,
+            target="X",
+            configs={d.name: TEST_CONFIG for d in scenario.path.domains},
+        )
+        result = campaign.run(self._interval_traces(prefix_pair, count=3))
+
+        raw = np.asarray(
+            [delay for interval in result.intervals for delay in interval.delay_samples]
+        )
+        pooled = np.sort(raw)
+        merged = np.asarray(result.delay_pool().sorted_samples)
+        assert np.array_equal(merged, pooled)
+
+        # and the quantiles the campaign reports come out identical to the
+        # naive re-pool-every-time computation the old implementation did
+        from repro.core.estimation import estimate_delay_quantiles
+
+        naive = {
+            quantile: estimate.estimate
+            for quantile, estimate in estimate_delay_quantiles(
+                raw, result.quantiles
+            ).items()
+        }
+        assert result.pooled_delay_quantiles() == naive
+
+    def test_result_pool_snapshot_is_stable(self, prefix_pair):
+        """A returned result must not see samples from later intervals."""
+        scenario = configured_scenario(seed=96)
+        campaign = MeasurementCampaign(
+            scenario,
+            target="X",
+            configs={d.name: TEST_CONFIG for d in scenario.path.domains},
+        )
+        traces = self._interval_traces(prefix_pair, count=2)
+        campaign.run_interval(traces[0])
+        first = campaign.result()
+        count_before = first.delay_pool().sample_count
+        campaign.run_interval(traces[1])
+        assert first.delay_pool().sample_count == count_before
+        assert campaign.result().delay_pool().sample_count > count_before
