@@ -80,6 +80,7 @@ from repro.api.spec import (
     CampaignSpec,
     ConditionSpec,
     EstimationSpec,
+    ExecutionPolicy,
     ExperimentSpec,
     HOPSpec,
     MeshSpec,
@@ -101,6 +102,7 @@ __all__ = [
     "DELAY_MODELS",
     "DomainEstimate",
     "EstimationSpec",
+    "ExecutionPolicy",
     "Experiment",
     "ExperimentSpec",
     "HOPSpec",

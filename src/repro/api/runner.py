@@ -38,7 +38,13 @@ from repro.api.results import (
     TruthSummary,
     VerificationSummary,
 )
-from repro.api.spec import ExperimentSpec, MeshSpec, TrafficSpec, derive_seed
+from repro.api.spec import (
+    ExecutionPolicy,
+    ExperimentSpec,
+    MeshSpec,
+    TrafficSpec,
+    derive_seed,
+)
 from repro.adversary.lying import MeshLyingDomainAgent
 from repro.core.hop import HOPConfig
 from repro.core.protocol import MeshSession, VPMSession
@@ -245,40 +251,48 @@ def run_cell_full(
     engine: str | None = None,
     shards: int = 1,
     chunk_size: int | None = None,
+    policy: ExecutionPolicy | None = None,
+    checkpoint_sink=None,
+    resume_from=None,
 ) -> CellRun:
     """Execute one cell and return the result *and* its session/receipts.
 
     The engine contract of :func:`run_cell` applies unchanged; this variant
     exists for callers (the campaign runner, receipt auditing) that need the
     receipts or additional verifier views, not just the summary.
-    """
-    engine = engine or spec.engine
-    if engine not in ("batch", "scalar", "streaming"):
-        raise ValueError(
-            f"engine must be 'batch', 'scalar' or 'streaming', got {engine!r}"
-        )
-    if engine != "streaming":
-        if shards != 1:
-            raise ValueError(f"engine {engine!r} does not support shards")
-        if chunk_size is not None:
-            raise ValueError(
-                f"engine {engine!r} does not support chunk_size (the batch and "
-                f"scalar engines materialize the whole trace)"
-            )
 
-    if engine == "streaming":
+    ``policy`` is the declarative form of the execution knobs
+    (:class:`~repro.api.spec.ExecutionPolicy`); the individual ``engine`` /
+    ``shards`` / ``chunk_size`` keywords keep working and normalize into one.
+    ``checkpoint_sink`` / ``resume_from`` forward to
+    :class:`~repro.engine.streaming.StreamingRunner` for mid-run
+    checkpointing (streaming, ``shards=1`` only).
+    """
+    policy = ExecutionPolicy.coerce(
+        policy, engine=engine, shards=shards, chunk_size=chunk_size
+    ).bind(spec)
+
+    if policy.engine == "streaming":
         runner = StreamingRunner(
             partial(_build_cell, spec.to_dict()),
-            chunk_size=chunk_size or DEFAULT_CHUNK_SIZE,
-            shards=shards,
+            chunk_size=policy.chunk_size or DEFAULT_CHUNK_SIZE,
+            shards=policy.shards,
+            checkpoint_every=policy.checkpoint_every,
+            checkpoint_sink=checkpoint_sink,
+            resume_from=resume_from,
         )
         streamed = runner.run()
         result = _summarize_cell(spec, streamed.session, streamed)
         return CellRun(result=result, session=streamed.session, reports=streamed.reports)
 
+    if checkpoint_sink is not None or resume_from is not None:
+        raise ValueError(
+            f"mid-run checkpointing requires the streaming engine "
+            f"(this cell executes on {policy.engine!r})"
+        )
     cell = _build_cell(spec.to_dict())
     traffic_seed = spec.traffic.effective_seed(spec.seed)
-    if engine == "batch":
+    if policy.engine == "batch":
         observation = cell.scenario.run_batch(_cached_batch(spec.traffic, traffic_seed))
     else:
         observation = cell.scenario.run(_cached_packets(spec.traffic, traffic_seed))
@@ -292,6 +306,7 @@ def run_cell(
     engine: str | None = None,
     shards: int = 1,
     chunk_size: int | None = None,
+    policy: ExecutionPolicy | None = None,
 ) -> CellResult:
     """Execute one experiment cell and summarize everything it produced.
 
@@ -299,10 +314,11 @@ def run_cell(
     still embeds the spec unchanged, so the same spec run under different
     engines yields byte-identical ``CellResult.to_json()`` (the engines'
     exactness guarantee, asserted by the conformance suite).  ``shards`` and
-    ``chunk_size`` apply to the streaming engine.
+    ``chunk_size`` apply to the streaming engine; ``policy`` is the
+    declarative equivalent of all three.
     """
     return run_cell_full(
-        spec, engine=engine, shards=shards, chunk_size=chunk_size
+        spec, engine=engine, shards=shards, chunk_size=chunk_size, policy=policy
     ).result
 
 
@@ -484,27 +500,18 @@ def run_mesh_cell_full(
     engine: str | None = None,
     shards: int = 1,
     chunk_size: int | None = None,
+    policy: ExecutionPolicy | None = None,
 ) -> MeshRun:
     """Execute one mesh cell and return the result *and* its session/receipts."""
-    engine = engine or spec.engine
-    if engine not in ("batch", "streaming"):
-        raise ValueError(
-            f"mesh engine must be 'batch' or 'streaming', got {engine!r}"
-        )
-    if engine != "streaming":
-        if shards != 1:
-            raise ValueError(f"engine {engine!r} does not support shards")
-        if chunk_size is not None:
-            raise ValueError(
-                f"engine {engine!r} does not support chunk_size (the batch "
-                f"engine materializes every path's whole trace)"
-            )
+    policy = ExecutionPolicy.coerce(
+        policy, engine=engine, shards=shards, chunk_size=chunk_size
+    ).bind(spec)
 
-    if engine == "streaming":
+    if policy.engine == "streaming":
         runner = MeshRunner(
             partial(_build_mesh_cell, spec.to_dict()),
-            chunk_size=chunk_size or DEFAULT_CHUNK_SIZE,
-            shards=shards,
+            chunk_size=policy.chunk_size or DEFAULT_CHUNK_SIZE,
+            shards=policy.shards,
         )
         streamed = runner.run()
         result = _summarize_mesh(spec, streamed.session, streamed.truth_for)
@@ -526,6 +533,7 @@ def run_mesh_cell(
     engine: str | None = None,
     shards: int = 1,
     chunk_size: int | None = None,
+    policy: ExecutionPolicy | None = None,
 ) -> MeshResult:
     """Execute one mesh cell and summarize everything it produced.
 
@@ -534,20 +542,28 @@ def run_mesh_cell(
     produce byte-identical ``MeshResult.to_json()``.
     """
     return run_mesh_cell_full(
-        spec, engine=engine, shards=shards, chunk_size=chunk_size
+        spec, engine=engine, shards=shards, chunk_size=chunk_size, policy=policy
     ).result
 
 
-def _run_cell_payload(payload: dict[str, Any]) -> CellResult | MeshResult:
+def _run_cell_payload(
+    payload: dict[str, Any], policy_payload: dict[str, Any] | None = None
+) -> CellResult | MeshResult:
     """Worker entry point: rebuild the spec from plain data and run the cell.
 
-    Specs cross the process boundary as dicts (their canonical wire form), so
-    a worker reconstructs and re-validates them against its own registries.
-    Mesh payloads are recognized by their ``topology`` key.
+    Specs (and the optional execution policy) cross the process boundary as
+    dicts (their canonical wire form), so a worker reconstructs and
+    re-validates them against its own registries.  Mesh payloads are
+    recognized by their ``topology`` key.
     """
+    policy = (
+        ExecutionPolicy.from_dict(policy_payload)
+        if policy_payload is not None
+        else None
+    )
     if "topology" in payload:
-        return run_mesh_cell(MeshSpec.from_dict(payload))
-    return run_cell(ExperimentSpec.from_dict(payload))
+        return run_mesh_cell(MeshSpec.from_dict(payload), policy=policy)
+    return run_cell(ExperimentSpec.from_dict(payload), policy=policy)
 
 
 class Experiment:
@@ -577,6 +593,7 @@ class Experiment:
         engine: str | None = None,
         shards: int = 1,
         chunk_size: int | None = None,
+        policy: ExecutionPolicy | None = None,
     ) -> CellResult | MeshResult:
         """Run one cell.
 
@@ -587,19 +604,37 @@ class Experiment:
 
             Experiment(spec).run(engine="streaming", shards=4)
 
+        or, equivalently, as one declarative value::
+
+            Experiment(spec).run(policy=ExecutionPolicy(engine="streaming",
+                                                        shards=4))
+
         The override affects execution only — the returned result embeds the
         spec unchanged, so results are directly comparable across engines.
         """
         if isinstance(self.spec, MeshSpec):
             return run_mesh_cell(
-                self.spec, engine=engine, shards=shards, chunk_size=chunk_size
+                self.spec,
+                engine=engine,
+                shards=shards,
+                chunk_size=chunk_size,
+                policy=policy,
             )
-        return run_cell(self.spec, engine=engine, shards=shards, chunk_size=chunk_size)
+        return run_cell(
+            self.spec,
+            engine=engine,
+            shards=shards,
+            chunk_size=chunk_size,
+            policy=policy,
+        )
 
     # -- sweeps ----------------------------------------------------------------------
 
     def sweep(
-        self, grid: Mapping[str, Sequence[Any]], workers: int = 1
+        self,
+        grid: Mapping[str, Sequence[Any]],
+        workers: int = 1,
+        policy: ExecutionPolicy | None = None,
     ) -> SweepResult:
         """Run the cartesian product of ``grid`` over this experiment's spec.
 
@@ -630,16 +665,25 @@ class Experiment:
         combos = list(itertools.product(*(list(grid[key]) for key in keys)))
         overrides_list = [dict(zip(keys, combo)) for combo in combos]
         specs = [self.spec.with_overrides(overrides) for overrides in overrides_list]
+        if policy is not None:
+            # Validate the policy against every cell before any work starts —
+            # a sweep that would die on cell 40 of 60 should die on cell 0.
+            for cell_spec in specs:
+                policy.bind(cell_spec)
 
         if workers > 1 and len(specs) > 1:
             payloads = [cell_spec.to_dict() for cell_spec in specs]
+            runner = partial(
+                _run_cell_payload,
+                policy_payload=policy.to_dict() if policy is not None else None,
+            )
             with ProcessPoolExecutor(max_workers=workers) as pool:
-                results = list(pool.map(_run_cell_payload, payloads))
+                results = list(pool.map(runner, payloads))
         else:
             results = [
-                run_mesh_cell(cell_spec)
+                run_mesh_cell(cell_spec, policy=policy)
                 if isinstance(cell_spec, MeshSpec)
-                else run_cell(cell_spec)
+                else run_cell(cell_spec, policy=policy)
                 for cell_spec in specs
             ]
 
@@ -695,6 +739,7 @@ class Experiment:
         engine: str | None = None,
         shards: int = 1,
         chunk_size: int | None = None,
+        policy: ExecutionPolicy | None = None,
     ):
         """A checkpointable :class:`~repro.engine.campaign.CampaignRunner`.
 
@@ -716,7 +761,12 @@ class Experiment:
             sla=sla,
         )
         return CampaignRunner(
-            spec, store=store, engine=engine, shards=shards, chunk_size=chunk_size
+            spec,
+            store=store,
+            engine=engine,
+            shards=shards,
+            chunk_size=chunk_size,
+            policy=policy,
         )
 
     def interval_packets(self, count: int, first: int = 0) -> list[list[Packet]]:

@@ -67,6 +67,7 @@ __all__ = [
     "MeshSpec",
     "SLATargetSpec",
     "CampaignSpec",
+    "ExecutionPolicy",
 ]
 
 _SEED_SPACE = 2**63
@@ -944,6 +945,7 @@ class CampaignSpec:
     Execution knobs (engine override, shards, chunk size) are deliberately
     *not* part of the spec: the engines are byte-identical, so they may vary
     freely between a run and its resume without perturbing the stored record.
+    They live in :class:`ExecutionPolicy` instead.
     """
 
     name: str = "campaign"
@@ -1071,6 +1073,202 @@ class CampaignSpec:
 
     @classmethod
     def from_json(cls, payload: str) -> "CampaignSpec":
+        import json
+
+        return cls.from_dict(json.loads(payload))
+
+
+# -- execution policy ----------------------------------------------------------------
+
+_POLICY_ENGINES = ("batch", "scalar", "streaming")
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """*How* to execute a cell, as a frozen, JSON-round-trippable value.
+
+    Specs above describe *what* to measure; an execution policy describes
+    *how* to run it — engine choice, sharding, chunking, pacing and
+    mid-interval checkpointing.  Because every engine is byte-identical, a
+    policy never changes a result: it is deliberately excluded from
+    :meth:`CampaignSpec.spec_hash` and from every stored record, and may vary
+    freely between a run and its resume.
+
+    Attributes
+    ----------
+    engine:
+        ``"batch"``, ``"scalar"`` or ``"streaming"``; ``None`` defers to the
+        cell spec's own ``engine`` field.
+    shards:
+        Worker processes for the streaming engines.  The coordinator runs one
+        cheap propagation-plan pass, captures a
+        :class:`~repro.engine.checkpoint.StreamCheckpoint` per shard
+        boundary, and workers seek straight to their chunk span — zero
+        prefix replay.
+    chunk_size:
+        Streaming chunk size in packets; ``None`` uses the engine default.
+    throttle:
+        Seconds to sleep between campaign intervals (and after each
+        mid-interval checkpoint write) — the pacing knob long soak runs use.
+    checkpoint_every:
+        Emit a mid-interval :class:`~repro.engine.streaming.RunnerCheckpoint`
+        every this many chunks (streaming, ``shards=1`` only): a killed run
+        resumes from the last checkpoint bit-identically.
+
+    Validation is eager: impossible combinations (``scalar`` with shards,
+    ``checkpoint_every`` with ``shards > 1``) are rejected at construction,
+    and :meth:`bind` rejects spec-dependent conflicts (mesh cells have no
+    scalar engine) before any work starts.
+    """
+
+    engine: str | None = None
+    shards: int = 1
+    chunk_size: int | None = None
+    throttle: float = 0.0
+    checkpoint_every: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.engine is not None and self.engine not in _POLICY_ENGINES:
+            raise ValueError(
+                f"engine must be 'batch', 'scalar' or 'streaming', got {self.engine!r}"
+            )
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.chunk_size is not None:
+            check_positive("chunk_size", self.chunk_size)
+        check_non_negative("throttle", self.throttle)
+        if self.checkpoint_every is not None:
+            check_positive("checkpoint_every", self.checkpoint_every)
+            if self.shards != 1:
+                raise ValueError(
+                    "mid-interval checkpointing requires shards=1; a sharded "
+                    "run has no single resumable stream position"
+                )
+        if self.engine is not None and self.engine != "streaming":
+            if self.shards != 1:
+                raise ValueError(
+                    f"engine {self.engine!r} does not support shards; "
+                    f"use engine='streaming'"
+                )
+            if self.chunk_size is not None:
+                raise ValueError(
+                    f"engine {self.engine!r} does not support chunk_size; "
+                    f"use engine='streaming'"
+                )
+            if self.checkpoint_every is not None:
+                raise ValueError(
+                    f"engine {self.engine!r} does not support checkpoint_every; "
+                    f"use engine='streaming'"
+                )
+
+    # -- normalization -----------------------------------------------------------------
+
+    @classmethod
+    def coerce(
+        cls,
+        policy: "ExecutionPolicy | None" = None,
+        *,
+        engine: str | None = None,
+        shards: int = 1,
+        chunk_size: int | None = None,
+        throttle: float = 0.0,
+        checkpoint_every: int | None = None,
+    ) -> "ExecutionPolicy":
+        """Normalize legacy keyword arguments into a policy.
+
+        Callers pass *either* a ready policy *or* the individual knobs;
+        passing both (policy plus any non-default knob) is ambiguous and
+        refused.
+        """
+        if policy is not None:
+            if not isinstance(policy, cls):
+                raise ValueError(
+                    f"policy must be an ExecutionPolicy, got {type(policy).__name__}"
+                )
+            if (
+                engine is not None
+                or shards != 1
+                or chunk_size is not None
+                or throttle != 0.0
+                or checkpoint_every is not None
+            ):
+                raise ValueError(
+                    "pass either policy= or the individual engine/shards/"
+                    "chunk_size/throttle/checkpoint_every arguments, not both"
+                )
+            return policy
+        return cls(
+            engine=engine,
+            shards=shards,
+            chunk_size=chunk_size,
+            throttle=throttle,
+            checkpoint_every=checkpoint_every,
+        )
+
+    def bind(self, spec: "ExperimentSpec | MeshSpec") -> "ExecutionPolicy":
+        """Resolve this policy against a cell spec.
+
+        Fills in the effective engine (the spec's own ``engine`` when this
+        policy leaves it ``None``) and rejects spec-dependent conflicts
+        eagerly, before any trace is synthesized.
+        """
+        engine = self.engine if self.engine is not None else spec.engine
+        if isinstance(spec, MeshSpec):
+            if engine == "scalar":
+                raise ValueError(
+                    "mesh cells have no scalar engine; use 'batch' or 'streaming'"
+                )
+            if self.checkpoint_every is not None:
+                raise ValueError(
+                    "checkpoint_every applies to single-path streaming cells "
+                    "only; mesh intervals checkpoint at interval boundaries"
+                )
+        if engine != "streaming":
+            if self.shards != 1:
+                raise ValueError(
+                    f"engine {engine!r} does not support shards; "
+                    f"use engine='streaming'"
+                )
+            if self.chunk_size is not None:
+                raise ValueError(
+                    f"engine {engine!r} does not support chunk_size; "
+                    f"use engine='streaming'"
+                )
+            if self.checkpoint_every is not None:
+                raise ValueError(
+                    f"engine {engine!r} does not support checkpoint_every; "
+                    f"use engine='streaming'"
+                )
+        return dataclasses.replace(self, engine=engine)
+
+    # -- convenience -------------------------------------------------------------------
+
+    def with_overrides(self, overrides: Mapping[str, Any]) -> "ExecutionPolicy":
+        """A copy with field overrides applied (``{"shards": 4}``)."""
+        return _apply_overrides(self, overrides)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "engine": self.engine,
+            "shards": self.shards,
+            "chunk_size": self.chunk_size,
+            "throttle": self.throttle,
+            "checkpoint_every": self.checkpoint_every,
+        }
+
+    def to_json(self) -> str:
+        """Byte-stable JSON (sorted keys, fixed separators)."""
+        import json
+
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExecutionPolicy":
+        _check_keys(cls, data)
+        return cls(**data)
+
+    @classmethod
+    def from_json(cls, payload: str) -> "ExecutionPolicy":
         import json
 
         return cls.from_dict(json.loads(payload))

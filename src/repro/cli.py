@@ -15,9 +15,11 @@ The CLI covers that whole lifecycle plus the repo's golden-fixture workflow:
   (``--check``) regenerate into a scratch directory and diff against the
   committed ones, failing with a readable diff on drift.
 
-Engine selection (``--engine``, ``--shards``, ``--chunk-size``) is an
-execution-only knob: the engines produce byte-identical results, so a store
-written by one engine resumes and verifies under any other.
+Engine selection (``--engine``, ``--shards``, ``--chunk-size``,
+``--checkpoint-every``, or one declarative ``--policy policy.json`` — an
+:class:`~repro.api.spec.ExecutionPolicy`) is an execution-only knob: the
+engines produce byte-identical results, so a store written by one engine
+resumes and verifies under any other.
 """
 
 from __future__ import annotations
@@ -33,7 +35,7 @@ import time
 from pathlib import Path
 from typing import Any, NoReturn, Sequence
 
-from repro.api.spec import CampaignSpec, MeshSpec
+from repro.api.spec import CampaignSpec, ExecutionPolicy, MeshSpec
 from repro.engine.campaign import CampaignAccumulator, CampaignRunner
 from repro.store import RunStore, RunStoreError
 
@@ -44,19 +46,60 @@ def _fail(message: str) -> NoReturn:
     raise SystemExit(f"repro: error: {message}")
 
 
-def _check_engine(spec: CampaignSpec, args: argparse.Namespace) -> None:
-    """Reject execution knobs the spec's cell cannot honor, before any work."""
-    if isinstance(spec.cell, MeshSpec) and args.engine == "scalar":
+def _build_policy(spec: CampaignSpec, args: argparse.Namespace) -> ExecutionPolicy:
+    """Build the run's :class:`ExecutionPolicy` and validate it against the
+    spec's cell, before any work (and before a store is created)."""
+    knobs_given = (
+        args.engine is not None
+        or args.shards != 1
+        or args.chunk_size is not None
+        or args.throttle != 0.0
+        or args.checkpoint_every is not None
+    )
+    if args.policy is not None:
+        if knobs_given:
+            _fail(
+                "pass either --policy or the individual --engine/--shards/"
+                "--chunk-size/--throttle/--checkpoint-every knobs, not both"
+            )
+        policy_path = Path(args.policy)
+        if not policy_path.exists():
+            _fail(f"policy file {args.policy} does not exist")
+        try:
+            policy = ExecutionPolicy.from_json(policy_path.read_text())
+        except (ValueError, json.JSONDecodeError) as exc:
+            _fail(f"cannot load execution policy from {args.policy}: {exc}")
+    else:
+        try:
+            policy = ExecutionPolicy(
+                engine=args.engine,
+                shards=args.shards,
+                chunk_size=args.chunk_size,
+                throttle=args.throttle,
+                checkpoint_every=args.checkpoint_every,
+            )
+        except ValueError as exc:
+            _fail(str(exc))
+    if isinstance(spec.cell, MeshSpec) and policy.engine == "scalar":
         _fail(
             f"campaign {spec.name!r} runs a mesh cell, which has no scalar "
             f"engine; use --engine batch or --engine streaming"
         )
-    effective = args.engine or spec.cell.engine
-    if effective != "streaming" and (args.shards != 1 or args.chunk_size is not None):
+    effective = policy.engine or spec.cell.engine
+    if effective != "streaming" and (
+        policy.shards != 1
+        or policy.chunk_size is not None
+        or policy.checkpoint_every is not None
+    ):
         _fail(
-            f"--shards/--chunk-size apply to the streaming engine only "
-            f"(this run executes on {effective!r}; add --engine streaming)"
+            f"--shards/--chunk-size/--checkpoint-every apply to the streaming "
+            f"engine only (this run executes on {effective!r}; add --engine "
+            f"streaming)"
         )
+    try:
+        return policy.bind(spec.cell)
+    except ValueError as exc:
+        _fail(str(exc))
 
 
 def _load_spec(path: str) -> CampaignSpec:
@@ -89,6 +132,22 @@ def _execution_knobs(parser: argparse.ArgumentParser) -> None:
         help="trace packets per streaming chunk",
     )
     parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=None,
+        metavar="N",
+        help="persist a mid-interval stream checkpoint every N chunks "
+        "(streaming engine, shards=1); a killed run resumes from the last "
+        "chunk boundary instead of the interval start",
+    )
+    parser.add_argument(
+        "--policy",
+        default=None,
+        metavar="POLICY.JSON",
+        help="load every execution knob from an ExecutionPolicy JSON file "
+        "(mutually exclusive with the individual knobs above)",
+    )
+    parser.add_argument(
         "--max-intervals",
         type=int,
         default=None,
@@ -111,12 +170,13 @@ def _execution_knobs(parser: argparse.ArgumentParser) -> None:
 
 def _drive(runner: CampaignRunner, args: argparse.Namespace, store: RunStore) -> int:
     spec = runner.spec
+    throttle = runner.policy.throttle
 
     def progress(record: dict[str, Any]) -> None:
-        if args.throttle > 0:
+        if throttle > 0:
             # The record is already durably checkpointed; sleeping here gives
             # a kill signal a deterministic window between intervals.
-            time.sleep(args.throttle)
+            time.sleep(throttle)
         if args.quiet:
             return
         verdicts = record["verdicts"]
@@ -160,20 +220,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
     else:
         run_id = f"{spec.name}-{spec.spec_hash()[:10]}"
         run_dir = Path(args.runs_dir) / run_id
-    _check_engine(spec, args)
+    policy = _build_policy(spec, args)
     try:
         store = RunStore.create(run_dir, spec)
     except RunStoreError as exc:
         _fail(str(exc))
     if not args.quiet:
         print(f"run store: {run_dir} (spec hash {spec.spec_hash()[:12]})")
-    runner = CampaignRunner(
-        spec,
-        store,
-        engine=args.engine,
-        shards=args.shards,
-        chunk_size=args.chunk_size,
-    )
+    runner = CampaignRunner(spec, store, policy=policy)
     return _drive(runner, args, store)
 
 
@@ -182,13 +236,8 @@ def _cmd_resume(args: argparse.Namespace) -> int:
         store = RunStore.open(args.run_dir)
     except RunStoreError as exc:
         _fail(str(exc))
-    _check_engine(store.spec(), args)
-    runner = CampaignRunner.resume(
-        store,
-        engine=args.engine,
-        shards=args.shards,
-        chunk_size=args.chunk_size,
-    )
+    policy = _build_policy(store.spec(), args)
+    runner = CampaignRunner.resume(store, policy=policy)
     if not args.quiet:
         print(
             f"resuming {store.path} from interval "

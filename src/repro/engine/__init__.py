@@ -7,7 +7,10 @@ third engine: **streaming** execution
 (:class:`~repro.engine.streaming.StreamingRunner`), which drives a scenario
 chunk-by-chunk in ``O(chunk)`` memory and optionally splits the stream across
 a process pool (``shards=N``), merging the per-shard collector states exactly
-(:meth:`repro.core.hop.HOPCollector.merge`).
+(:meth:`repro.core.hop.HOPCollector.merge`).  Sharding is *seek-based*: the
+coordinator's cheap propagation-plan pass captures a
+:class:`~repro.engine.checkpoint.StreamCheckpoint` at every shard boundary
+and each worker seeks straight to its chunk span — zero prefix replay.
 
 All three engines produce identical receipts and results for every streamable
 component (see ``README.md`` § Engines); the only documented difference is
@@ -26,6 +29,7 @@ from repro.engine.campaign import (
     CampaignRunOutcome,
     interval_record,
 )
+from repro.engine.checkpoint import StreamCheckpoint
 from repro.engine.mesh import (
     MeshCell,
     MeshRunner,
@@ -34,6 +38,7 @@ from repro.engine.mesh import (
 )
 from repro.engine.streaming import (
     DEFAULT_CHUNK_SIZE,
+    RunnerCheckpoint,
     ScenarioStream,
     StreamingCell,
     StreamingResult,
@@ -49,7 +54,9 @@ __all__ = [
     "MeshCell",
     "MeshRunner",
     "MeshStreamingResult",
+    "RunnerCheckpoint",
     "ScenarioStream",
+    "StreamCheckpoint",
     "StreamingCell",
     "StreamingResult",
     "StreamingRunner",

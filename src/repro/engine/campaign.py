@@ -18,18 +18,30 @@ store **byte-identical** to an uninterrupted run — the property the
 choice never perturbs the store either: the engines' byte-identical results
 contract means a run started on the batch engine may resume on streaming
 ``shards=4`` and still match.
+
+An :class:`~repro.api.spec.ExecutionPolicy` with ``checkpoint_every`` set
+tightens the granularity further: the streaming engine persists a
+mid-interval :class:`~repro.engine.streaming.RunnerCheckpoint` every N
+chunks, so a kill *inside* a long interval resumes from the last chunk
+boundary — seeking the propagation state instead of replaying the prefix —
+and still finishes with the identical store.
 """
 
 from __future__ import annotations
 
 import hashlib
+import os
+import pickle
+import time
+from pathlib import Path
 from typing import Any, Callable, Mapping, NamedTuple, Sequence
 
 import numpy as np
 
 from repro.analysis.quantiles import MergedDelayPool
 from repro.analysis.sla import SLAVerdict, check_sla
-from repro.api.spec import CampaignSpec, ExperimentSpec, MeshSpec
+from repro.api.spec import CampaignSpec, ExecutionPolicy, ExperimentSpec, MeshSpec
+from repro.engine.streaming import DEFAULT_CHUNK_SIZE, RunnerCheckpoint
 from repro.core.estimation import (
     DelayQuantileEstimate,
     estimate_delay_quantiles,
@@ -111,13 +123,18 @@ class _IntervalOutcome(NamedTuple):
 
 def _run_single_path_interval(
     cell: ExperimentSpec,
-    engine: str | None,
-    shards: int,
-    chunk_size: int | None,
+    policy: ExecutionPolicy,
+    checkpoint_sink: Callable[[RunnerCheckpoint], None] | None = None,
+    resume_from: RunnerCheckpoint | None = None,
 ) -> _IntervalOutcome:
     from repro.api.runner import run_cell_full
 
-    run = run_cell_full(cell, engine=engine, shards=shards, chunk_size=chunk_size)
+    run = run_cell_full(
+        cell,
+        policy=policy,
+        checkpoint_sink=checkpoint_sink,
+        resume_from=resume_from,
+    )
     verifier = run.session.verifier_for(cell.estimation.observer)
     path = run.session.path
     delays: dict[str, np.ndarray] = {}
@@ -146,13 +163,11 @@ def _run_single_path_interval(
 
 def _run_mesh_interval(
     cell: MeshSpec,
-    engine: str | None,
-    shards: int,
-    chunk_size: int | None,
+    policy: ExecutionPolicy,
 ) -> _IntervalOutcome:
     from repro.api.runner import run_mesh_cell_full
 
-    run = run_mesh_cell_full(cell, engine=engine, shards=shards, chunk_size=chunk_size)
+    run = run_mesh_cell_full(cell, policy=policy)
     delays: dict[str, list[np.ndarray]] = {}
     offered: dict[str, int] = {}
     lost: dict[str, int] = {}
@@ -201,20 +216,38 @@ def interval_record(
     engine: str | None = None,
     shards: int = 1,
     chunk_size: int | None = None,
+    policy: ExecutionPolicy | None = None,
+    checkpoint_sink: Callable[[RunnerCheckpoint], None] | None = None,
+    resume_from: RunnerCheckpoint | None = None,
 ) -> dict[str, Any]:
     """Execute interval ``index`` and build its store record.
 
-    A pure function of ``(spec, index)`` — the execution knobs select an
+    A pure function of ``(spec, index)`` — the execution knobs (individual
+    keywords or one :class:`~repro.api.spec.ExecutionPolicy`) select an
     engine but cannot perturb the record (the engines are byte-identical and
     ``time_sum``, the one tolerant field, is canonicalized inside the
     receipts digest).  This purity is the whole checkpoint/resume story.
+    ``checkpoint_sink`` / ``resume_from`` enable *mid-interval* streaming
+    checkpoints (single-path cells, ``shards=1``): resuming from a sink-fed
+    :class:`~repro.engine.streaming.RunnerCheckpoint` yields the identical
+    record.
     """
+    policy = ExecutionPolicy.coerce(
+        policy, engine=engine, shards=shards, chunk_size=chunk_size
+    )
     cell = spec.interval_cell(index)
     if isinstance(cell, MeshSpec):
-        outcome = _run_mesh_interval(cell, engine, shards, chunk_size)
+        if checkpoint_sink is not None or resume_from is not None:
+            raise ValueError(
+                "mid-interval checkpointing applies to single-path streaming "
+                "cells only; mesh campaigns checkpoint at interval boundaries"
+            )
+        outcome = _run_mesh_interval(cell, policy)
         quantiles = cell.quantiles
     else:
-        outcome = _run_single_path_interval(cell, engine, shards, chunk_size)
+        outcome = _run_single_path_interval(
+            cell, policy, checkpoint_sink=checkpoint_sink, resume_from=resume_from
+        )
         quantiles = cell.estimation.quantiles
 
     estimates: dict[str, Any] = {}
@@ -383,10 +416,21 @@ class CampaignRunner:
         The durable :class:`~repro.store.RunStore` to checkpoint into.  With
         ``store=None`` the runner keeps records in memory only (useful for
         programmatic one-shot campaigns and tests).
-    engine, shards, chunk_size:
-        Execution-only overrides forwarded to every interval's cell run; the
-        stored records never depend on them.
+    engine, shards, chunk_size, policy:
+        Execution-only knobs forwarded to every interval's cell run — either
+        the individual keywords or one declarative
+        :class:`~repro.api.spec.ExecutionPolicy` (not both); the stored
+        records never depend on them.  A policy with ``checkpoint_every`` set
+        (streaming, ``shards=1``, single-path cell, durable store) also
+        persists *mid-interval* stream checkpoints to
+        ``<store>/interval.ckpt``, so a kill inside a long interval resumes
+        from the last chunk boundary instead of the interval's start; the
+        finished store is byte-identical either way (the checkpoint file is
+        removed when its interval commits).
     """
+
+    #: Mid-interval checkpoint file, inside the run store directory.
+    CHECKPOINT_NAME = "interval.ckpt"
 
     def __init__(
         self,
@@ -395,6 +439,7 @@ class CampaignRunner:
         engine: str | None = None,
         shards: int = 1,
         chunk_size: int | None = None,
+        policy: ExecutionPolicy | None = None,
     ) -> None:
         if spec is None and store is None:
             raise ValueError("CampaignRunner needs a spec, a store, or both")
@@ -406,12 +451,33 @@ class CampaignRunner:
             store.repair_torn_tail()
         self.spec = spec if spec is not None else store.spec()
         self.store = store
-        self.engine = engine
-        self.shards = shards
-        self.chunk_size = chunk_size
+        self.policy = ExecutionPolicy.coerce(
+            policy, engine=engine, shards=shards, chunk_size=chunk_size
+        )
+        # Resolve against the cell eagerly: impossible combinations (mesh +
+        # scalar, checkpoint_every off the streaming engine) die here, not
+        # forty intervals into a soak run.
+        self._bound = self.policy.bind(self.spec.cell)
+        if self._bound.checkpoint_every is not None and isinstance(
+            self.spec.cell, MeshSpec
+        ):  # pragma: no cover - bind() already rejects this
+            raise ValueError("mid-interval checkpointing needs a single-path cell")
         self._memory_records: list[dict[str, Any]] = []
         existing = store.records() if store is not None else []
         self.accumulator = CampaignAccumulator.from_records(self.spec, existing)
+
+    # Back-compat views of the policy (the pre-policy constructor surface).
+    @property
+    def engine(self) -> str | None:
+        return self.policy.engine
+
+    @property
+    def shards(self) -> int:
+        return self.policy.shards
+
+    @property
+    def chunk_size(self) -> int | None:
+        return self.policy.chunk_size
 
     @classmethod
     def resume(
@@ -420,18 +486,98 @@ class CampaignRunner:
         engine: str | None = None,
         shards: int = 1,
         chunk_size: int | None = None,
+        policy: ExecutionPolicy | None = None,
     ) -> "CampaignRunner":
         """Reopen a store and continue from its last completed interval.
 
         The store's spec hash is re-validated on open; the accumulated
         campaign state is rebuilt by folding the persisted records, so the
-        eventual summary is byte-identical to an uninterrupted run's.
+        eventual summary is byte-identical to an uninterrupted run's.  If the
+        killed run left a compatible mid-interval checkpoint, the next
+        interval picks up at its chunk boundary.
         """
         if not isinstance(store, RunStore):
             store = RunStore.open(store)
         return cls(
-            spec=None, store=store, engine=engine, shards=shards, chunk_size=chunk_size
+            spec=None,
+            store=store,
+            engine=engine,
+            shards=shards,
+            chunk_size=chunk_size,
+            policy=policy,
         )
+
+    # -- mid-interval checkpoints ------------------------------------------------------
+
+    @property
+    def _checkpoint_path(self) -> Path | None:
+        if self.store is None:
+            return None
+        return Path(self.store.path) / self.CHECKPOINT_NAME
+
+    def _clear_interval_checkpoint(self) -> None:
+        path = self._checkpoint_path
+        if path is not None:
+            path.unlink(missing_ok=True)
+
+    def _load_interval_checkpoint(self, index: int) -> RunnerCheckpoint | None:
+        """The persisted mid-interval checkpoint for ``index``, if compatible.
+
+        Compatibility is strict — same spec hash, same interval, a streaming
+        ``shards=1`` policy with the same chunk size — and anything else
+        (including an unreadable file) discards the checkpoint and re-runs
+        the interval from its start, which is always correct.
+        """
+        path = self._checkpoint_path
+        if path is None or not path.exists():
+            return None
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+            checkpoint = payload["checkpoint"]
+            compatible = (
+                payload["spec_hash"] == self.spec.spec_hash()
+                and payload["interval"] == index
+                and isinstance(checkpoint, RunnerCheckpoint)
+                and self._bound.engine == "streaming"
+                and self._bound.shards == 1
+                and checkpoint.chunk_size
+                == (self._bound.chunk_size or DEFAULT_CHUNK_SIZE)
+            )
+        except Exception:
+            compatible = False
+        if not compatible:
+            self._clear_interval_checkpoint()
+            return None
+        return checkpoint
+
+    def _interval_checkpoint_sink(
+        self, index: int
+    ) -> Callable[[RunnerCheckpoint], None] | None:
+        if self._bound.checkpoint_every is None or self.store is None:
+            return None
+        path = self._checkpoint_path
+        spec_hash = self.spec.spec_hash()
+        throttle = self.policy.throttle
+
+        def sink(checkpoint: RunnerCheckpoint) -> None:
+            payload = {
+                "spec_hash": spec_hash,
+                "interval": index,
+                "checkpoint": checkpoint,
+            }
+            scratch = path.with_name(path.name + ".tmp")
+            with open(scratch, "wb") as handle:
+                pickle.dump(payload, handle)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(scratch, path)
+            if throttle > 0:
+                # The checkpoint is durable; sleeping here gives a kill
+                # signal a deterministic window at every chunk boundary.
+                time.sleep(throttle)
+
+        return sink
 
     # -- progress ----------------------------------------------------------------------
 
@@ -460,13 +606,17 @@ class CampaignRunner:
         record = interval_record(
             self.spec,
             index,
-            engine=self.engine,
-            shards=self.shards,
-            chunk_size=self.chunk_size,
+            policy=self.policy,
+            checkpoint_sink=self._interval_checkpoint_sink(index),
+            resume_from=self._load_interval_checkpoint(index),
         )
         if self.store is not None:
             self.store.append(record)
-        else:
+        # The interval is durably committed; its mid-interval checkpoint is
+        # now stale (and must not survive into the finished store, which is
+        # diffed byte-for-byte against uninterrupted runs).
+        self._clear_interval_checkpoint()
+        if self.store is None:
             self._memory_records.append(record)
         self.accumulator.fold(record)
         return record

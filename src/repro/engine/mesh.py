@@ -10,8 +10,12 @@ Two engines drive a :class:`~repro.simulation.mesh.MeshScenario`:
   :class:`~repro.engine.streaming.ScenarioStream` and feeding each HOP the
   chunk-wise timestamp-merged union.  ``shards=N`` splits the chunk-index
   range across a process pool exactly as the single-path streaming engine
-  does, merging per-shard collector states in stream order
-  (:meth:`~repro.core.hop.HOPCollector.merge` handles multi-path state).
+  does: the coordinator runs a cheap propagation-plan pass over all paths,
+  captures one :class:`~repro.engine.checkpoint.StreamCheckpoint` per path at
+  each shard boundary, and workers seek every path stream straight to their
+  span (zero prefix replay), merging per-shard collector states in stream
+  order (:meth:`~repro.core.hop.HOPCollector.merge` handles multi-path
+  state).
 
 Both engines leave every collector in bit-identical state: per-path collector
 state depends only on that path's sub-stream (in its own time order), which
@@ -31,6 +35,7 @@ import numpy as np
 
 from repro.core.hop import HOPCollector, HOPReport
 from repro.core.protocol import MeshSession
+from repro.engine.checkpoint import StreamCheckpoint
 from repro.engine.streaming import (
     DEFAULT_CHUNK_SIZE,
     ScenarioStream,
@@ -72,6 +77,9 @@ class MeshStreamingResult:
     chunk_size: int
     shards: int
     chunks: int
+    #: Chunk rounds each shard actually evaluated, in shard order (span
+    #: sizes — zero prefix replay); ``(chunks,)`` for a single-process run.
+    shard_chunks: tuple[int, ...] = ()
 
     def truth_for(self, path_index: int, domain: Domain | str) -> StreamingTruth:
         name = domain.name if isinstance(domain, Domain) else domain
@@ -125,14 +133,22 @@ def _advance_round(
 
 
 def _run_mesh_shard(
-    setup: Callable[[], MeshCell], chunk_size: int, shards: int, shard: int
-) -> dict[int, HOPCollector]:
-    """Worker entry point: rebuild the mesh cell, replay every path's stream
-    prefix, feed only this shard's chunk span, return the collector states.
+    setup: Callable[[], MeshCell],
+    chunk_size: int,
+    start: int,
+    stop: int,
+    checkpoints: tuple[StreamCheckpoint, ...] | None,
+    flush: bool,
+) -> tuple[dict[int, HOPCollector], int]:
+    """Worker entry point: rebuild the mesh cell, seek every path's stream to
+    this shard's round boundary, feed exactly rounds ``[start, stop)``, and
+    return the collector states plus the rounds actually evaluated.
 
     The chunk index is synchronized across paths, so a shard's span covers a
     contiguous sub-stream of *every* path — exactly what stream-order
-    collector merging requires.
+    collector merging requires.  Paths shorter than ``start`` chunks arrive
+    exhausted (their checkpoint already sits at their end of stream) and
+    contribute nothing until the flush.
     """
     cell = setup()
     collectors = _collectors_by_hop(cell.session)
@@ -141,15 +157,19 @@ def _run_mesh_shard(
         ScenarioStream(scenario, collect_truth=False, predigest=digesters)
         for scenario in cell.scenario.path_scenarios
     ]
-    iterators = [trace.iter_batches(chunk_size) for trace in cell.traces]
-    total_chunks = _total_chunks(cell.traces, chunk_size)
-    bounds = _shard_bounds(total_chunks, shards)
-    start, stop = bounds[shard], bounds[shard + 1]
-    for index in range(stop):
-        per_path = _advance_round(streams, iterators)
-        if index >= start:
-            _feed_merged(collectors, per_path)
-    return collectors
+    if checkpoints is not None:
+        for stream, checkpoint in zip(streams, checkpoints):
+            stream.seek(checkpoint)
+    iterators = [
+        trace.iter_batches(chunk_size, start_chunk=start) for trace in cell.traces
+    ]
+    evaluated = 0
+    for _ in range(start, stop):
+        _feed_merged(collectors, _advance_round(streams, iterators))
+        evaluated += 1
+    if flush:
+        _feed_merged(collectors, _advance_round(streams, iterators, flush=True))
+    return collectors, evaluated
 
 
 class MeshRunner:
@@ -157,11 +177,13 @@ class MeshRunner:
 
     Mirrors :class:`~repro.engine.streaming.StreamingRunner`: ``setup`` is a
     ready :class:`MeshCell` or a picklable zero-argument callable returning
-    one (required for ``shards > 1``); shard ``N-1`` runs in the calling
-    process and accumulates per-path ground truth, shards ``0..N-2`` run on a
-    process pool and their collector states merge in stream order —
-    receipt-identical to ``shards=1``, which is receipt-identical to the
-    batch engine.
+    one (required for ``shards > 1``).  The coordinator runs one cheap
+    propagation-plan pass over all paths in lockstep (truth included, nothing
+    hashed), captures per-path checkpoints at each shard's round boundary,
+    and dispatches shards to a process pool as soon as their checkpoints
+    exist; workers seek to their boundary and evaluate only their own span.
+    Collector states merge in stream order — receipt-identical to
+    ``shards=1``, which is receipt-identical to the batch engine.
     """
 
     def __init__(
@@ -185,47 +207,89 @@ class MeshRunner:
 
     def run(self) -> MeshStreamingResult:
         cell = self._setup() if callable(self._setup) else self._setup
-        futures = []
-        pool = None
-        if self.shards > 1:
-            pool = ProcessPoolExecutor(max_workers=self.shards - 1)
-            futures = [
-                pool.submit(
-                    _run_mesh_shard, self._setup, self.chunk_size, self.shards, shard
-                )
-                for shard in range(self.shards - 1)
-            ]
+        total_chunks = _total_chunks(cell.traces, self.chunk_size)
+        if self.shards == 1:
+            return self._run_single(cell, total_chunks)
+        return self._run_sharded(cell, total_chunks)
 
-        try:
-            collectors = _collectors_by_hop(cell.session)
-            digesters = _session_digesters(cell.session)
-            streams = [
-                ScenarioStream(scenario, collect_truth=True, predigest=digesters)
-                for scenario in cell.scenario.path_scenarios
-            ]
-            iterators = [trace.iter_batches(self.chunk_size) for trace in cell.traces]
-            total_chunks = _total_chunks(cell.traces, self.chunk_size)
-            start = _shard_bounds(total_chunks, self.shards)[self.shards - 1]
-            for index in range(total_chunks):
-                per_path = _advance_round(streams, iterators)
-                if index >= start:
-                    _feed_merged(collectors, per_path)
-            _feed_merged(collectors, _advance_round(streams, iterators, flush=True))
-
-            if futures:
-                _merge_shard_states(
-                    [future.result() for future in futures], collectors, cell.session
-                )
-        finally:
-            if pool is not None:
-                pool.shutdown()
-
+    def _run_single(self, cell: MeshCell, total_chunks: int) -> MeshStreamingResult:
+        collectors = _collectors_by_hop(cell.session)
+        digesters = _session_digesters(cell.session)
+        streams = [
+            ScenarioStream(scenario, collect_truth=True, predigest=digesters)
+            for scenario in cell.scenario.path_scenarios
+        ]
+        iterators = [trace.iter_batches(self.chunk_size) for trace in cell.traces]
+        for _ in range(total_chunks):
+            _feed_merged(collectors, _advance_round(streams, iterators))
+        _feed_merged(collectors, _advance_round(streams, iterators, flush=True))
         reports = cell.session.collect_reports()
         return MeshStreamingResult(
             reports=reports,
             session=cell.session,
             path_truth=tuple(stream.domain_truth for stream in streams),
             chunk_size=self.chunk_size,
+            shards=1,
+            chunks=total_chunks,
+            shard_chunks=(total_chunks,),
+        )
+
+    def _run_sharded(self, cell: MeshCell, total_chunks: int) -> MeshStreamingResult:
+        bounds = _shard_bounds(total_chunks, self.shards)
+        plan_streams = [
+            ScenarioStream(scenario, collect_truth=True, predigest=())
+            for scenario in cell.scenario.path_scenarios
+        ]
+        iterators = [trace.iter_batches(self.chunk_size) for trace in cell.traces]
+        futures: list = [None] * self.shards
+        with ProcessPoolExecutor(max_workers=self.shards) as pool:
+
+            def dispatch(
+                shard: int, checkpoints: tuple[StreamCheckpoint, ...] | None
+            ) -> None:
+                futures[shard] = pool.submit(
+                    _run_mesh_shard,
+                    self._setup,
+                    self.chunk_size,
+                    bounds[shard],
+                    bounds[shard + 1],
+                    checkpoints,
+                    shard == self.shards - 1,
+                )
+
+            dispatch(0, None)
+            next_shard = 1
+            for round_index in range(total_chunks):
+                _advance_round(plan_streams, iterators)
+                while (
+                    next_shard < self.shards
+                    and round_index + 1 == bounds[next_shard]
+                ):
+                    dispatch(
+                        next_shard,
+                        tuple(stream.checkpoint() for stream in plan_streams),
+                    )
+                    next_shard += 1
+            while next_shard < self.shards:
+                dispatch(
+                    next_shard,
+                    tuple(stream.checkpoint() for stream in plan_streams),
+                )
+                next_shard += 1
+            # Flush only after every checkpoint is captured, so held-back
+            # packets complete the downstream domains' ground truth without
+            # perturbing the dispatched propagation states.
+            _advance_round(plan_streams, iterators, flush=True)
+            shard_results = [future.result() for future in futures]
+
+        _merge_shard_states([state for state, _ in shard_results], cell.session)
+        reports = cell.session.collect_reports()
+        return MeshStreamingResult(
+            reports=reports,
+            session=cell.session,
+            path_truth=tuple(stream.domain_truth for stream in plan_streams),
+            chunk_size=self.chunk_size,
             shards=self.shards,
             chunks=total_chunks,
+            shard_chunks=tuple(evaluated for _, evaluated in shard_results),
         )

@@ -13,12 +13,21 @@ simulation as a stream:
   packet can precede them.  Emissions at every HOP are therefore the
   whole-run observation stream, delivered incrementally, bit-for-bit.
 
+* :class:`ScenarioStream` is **seekable**: :meth:`ScenarioStream.checkpoint`
+  freezes the complete propagation state at a chunk boundary (every model RNG
+  cursor, every holdback buffer, the watermark) as a
+  :class:`~repro.engine.checkpoint.StreamCheckpoint`, and
+  :meth:`ScenarioStream.seek` restores a fresh stream to that point so it
+  continues bit-identically — in another process, or in a later run.
+
 * :class:`StreamingRunner` feeds those emissions to the VPM collectors
   chunk-by-chunk (single process), or splits the chunk index range across a
-  :class:`~concurrent.futures.ProcessPoolExecutor` (``shards=N``) and merges
-  the per-shard collector states exactly
-  (:meth:`repro.core.hop.HOPCollector.merge`), so a sharded run's receipts
-  equal the single-process run's.
+  :class:`~concurrent.futures.ProcessPoolExecutor` (``shards=N``): the
+  coordinator makes one cheap propagation-plan pass (no hashing, no
+  collectors), captures a checkpoint at each shard boundary, and every worker
+  seeks straight to its span — zero prefix replay.  Per-shard collector
+  states are merged exactly (:meth:`repro.core.hop.HOPCollector.merge`), so a
+  sharded run's receipts equal the single-process run's.
 
 Exactness contract: every component must be *streamable* — delay and loss
 models declare it (:attr:`repro.traffic.delay_models.DelayModel.streamable`),
@@ -40,6 +49,7 @@ import numpy as np
 
 from repro.core.hop import HOPCollector, HOPReport
 from repro.core.protocol import VPMSession
+from repro.engine.checkpoint import StreamCheckpoint
 from repro.net.batch import PacketBatch
 from repro.net.hashing import PacketDigester
 from repro.net.topology import HOP, Domain
@@ -48,6 +58,7 @@ from repro.traffic.trace import SyntheticTrace
 
 __all__ = [
     "DEFAULT_CHUNK_SIZE",
+    "RunnerCheckpoint",
     "ScenarioStream",
     "StreamingCell",
     "StreamingResult",
@@ -129,6 +140,22 @@ class StreamingTruth:
             return {quantile: 0.0 for quantile in quantiles}
         return {quantile: float(np.quantile(delays, quantile)) for quantile in quantiles}
 
+    def snapshot(self) -> dict:
+        """A picklable snapshot of the accumulated ground truth."""
+        return {
+            "lost_packets": int(self.lost_packets),
+            "delivered_packets": int(self.delivered_packets),
+            "delays": self.delays().copy(),
+        }
+
+    def restore(self, state: dict) -> None:
+        """Restore the accumulator to a :meth:`snapshot` (in place)."""
+        self.lost_packets = int(state["lost_packets"])
+        self.delivered_packets = int(state["delivered_packets"])
+        delays = np.asarray(state["delays"], dtype=float)
+        self._delay_chunks = [delays] if len(delays) else []
+        self._delays = None
+
 
 class _StreamSorter:
     """Stable time-sort over an append-only stream, emitted up to a watermark.
@@ -172,6 +199,14 @@ class _StreamSorter:
         if cut == len(order) and np.array_equal(order, np.arange(len(order))):
             return batch, keys  # already sorted and fully emittable
         return batch.take(order[:cut]), sorted_keys[:cut]
+
+    def snapshot(self) -> dict:
+        """The held rows and their keys (shared, never mutated in place)."""
+        return {"batch": self._batch, "keys": self._keys}
+
+    def restore(self, state: dict) -> None:
+        self._batch = state["batch"]
+        self._keys = state["keys"]
 
 
 class _DomainStage:
@@ -217,6 +252,26 @@ class _DomainStage:
         perturbed = self._reordering.perturb(emitted_times)
         return self._reorder_sorter.push(emitted, perturbed, watermark)
 
+    def snapshot(self) -> dict:
+        state = {
+            "delay": self._condition.delay_model.state_snapshot(),
+            "loss": self._condition.loss_model.state_snapshot(),
+            "reordering": self._reordering.state_snapshot(),
+            "egress": self._egress_sorter.snapshot(),
+            "reorder": None,
+        }
+        if self._reorder_sorter is not None:
+            state["reorder"] = self._reorder_sorter.snapshot()
+        return state
+
+    def restore(self, state: dict) -> None:
+        self._condition.delay_model.state_restore(state["delay"])
+        self._condition.loss_model.state_restore(state["loss"])
+        self._reordering.state_restore(state["reordering"])
+        self._egress_sorter.restore(state["egress"])
+        if self._reorder_sorter is not None:
+            self._reorder_sorter.restore(state["reorder"])
+
 
 class _LinkStage:
     """Streaming twin of ``PathScenario._traverse_link_batch``."""
@@ -236,6 +291,21 @@ class _LinkStage:
                 batch = batch.take(np.flatnonzero(delivered))
             times = far_times
         return self._sorter.push(batch, times, watermark)
+
+    def snapshot(self) -> dict:
+        return {
+            "link": self._link.state_snapshot(),
+            "sorter": self._sorter.snapshot(),
+            "lost": set(self._lost),
+        }
+
+    def restore(self, state: dict) -> None:
+        self._link.state_restore(state["link"])
+        self._sorter.restore(state["sorter"])
+        # ``_lost`` aliases the stream's ``link_losses`` entry; mutate in
+        # place so both views stay the same set object.
+        self._lost.clear()
+        self._lost.update(state["lost"])
 
 
 class ScenarioStream:
@@ -263,6 +333,8 @@ class ScenarioStream:
         self.scenario = scenario
         self.link_losses: dict[tuple[int, int], set[int]] = {}
         self.domain_truth: dict[str, StreamingTruth] = {}
+        #: Chunks consumed so far — the chunk index the stream expects next.
+        self.chunks_pushed = 0
         self._predigest = tuple(dict.fromkeys(predigest))
         self._watermark = -np.inf
         self._template: PacketBatch | None = None
@@ -296,6 +368,7 @@ class ScenarioStream:
             return []
         for digester in self._predigest:
             digester.digest_batch(chunk)
+        self.chunks_pushed += 1
         self._template = chunk
         self._watermark = float(chunk.send_time[-1])
         return self._advance(chunk, chunk.send_time.copy(), self._watermark)
@@ -319,6 +392,73 @@ class ScenarioStream:
             )
             emissions.append((next_hop.hop_id, current_batch, current_times))
         return emissions
+
+    def checkpoint(self, include_truth: bool = False) -> StreamCheckpoint:
+        """Freeze the complete propagation state at the current chunk boundary.
+
+        The checkpoint is a plain picklable value; a fresh stream over the
+        same scenario spec that :meth:`seek`\\ s to it continues the run
+        bit-identically — same emissions, same holdback contents, same model
+        draws.  ``include_truth`` additionally snapshots the ground-truth
+        accumulators (needed when the seeked stream must keep collecting
+        truth, e.g. a mid-interval campaign resume); plan-pass checkpoints
+        shipped to truthless shard workers leave it off.
+        """
+        template = None
+        if self._template is not None:
+            template = self._template.take(np.empty(0, dtype=np.int64)).detach_root()
+        truth = None
+        if include_truth:
+            truth = {
+                name: accumulator.snapshot()
+                for name, accumulator in self.domain_truth.items()
+            }
+        return StreamCheckpoint(
+            chunk_index=self.chunks_pushed,
+            watermark=float(self._watermark),
+            template=template,
+            stages=tuple(stage.snapshot() for stage, _ in self._stages),
+            clocks=tuple(
+                hop.clock.state_snapshot() for hop in self.scenario.path.hops
+            ),
+            truth=truth,
+        )
+
+    def seek(self, checkpoint: StreamCheckpoint) -> None:
+        """Restore a freshly constructed stream to ``checkpoint``'s state.
+
+        After seeking, the next :meth:`push` must carry chunk
+        ``checkpoint.chunk_index`` of the same trace
+        (:meth:`SyntheticTrace.iter_batches` with ``start_chunk``) — from
+        there on the stream is bit-identical to one that processed the whole
+        prefix.  Only a pristine stream may seek; the stream must be built
+        over the same scenario spec the checkpoint was captured from.
+        """
+        if self.chunks_pushed or self._template is not None:
+            raise ValueError("seek requires a freshly constructed stream")
+        if len(checkpoint.stages) != len(self._stages):
+            raise ValueError(
+                f"checkpoint has {len(checkpoint.stages)} stage snapshots, "
+                f"stream has {len(self._stages)} stages — different scenario?"
+            )
+        hops = self.scenario.path.hops
+        if len(checkpoint.clocks) != len(hops):
+            raise ValueError(
+                f"checkpoint has {len(checkpoint.clocks)} clock snapshots, "
+                f"path has {len(hops)} hops — different scenario?"
+            )
+        for (stage, _), state in zip(self._stages, checkpoint.stages):
+            stage.restore(state)
+        for hop, state in zip(hops, checkpoint.clocks):
+            hop.clock.state_restore(state)
+        self._watermark = checkpoint.watermark
+        self._template = checkpoint.template
+        self.chunks_pushed = checkpoint.chunk_index
+        if checkpoint.truth is not None:
+            for name, state in checkpoint.truth.items():
+                accumulator = self.domain_truth.get(name)
+                if accumulator is not None:
+                    accumulator.restore(state)
 
 
 def check_scenario_streamable(scenario: PathScenario) -> None:
@@ -366,6 +506,10 @@ class StreamingResult:
     chunk_size: int
     shards: int
     chunks: int
+    #: Chunks each shard actually evaluated, in shard order.  With seekable
+    #: sharding this equals each shard's span size (zero prefix replay) and
+    #: makes span skew visible; ``(chunks,)`` for a single-process run.
+    shard_chunks: tuple[int, ...] = ()
 
     def truth_for(self, domain: Domain | str) -> StreamingTruth:
         name = domain.name if isinstance(domain, Domain) else domain
@@ -391,28 +535,35 @@ def _session_digesters(session: VPMSession) -> list[PacketDigester]:
 
 
 def _shard_bounds(total_chunks: int, shards: int) -> list[int]:
-    return [shard * total_chunks // shards for shard in range(shards + 1)]
+    """Chunk-index boundaries of each shard's span, remainder balanced.
+
+    ``divmod`` spread: the first ``total_chunks % shards`` shards take one
+    extra chunk each, so span sizes differ by at most one (any empty spans —
+    more shards than chunks — land at the end, where the flush-owning last
+    shard still drains the holdbacks correctly).
+    """
+    base, extra = divmod(total_chunks, shards)
+    bounds = [0]
+    for shard in range(shards):
+        bounds.append(bounds[-1] + base + (1 if shard < extra else 0))
+    return bounds
 
 
 def _merge_shard_states(
     shard_states: list[dict[int, HOPCollector]],
-    local_collectors: dict[int, HOPCollector],
     session,
 ) -> None:
     """Fold shard collector states in stream order and install the result.
 
-    ``shard_states`` are the pool shards' collectors in shard (= stream)
-    order; ``local_collectors`` belong to the calling process, which ran the
-    last span, so they fold in last.  The merged collectors replace the
-    session agents' — shared by the single-path and mesh runners so the
-    merge discipline cannot drift between engines.
+    ``shard_states`` are the shards' collectors in shard (= stream) order.
+    The merged collectors replace the session agents' — shared by the
+    single-path and mesh runners so the merge discipline cannot drift
+    between engines.
     """
     merged = shard_states[0]
     for state in shard_states[1:]:
         for hop_id, collector in merged.items():
             collector.merge(state[hop_id])
-    for hop_id, collector in merged.items():
-        collector.merge(local_collectors[hop_id])
     for agent in session.agents.values():
         for hop_id in agent.hop_ids:
             agent.replace_collector(hop_id, merged[hop_id])
@@ -429,32 +580,61 @@ def _feed(
 
 
 def _run_streaming_shard(
-    setup: Callable[[], StreamingCell], chunk_size: int, shards: int, shard: int
-) -> dict[int, HOPCollector]:
-    """Worker entry point: rebuild the cell, replay the stream prefix, feed
-    only this shard's chunk span, and return the collector states.
+    setup: Callable[[], StreamingCell],
+    chunk_size: int,
+    start: int,
+    stop: int,
+    checkpoint: StreamCheckpoint | None,
+    flush: bool,
+) -> tuple[dict[int, HOPCollector], int]:
+    """Worker entry point: rebuild the cell, seek the stream to this shard's
+    chunk boundary, feed exactly chunks ``[start, stop)``, and return the
+    collector states plus the number of chunks actually evaluated.
 
-    Every shard rebuilds the identical deterministic cell and replays
-    propagation from chunk 0 (model RNG streams are strictly sequential, so a
-    shard cannot start mid-stream), but stops right after its own span — the
-    expensive collector work (hashing, sampling, aggregation) is what gets
-    split ``shards`` ways.
+    Zero prefix replay: the trace iterator seeks by fast-forwarding flow
+    counters (no materialization) and the scenario stream seeks by restoring
+    the coordinator's checkpoint (no propagation), so the worker's cost is
+    proportional to its own span — this is what makes ``shards=N`` scale on
+    N cores.  The returned chunk count therefore equals ``stop - start`` by
+    construction, and the parity tests assert exactly that.
     """
     cell = setup()
     collectors = _collectors_by_hop(cell.session)
     stream = ScenarioStream(
         cell.scenario, collect_truth=False, predigest=_session_digesters(cell.session)
     )
-    total_chunks = -(-cell.trace.config.packet_count // chunk_size)
-    bounds = _shard_bounds(total_chunks, shards)
-    start, stop = bounds[shard], bounds[shard + 1]
-    for index, chunk in enumerate(cell.trace.iter_batches(chunk_size)):
-        if index >= stop:
+    if checkpoint is not None:
+        if checkpoint.chunk_index != start:
+            raise ValueError(
+                f"shard starts at chunk {start} but checkpoint was captured "
+                f"at chunk {checkpoint.chunk_index}"
+            )
+        stream.seek(checkpoint)
+    for chunk in cell.trace.iter_batches(chunk_size, start_chunk=start):
+        if stream.chunks_pushed >= stop:
             break
-        emissions = stream.push(chunk)
-        if index >= start:
-            _feed(collectors, emissions)
-    return collectors
+        _feed(collectors, stream.push(chunk))
+    if flush:
+        _feed(collectors, stream.flush())
+    return collectors, stream.chunks_pushed - start
+
+
+@dataclass
+class RunnerCheckpoint:
+    """A mid-interval resume point for a ``shards=1`` streaming run.
+
+    Couples the stream's propagation state (with ground truth) to the VPM
+    collectors' state at the same chunk boundary, so a killed run can resume
+    exactly where it stopped: install the collectors, seek the stream, and
+    continue — receipts, estimates and truth come out byte-identical to an
+    uninterrupted run.  A checkpoint handed to a ``checkpoint_sink`` holds
+    *live* collector references; persist it (pickle) before the run
+    continues, or the state will advance underneath it.
+    """
+
+    stream: StreamCheckpoint
+    collectors: dict[int, HOPCollector]
+    chunk_size: int
 
 
 class StreamingRunner:
@@ -471,12 +651,24 @@ class StreamingRunner:
         Trace packets per chunk; memory scales with this, results never
         depend on it.
     shards:
-        Number of contiguous chunk spans processed in parallel.  Shard
-        ``N-1`` runs in the calling process (it is the one that must replay
-        the whole stream anyway and it accumulates ground truth); shards
-        ``0..N-2`` run on a process pool, and their collector states are
-        merged in stream order before reports are generated — byte-identical
-        to ``shards=1``.
+        Number of contiguous chunk spans processed in parallel.  The
+        coordinator runs one cheap propagation-plan pass (models + holdbacks
+        only — no hashing, no collectors) that also accumulates ground
+        truth, captures a :class:`StreamCheckpoint` at each shard boundary,
+        and dispatches every shard to a process pool the moment its
+        checkpoint exists; workers seek to their boundary and evaluate only
+        their own span.  Collector states merge in stream order before
+        reports are generated — byte-identical to ``shards=1``.
+    checkpoint_every:
+        With ``shards=1``: hand a :class:`RunnerCheckpoint` to
+        ``checkpoint_sink`` after every ``checkpoint_every`` chunks (skipping
+        the final boundary, where finishing beats resuming).
+    checkpoint_sink:
+        Callable receiving those mid-interval checkpoints.
+    resume_from:
+        A previously captured :class:`RunnerCheckpoint` (typically pickled
+        across a process boundary); the run installs its collectors, seeks
+        its stream state, and continues from its chunk boundary.
 
     :meth:`run` returns a :class:`StreamingResult`; afterwards the session's
     receipt bus holds the published reports, exactly as after
@@ -488,6 +680,9 @@ class StreamingRunner:
         setup: StreamingCell | Callable[[], StreamingCell],
         chunk_size: int = DEFAULT_CHUNK_SIZE,
         shards: int = 1,
+        checkpoint_every: int | None = None,
+        checkpoint_sink: Callable[[RunnerCheckpoint], None] | None = None,
+        resume_from: RunnerCheckpoint | None = None,
     ) -> None:
         if chunk_size <= 0:
             raise ValueError(f"chunk_size must be positive, got {chunk_size}")
@@ -498,53 +693,134 @@ class StreamingRunner:
                 "shards > 1 needs a picklable zero-argument setup callable so "
                 "worker processes can rebuild the cell"
             )
+        if checkpoint_every is not None and checkpoint_every <= 0:
+            raise ValueError(
+                f"checkpoint_every must be positive, got {checkpoint_every}"
+            )
+        if shards > 1 and (
+            checkpoint_every is not None
+            or checkpoint_sink is not None
+            or resume_from is not None
+        ):
+            raise ValueError("mid-interval checkpointing requires shards=1")
+        if resume_from is not None and resume_from.chunk_size != chunk_size:
+            raise ValueError(
+                f"resume checkpoint was captured at chunk_size="
+                f"{resume_from.chunk_size}, runner uses {chunk_size}"
+            )
         self._setup = setup
         self.chunk_size = int(chunk_size)
         self.shards = int(shards)
+        self.checkpoint_every = checkpoint_every
+        self._checkpoint_sink = checkpoint_sink
+        self._resume_from = resume_from
 
     def run(self) -> StreamingResult:
         cell = self._setup() if callable(self._setup) else self._setup
-        futures = []
-        pool = None
-        if self.shards > 1:
-            pool = ProcessPoolExecutor(max_workers=self.shards - 1)
-            futures = [
-                pool.submit(
-                    _run_streaming_shard, self._setup, self.chunk_size, self.shards, shard
+        total_chunks = -(-cell.trace.config.packet_count // self.chunk_size)
+        if self.shards == 1:
+            return self._run_single(cell, total_chunks)
+        return self._run_sharded(cell, total_chunks)
+
+    def _run_single(self, cell: StreamingCell, total_chunks: int) -> StreamingResult:
+        session = cell.session
+        resume = self._resume_from
+        start_chunk = 0
+        if resume is not None:
+            # Install the checkpointed collectors *before* wiring digesters,
+            # so predigested chunks land in the caches the restored
+            # collectors actually consult.
+            for agent in session.agents.values():
+                for hop_id in agent.hop_ids:
+                    agent.replace_collector(hop_id, resume.collectors[hop_id])
+            start_chunk = resume.stream.chunk_index
+        collectors = _collectors_by_hop(session)
+        stream = ScenarioStream(
+            cell.scenario,
+            collect_truth=True,
+            predigest=_session_digesters(session),
+        )
+        if resume is not None:
+            stream.seek(resume.stream)
+        for chunk in cell.trace.iter_batches(self.chunk_size, start_chunk=start_chunk):
+            _feed(collectors, stream.push(chunk))
+            if (
+                self._checkpoint_sink is not None
+                and self.checkpoint_every
+                and stream.chunks_pushed < total_chunks
+                and stream.chunks_pushed % self.checkpoint_every == 0
+            ):
+                self._checkpoint_sink(
+                    RunnerCheckpoint(
+                        stream=stream.checkpoint(include_truth=True),
+                        collectors=collectors,
+                        chunk_size=self.chunk_size,
+                    )
                 )
-                for shard in range(self.shards - 1)
-            ]
+        _feed(collectors, stream.flush())
+        reports = session.collect_reports()
+        return StreamingResult(
+            reports=reports,
+            session=session,
+            domain_truth=stream.domain_truth,
+            link_losses=stream.link_losses,
+            chunk_size=self.chunk_size,
+            shards=1,
+            chunks=total_chunks,
+            shard_chunks=(stream.chunks_pushed - start_chunk,),
+        )
 
-        try:
-            collectors = _collectors_by_hop(cell.session)
-            stream = ScenarioStream(
-                cell.scenario,
-                collect_truth=True,
-                predigest=_session_digesters(cell.session),
-            )
-            total_chunks = -(-cell.trace.config.packet_count // self.chunk_size)
-            start = _shard_bounds(total_chunks, self.shards)[self.shards - 1]
-            for index, chunk in enumerate(cell.trace.iter_batches(self.chunk_size)):
-                emissions = stream.push(chunk)
-                if index >= start:
-                    _feed(collectors, emissions)
-            _feed(collectors, stream.flush())
+    def _run_sharded(self, cell: StreamingCell, total_chunks: int) -> StreamingResult:
+        bounds = _shard_bounds(total_chunks, self.shards)
+        # Plan pass: drive propagation (truth included, emissions discarded,
+        # nothing hashed) and dispatch each shard the moment the plan reaches
+        # its boundary, so workers run concurrently with the plan pass.
+        plan_stream = ScenarioStream(cell.scenario, collect_truth=True, predigest=())
+        futures: list = [None] * self.shards
+        with ProcessPoolExecutor(max_workers=self.shards) as pool:
 
-            if futures:
-                _merge_shard_states(
-                    [future.result() for future in futures], collectors, cell.session
+            def dispatch(shard: int, checkpoint: StreamCheckpoint | None) -> None:
+                futures[shard] = pool.submit(
+                    _run_streaming_shard,
+                    self._setup,
+                    self.chunk_size,
+                    bounds[shard],
+                    bounds[shard + 1],
+                    checkpoint,
+                    shard == self.shards - 1,
                 )
-        finally:
-            if pool is not None:
-                pool.shutdown()
 
+            dispatch(0, None)
+            next_shard = 1
+            for chunk in cell.trace.iter_batches(self.chunk_size):
+                plan_stream.push(chunk)
+                while (
+                    next_shard < self.shards
+                    and plan_stream.chunks_pushed == bounds[next_shard]
+                ):
+                    dispatch(next_shard, plan_stream.checkpoint())
+                    next_shard += 1
+            while next_shard < self.shards:
+                # Empty trailing spans (more shards than chunks): they start
+                # at end-of-stream; the last one still owns the flush.
+                dispatch(next_shard, plan_stream.checkpoint())
+                next_shard += 1
+            # Flush only after every checkpoint is captured: packets held
+            # back upstream reach downstream domains' truth accumulators
+            # here, completing the ground truth without touching the
+            # propagation state the shards were dispatched with.
+            plan_stream.flush()
+            shard_results = [future.result() for future in futures]
+
+        _merge_shard_states([state for state, _ in shard_results], cell.session)
         reports = cell.session.collect_reports()
         return StreamingResult(
             reports=reports,
             session=cell.session,
-            domain_truth=stream.domain_truth,
-            link_losses=stream.link_losses,
+            domain_truth=plan_stream.domain_truth,
+            link_losses=plan_stream.link_losses,
             chunk_size=self.chunk_size,
             shards=self.shards,
             chunks=total_chunks,
+            shard_chunks=tuple(evaluated for _, evaluated in shard_results),
         )

@@ -17,13 +17,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.util.rng import make_rng
+from repro.util.rng import RNGStateMixin, make_rng
 from repro.util.validation import check_non_negative
 
 __all__ = ["Clock", "PerfectClock", "ClockModel", "ntp_synchronized_clock"]
 
 
-class Clock:
+class Clock(RNGStateMixin):
     """Base class: a mapping from true time to a HOP's local timestamp."""
 
     def read(self, true_time: float) -> float:

@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.util.rng import make_rng
+from repro.util.rng import RNGStateMixin, make_rng
 from repro.util.validation import check_non_negative, check_positive
 
 __all__ = [
@@ -28,7 +28,7 @@ __all__ = [
 ]
 
 
-class DelayModel:
+class DelayModel(RNGStateMixin):
     """Produces the delay a domain adds to each packet of a sequence.
 
     ``streamable`` declares whether :meth:`delays` may be called on
@@ -38,6 +38,11 @@ class DelayModel:
     models); models that derive delays from the *whole* arrival series at once
     (:class:`CongestionDelayModel`) must set it ``False``, which excludes them
     from the streaming execution engine.
+
+    Streamable models also inherit ``state_snapshot``/``state_restore`` from
+    :class:`~repro.util.rng.RNGStateMixin`; a model with sequential state
+    beyond ``self._rng`` (e.g. :class:`EmpiricalDelayModel`'s replay cursor)
+    must extend both so stream checkpoints capture it.
     """
 
     streamable: bool = True
@@ -117,6 +122,15 @@ class EmpiricalDelayModel(DelayModel):
     def reset(self) -> None:
         """Rewind the replay cursor to the start of the series."""
         self._cursor = 0
+
+    def state_snapshot(self) -> dict:
+        state = super().state_snapshot()
+        state["cursor"] = int(self._cursor)
+        return state
+
+    def state_restore(self, state) -> None:
+        super().state_restore(state)
+        self._cursor = int(state["cursor"])
 
 
 class CongestionDelayModel(DelayModel):

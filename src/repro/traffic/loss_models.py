@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.util.rng import make_rng
+from repro.util.rng import RNGStateMixin, make_rng
 from repro.util.validation import check_probability
 
 __all__ = [
@@ -24,7 +24,7 @@ __all__ = [
 ]
 
 
-class LossModel:
+class LossModel(RNGStateMixin):
     """Decides, packet by packet, whether a packet is dropped.
 
     ``streamable`` declares that consecutive :meth:`drops`/:meth:`drops_batch`
@@ -189,6 +189,15 @@ class GilbertElliottLossModel(LossModel):
 
     def reset(self) -> None:
         self._in_bad_state = False
+
+    def state_snapshot(self) -> dict:
+        state = super().state_snapshot()
+        state["in_bad_state"] = bool(self._in_bad_state)
+        return state
+
+    def state_restore(self, state) -> None:
+        super().state_restore(state)
+        self._in_bad_state = bool(state["in_bad_state"])
 
     def __repr__(self) -> str:
         return (

@@ -274,7 +274,7 @@ class SyntheticTrace:
         plan = self._draw_plan()
         return self._materialize(plan, 0, plan.count)
 
-    def iter_batches(self, chunk_size: int) -> Iterator[PacketBatch]:
+    def iter_batches(self, chunk_size: int, start_chunk: int = 0) -> Iterator[PacketBatch]:
         """Yield the trace as consecutive chunks of at most ``chunk_size``.
 
         The concatenation of the yielded chunks is **bit-identical** to
@@ -284,14 +284,46 @@ class SyntheticTrace:
         drive a scenario in bounded memory while reproducing the batch
         engine's results exactly.
 
+        ``start_chunk`` seeks to a chunk boundary: the iterator yields chunk
+        ``start_chunk`` onward, bit-identical to the tail of a full pass.
+        Seeking only fast-forwards the plan's per-flow sequence counters
+        (a vectorized count over the skipped flow-id prefix) — it never
+        materializes the skipped packets, so a shard starting deep into a
+        long trace pays a small fraction of the replay it would otherwise.
+
         Like :meth:`packet_batch`, this consumes the trace's RNG — use a
         fresh :class:`SyntheticTrace` (same seed) per generation pass.
         """
         if chunk_size <= 0:
             raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        if start_chunk < 0:
+            raise ValueError(f"start_chunk must be >= 0, got {start_chunk}")
         plan = self._draw_plan()
-        for start in range(0, plan.count, chunk_size):
-            yield self._materialize(plan, start, min(start + chunk_size, plan.count))
+        start = min(start_chunk * chunk_size, plan.count)
+        self._advance_flow_counts(plan, start)
+        for chunk_start in range(start, plan.count, chunk_size):
+            yield self._materialize(
+                plan, chunk_start, min(chunk_start + chunk_size, plan.count)
+            )
+
+    @staticmethod
+    def _advance_flow_counts(plan: "_TracePlan", stop: int) -> None:
+        """Advance ``plan.flow_counts`` past packets ``[0, stop)`` unmaterialized.
+
+        Equivalent to the counter updates ``_materialize`` would perform over
+        that prefix, at the cost of one bincount per span.  Spans are bounded
+        so the transient index arrays stay small on multi-million packet
+        plans.
+        """
+        span = 1 << 20
+        for start in range(0, stop, span):
+            flow_ids = plan.flow_ids[start : min(start + span, stop)].astype(np.int64)
+            positions = plan.order[
+                np.searchsorted(plan.sorted_flow_id_index, flow_ids)
+            ]
+            plan.flow_counts += np.bincount(
+                positions, minlength=len(plan.flow_counts)
+            ).astype(np.int64)
 
     def packets(self) -> list[Packet]:
         """Generate the full packet sequence, ordered by send time."""

@@ -1,0 +1,293 @@
+"""Seek-based sharding and mid-interval checkpoints, end to end.
+
+Two contracts from the streaming engine's seekable-state redesign:
+
+* **Zero prefix replay** — a ``shards=N`` run dispatches each worker with a
+  :class:`StreamCheckpoint` at its span boundary, so every worker evaluates
+  *exactly* its own chunk span (``result.shard_chunks`` is the per-worker
+  evaluation counter) while receipts and ground truth stay byte-identical to
+  ``shards=1``.  Holds for the single-path and the mesh runner.
+
+* **Mid-interval campaign resume** — a streaming campaign interval killed
+  between chunk boundaries resumes from its persisted
+  :class:`RunnerCheckpoint` (``<store>/interval.ckpt``) and finishes with a
+  store byte-identical to an uninterrupted run; incompatible checkpoints are
+  discarded and the interval simply reruns.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+from functools import partial
+
+import numpy as np
+import pytest
+
+from repro.api.runner import _build_cell, _build_mesh_cell, run_cell_full
+from repro.api.spec import (
+    CampaignSpec,
+    ConditionSpec,
+    EstimationSpec,
+    ExecutionPolicy,
+    ExperimentSpec,
+    HOPSpec,
+    MeshSpec,
+    PathSpec,
+    ProtocolSpec,
+    TopologySpec,
+    TrafficSpec,
+)
+from repro.engine.campaign import CampaignRunner, interval_record
+from repro.engine.mesh import MeshRunner
+from repro.engine.streaming import StreamingRunner, _shard_bounds
+from repro.reporting.serialization import receipts_digest
+from repro.store import RunStore
+
+CHUNK = 256
+
+_CONDITION = ConditionSpec(
+    delay="jitter",
+    delay_params={"base_delay": 0.8e-3, "jitter_std": 0.3e-3},
+    loss="gilbert-elliott",
+    loss_params={"p": 0.01, "r": 0.2},
+    reordering="window",
+    reordering_params={"window": 0.4e-3, "reorder_probability": 0.15},
+)
+
+
+def _spec(packet_count: int = 1800) -> ExperimentSpec:
+    return ExperimentSpec(
+        name="seek-shard",
+        seed=42,
+        traffic=TrafficSpec(workload="smoke-sequence", packet_count=packet_count),
+        path=PathSpec(conditions={"X": _CONDITION}),
+    )
+
+
+def _assert_truth_equal(truth_a, truth_b) -> None:
+    assert truth_b.lost_packets == truth_a.lost_packets
+    assert truth_b.delivered_packets == truth_a.delivered_packets
+    assert np.array_equal(truth_b.delays(), truth_a.delays())
+
+
+class TestShardedZeroReplay:
+    def test_shards_match_single_and_evaluate_only_their_span(self):
+        spec = _spec()
+        setup = partial(_build_cell, spec.to_dict())
+        single = StreamingRunner(setup, chunk_size=CHUNK).run()
+        sharded = StreamingRunner(setup, chunk_size=CHUNK, shards=3).run()
+
+        # The per-worker evaluation counters equal the balanced span sizes —
+        # seek-based dispatch means no worker replayed a single prefix chunk.
+        bounds = _shard_bounds(single.chunks, 3)
+        spans = tuple(stop - start for start, stop in zip(bounds, bounds[1:]))
+        assert sharded.shard_chunks == spans
+        assert sum(sharded.shard_chunks) == single.chunks
+        assert single.shard_chunks == (single.chunks,)
+
+        assert receipts_digest(sharded.reports) == receipts_digest(single.reports)
+        for name, truth in single.domain_truth.items():
+            _assert_truth_equal(truth, sharded.domain_truth[name])
+        assert sharded.link_losses == single.link_losses
+
+    def test_more_shards_than_chunks(self):
+        spec = _spec(packet_count=600)  # 3 chunks of 256
+        setup = partial(_build_cell, spec.to_dict())
+        single = StreamingRunner(setup, chunk_size=CHUNK).run()
+        sharded = StreamingRunner(setup, chunk_size=CHUNK, shards=5).run()
+        assert single.chunks == 3
+        assert sharded.shard_chunks == (1, 1, 1, 0, 0)
+        assert receipts_digest(sharded.reports) == receipts_digest(single.reports)
+
+    def test_mesh_shards_match_single_and_evaluate_only_their_span(self):
+        spec = MeshSpec(
+            name="seek-shard-mesh",
+            seed=42,
+            topology=TopologySpec(kind="star", params={"path_count": 2}, seed=0),
+            traffic=TrafficSpec(workload="smoke-sequence", packet_count=900),
+            conditions={"X": _CONDITION},
+        )
+        setup = partial(_build_mesh_cell, spec.to_dict())
+        single = MeshRunner(setup, chunk_size=CHUNK).run()
+        sharded = MeshRunner(setup, chunk_size=CHUNK, shards=2).run()
+
+        bounds = _shard_bounds(single.chunks, 2)
+        spans = tuple(stop - start for start, stop in zip(bounds, bounds[1:]))
+        assert sharded.shard_chunks == spans
+        assert single.shard_chunks == (single.chunks,)
+        assert receipts_digest(sharded.reports) == receipts_digest(single.reports)
+        for index, path_truth in enumerate(single.path_truth):
+            for name, truth in path_truth.items():
+                _assert_truth_equal(truth, sharded.path_truth[index][name])
+
+
+class TestPolicyApiParity:
+    def test_policy_equals_legacy_kwargs(self):
+        spec = _spec(packet_count=900)
+        legacy = run_cell_full(spec, engine="streaming", shards=2, chunk_size=CHUNK)
+        declarative = run_cell_full(
+            spec, policy=ExecutionPolicy(engine="streaming", shards=2, chunk_size=CHUNK)
+        )
+        assert declarative.result.to_json() == legacy.result.to_json()
+        assert receipts_digest(declarative.reports) == receipts_digest(legacy.reports)
+
+
+# -- mid-interval campaign checkpoints -------------------------------------------------
+
+
+def _campaign_cell(packet_count: int = 500) -> ExperimentSpec:
+    return ExperimentSpec(
+        name="seek-campaign-cell",
+        seed=17,
+        traffic=TrafficSpec(workload=None, packet_count=packet_count),
+        path=PathSpec(
+            conditions={
+                "X": ConditionSpec(
+                    delay="jitter",
+                    delay_params={"base_delay": 1e-3, "jitter_std": 0.3e-3},
+                    loss="bernoulli",
+                    loss_params={"loss_rate": 0.03},
+                )
+            }
+        ),
+        protocol=ProtocolSpec(
+            default=HOPSpec(sampling_rate=0.2, marker_rate=0.02, aggregate_size=200)
+        ),
+        estimation=EstimationSpec(observer="S", targets=("X",)),
+    )
+
+
+def _campaign_spec(intervals: int = 2) -> CampaignSpec:
+    return CampaignSpec(
+        name="seek-campaign", intervals=intervals, cell=_campaign_cell()
+    )
+
+
+# 500 packets at chunk_size=128 → 4 chunks per interval; checkpoint_every=1
+# fires the sink at chunks 1, 2 and 3 (never at the final boundary).
+CAMPAIGN_CHUNK = 128
+STREAMING_POLICY = ExecutionPolicy(engine="streaming", chunk_size=CAMPAIGN_CHUNK)
+CHECKPOINTING_POLICY = ExecutionPolicy(
+    engine="streaming", chunk_size=CAMPAIGN_CHUNK, checkpoint_every=1
+)
+
+
+class TestMidIntervalCheckpoint:
+    def test_interval_record_resume_is_byte_identical(self):
+        spec = _campaign_spec()
+        reference = interval_record(spec, 0, policy=STREAMING_POLICY)
+
+        blobs: list[bytes] = []
+        checkpointed = interval_record(
+            spec,
+            0,
+            policy=CHECKPOINTING_POLICY,
+            checkpoint_sink=lambda ckpt: blobs.append(pickle.dumps(ckpt)),
+        )
+        assert json.dumps(checkpointed, sort_keys=True) == json.dumps(
+            reference, sort_keys=True
+        )
+        assert len(blobs) == 3
+
+        resumed = interval_record(
+            spec, 0, policy=STREAMING_POLICY, resume_from=pickle.loads(blobs[-1])
+        )
+        assert json.dumps(resumed, sort_keys=True) == json.dumps(
+            reference, sort_keys=True
+        )
+
+    def test_kill_inside_interval_resumes_to_identical_store(self, tmp_path):
+        spec = _campaign_spec()
+        full = RunStore.create(tmp_path / "full", spec)
+        CampaignRunner(spec, full).run()
+
+        part = RunStore.create(tmp_path / "part", spec)
+        killed = CampaignRunner(spec, part, policy=CHECKPOINTING_POLICY)
+        inner_sink = killed._interval_checkpoint_sink(0)
+        calls: list[int] = []
+
+        def killer(checkpoint) -> None:
+            inner_sink(checkpoint)
+            calls.append(1)
+            if len(calls) == 2:
+                raise KeyboardInterrupt  # kill mid-interval, checkpoint durable
+
+        with pytest.raises(KeyboardInterrupt):
+            interval_record(
+                spec, 0, policy=killed.policy, checkpoint_sink=killer
+            )
+        assert part.record_count == 0
+        assert (tmp_path / "part" / CampaignRunner.CHECKPOINT_NAME).exists()
+
+        resumed = CampaignRunner.resume(part, policy=CHECKPOINTING_POLICY)
+        loaded = resumed._load_interval_checkpoint(0)
+        assert loaded is not None and loaded.stream.chunk_index == 2
+        outcome = resumed.run()
+        assert outcome.completed
+
+        # The checkpoint file never survives into the finished store, and the
+        # store bytes match the uninterrupted default-engine run exactly.
+        assert not (tmp_path / "part" / CampaignRunner.CHECKPOINT_NAME).exists()
+        assert (tmp_path / "part" / "records.jsonl").read_bytes() == (
+            tmp_path / "full" / "records.jsonl"
+        ).read_bytes()
+        assert (tmp_path / "part" / "summary.json").read_bytes() == (
+            tmp_path / "full" / "summary.json"
+        ).read_bytes()
+
+    def test_incompatible_checkpoint_is_discarded(self, tmp_path):
+        spec = _campaign_spec()
+        store = RunStore.create(tmp_path / "run", spec)
+        runner = CampaignRunner(spec, store, policy=CHECKPOINTING_POLICY)
+        checkpoint_path = tmp_path / "run" / CampaignRunner.CHECKPOINT_NAME
+        checkpoint_path.write_bytes(b"not a pickle")
+        assert runner._load_interval_checkpoint(0) is None
+        assert not checkpoint_path.exists()
+
+        # A checkpoint for the wrong interval is equally discarded.
+        blobs: list[bytes] = []
+        interval_record(
+            spec,
+            0,
+            policy=CHECKPOINTING_POLICY,
+            checkpoint_sink=lambda ckpt: blobs.append(pickle.dumps(ckpt)),
+        )
+        checkpoint_path.write_bytes(
+            pickle.dumps(
+                {
+                    "spec_hash": spec.spec_hash(),
+                    "interval": 1,
+                    "checkpoint": pickle.loads(blobs[-1]),
+                }
+            )
+        )
+        assert runner._load_interval_checkpoint(0) is None
+        assert not checkpoint_path.exists()
+
+    def test_checkpointing_run_leaves_clean_identical_store(self, tmp_path):
+        spec = _campaign_spec()
+        plain = RunStore.create(tmp_path / "plain", spec)
+        CampaignRunner(spec, plain, policy=STREAMING_POLICY).run()
+        checkpointing = RunStore.create(tmp_path / "ckpt", spec)
+        CampaignRunner(spec, checkpointing, policy=CHECKPOINTING_POLICY).run()
+        assert not (tmp_path / "ckpt" / CampaignRunner.CHECKPOINT_NAME).exists()
+        assert checkpointing.digest() == plain.digest()
+
+    def test_mesh_interval_rejects_mid_interval_checkpointing(self):
+        spec = CampaignSpec(
+            name="seek-mesh-campaign",
+            intervals=1,
+            cell=MeshSpec(
+                seed=11,
+                topology=TopologySpec(kind="star", params={"path_count": 2}, seed=0),
+                traffic=TrafficSpec(workload=None, packet_count=300),
+            ),
+        )
+        with pytest.raises(ValueError, match="single-path streaming"):
+            interval_record(
+                spec,
+                0,
+                policy=ExecutionPolicy(engine="streaming"),
+                checkpoint_sink=lambda ckpt: None,
+            )

@@ -118,6 +118,59 @@ class TestRun:
                   "--shards", "4", "--quiet"])
 
 
+class TestPolicyOption:
+    def test_policy_file_equals_individual_knobs(self, tmp_path, spec_file):
+        from repro.api.spec import ExecutionPolicy
+
+        policy_path = tmp_path / "policy.json"
+        policy_path.write_text(
+            ExecutionPolicy(engine="streaming", chunk_size=128).to_json()
+        )
+        main(["run", str(spec_file), "--run-dir", str(tmp_path / "policy"),
+              "--policy", str(policy_path), "--quiet"])
+        main(["run", str(spec_file), "--run-dir", str(tmp_path / "knobs"),
+              "--engine", "streaming", "--chunk-size", "128", "--quiet"])
+        assert (
+            RunStore.open(tmp_path / "policy").digest()
+            == RunStore.open(tmp_path / "knobs").digest()
+        )
+
+    def test_policy_plus_knobs_rejected(self, tmp_path, spec_file):
+        policy_path = tmp_path / "policy.json"
+        policy_path.write_text('{"engine": "streaming"}')
+        with pytest.raises(SystemExit, match="not both"):
+            main(["run", str(spec_file), "--run-dir", str(tmp_path / "run"),
+                  "--policy", str(policy_path), "--engine", "batch", "--quiet"])
+
+    def test_missing_policy_file_rejected(self, tmp_path, spec_file):
+        with pytest.raises(SystemExit, match="does not exist"):
+            main(["run", str(spec_file), "--run-dir", str(tmp_path / "run"),
+                  "--policy", str(tmp_path / "nope.json"), "--quiet"])
+
+    def test_invalid_policy_file_rejected(self, tmp_path, spec_file):
+        policy_path = tmp_path / "policy.json"
+        policy_path.write_text('{"engine": "warp"}')
+        with pytest.raises(SystemExit, match="cannot load execution policy"):
+            main(["run", str(spec_file), "--run-dir", str(tmp_path / "run"),
+                  "--policy", str(policy_path), "--quiet"])
+
+    def test_checkpoint_every_leaves_clean_identical_store(self, tmp_path, spec_file):
+        main(["run", str(spec_file), "--run-dir", str(tmp_path / "plain"), "--quiet"])
+        main(["run", str(spec_file), "--run-dir", str(tmp_path / "ckpt"),
+              "--engine", "streaming", "--chunk-size", "128",
+              "--checkpoint-every", "1", "--quiet"])
+        assert not (tmp_path / "ckpt" / "interval.ckpt").exists()
+        assert (
+            RunStore.open(tmp_path / "ckpt").digest()
+            == RunStore.open(tmp_path / "plain").digest()
+        )
+
+    def test_checkpoint_every_requires_streaming(self, tmp_path, spec_file):
+        with pytest.raises(SystemExit, match="streaming engine only"):
+            main(["run", str(spec_file), "--run-dir", str(tmp_path / "run"),
+                  "--checkpoint-every", "2", "--quiet"])
+
+
 class TestResumeAndReport:
     def test_kill_resume_byte_identical(self, tmp_path, spec_file, capsys):
         main(["run", str(spec_file), "--run-dir", str(tmp_path / "full"), "--quiet"])

@@ -1,0 +1,156 @@
+"""Unit tests for :class:`ExecutionPolicy` and the shard-span arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.spec import (
+    ConditionSpec,
+    ExecutionPolicy,
+    ExperimentSpec,
+    MeshSpec,
+    PathSpec,
+    TopologySpec,
+    TrafficSpec,
+)
+from repro.engine.streaming import _shard_bounds
+
+
+def _path_spec(engine: str = "batch") -> ExperimentSpec:
+    return ExperimentSpec(
+        traffic=TrafficSpec(workload=None, packet_count=100),
+        path=PathSpec(conditions={"X": ConditionSpec()}),
+        engine=engine,
+    )
+
+
+def _mesh_spec() -> MeshSpec:
+    return MeshSpec(
+        seed=3,
+        topology=TopologySpec(kind="star", params={"path_count": 2}, seed=0),
+        traffic=TrafficSpec(workload=None, packet_count=100),
+    )
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        policy = ExecutionPolicy()
+        assert policy.engine is None
+        assert policy.shards == 1
+        assert policy.chunk_size is None
+        assert policy.throttle == 0.0
+        assert policy.checkpoint_every is None
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine must be"):
+            ExecutionPolicy(engine="warp")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"shards": 0},
+            {"chunk_size": 0},
+            {"throttle": -1.0},
+            {"checkpoint_every": 0},
+        ],
+    )
+    def test_out_of_range_knobs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ExecutionPolicy(engine="streaming", **kwargs)
+
+    def test_checkpointing_needs_single_shard(self):
+        with pytest.raises(ValueError, match="requires shards=1"):
+            ExecutionPolicy(engine="streaming", shards=2, checkpoint_every=4)
+
+    @pytest.mark.parametrize(
+        "kwargs", [{"shards": 2}, {"chunk_size": 64}, {"checkpoint_every": 2}]
+    )
+    def test_streaming_knobs_rejected_on_explicit_batch(self, kwargs):
+        with pytest.raises(ValueError, match="use engine='streaming'"):
+            ExecutionPolicy(engine="batch", **kwargs)
+
+    def test_streaming_knobs_allowed_when_engine_deferred(self):
+        # engine=None defers the decision to bind(); the knobs stay legal
+        # until the effective engine turns out not to be streaming.
+        policy = ExecutionPolicy(shards=4, chunk_size=64)
+        assert policy.bind(_path_spec(engine="streaming")).engine == "streaming"
+        with pytest.raises(ValueError, match="does not support shards"):
+            policy.bind(_path_spec(engine="batch"))
+
+
+class TestCoerce:
+    def test_kwargs_build_a_policy(self):
+        policy = ExecutionPolicy.coerce(None, engine="streaming", shards=3)
+        assert policy == ExecutionPolicy(engine="streaming", shards=3)
+
+    def test_ready_policy_passes_through(self):
+        policy = ExecutionPolicy(engine="streaming")
+        assert ExecutionPolicy.coerce(policy) is policy
+
+    def test_policy_plus_kwargs_is_ambiguous(self):
+        with pytest.raises(ValueError, match="not both"):
+            ExecutionPolicy.coerce(ExecutionPolicy(), shards=2)
+
+    def test_non_policy_rejected(self):
+        with pytest.raises(ValueError, match="must be an ExecutionPolicy"):
+            ExecutionPolicy.coerce({"engine": "batch"})
+
+
+class TestBind:
+    def test_fills_engine_from_spec(self):
+        bound = ExecutionPolicy().bind(_path_spec(engine="scalar"))
+        assert bound.engine == "scalar"
+
+    def test_explicit_engine_wins(self):
+        bound = ExecutionPolicy(engine="streaming").bind(_path_spec(engine="batch"))
+        assert bound.engine == "streaming"
+
+    def test_mesh_has_no_scalar_engine(self):
+        with pytest.raises(ValueError, match="no scalar engine"):
+            ExecutionPolicy(engine="scalar").bind(_mesh_spec())
+
+    def test_mesh_rejects_mid_interval_checkpointing(self):
+        with pytest.raises(ValueError, match="interval boundaries"):
+            ExecutionPolicy(engine="streaming", checkpoint_every=2).bind(_mesh_spec())
+
+
+class TestRoundTrip:
+    def test_json_round_trip_is_identity(self):
+        policy = ExecutionPolicy(
+            engine="streaming", shards=1, chunk_size=512, throttle=0.5,
+            checkpoint_every=8,
+        )
+        assert ExecutionPolicy.from_json(policy.to_json()) == policy
+        assert ExecutionPolicy.from_dict(policy.to_dict()) == policy
+
+    def test_json_is_byte_stable(self):
+        assert ExecutionPolicy().to_json() == ExecutionPolicy().to_json()
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError):
+            ExecutionPolicy.from_dict({"engine": "batch", "workers": 4})
+
+    def test_with_overrides(self):
+        policy = ExecutionPolicy(engine="streaming").with_overrides({"shards": 4})
+        assert policy.shards == 4
+        assert policy.engine == "streaming"
+
+
+class TestShardBounds:
+    def test_even_split(self):
+        assert _shard_bounds(8, 4) == [0, 2, 4, 6, 8]
+
+    def test_remainder_goes_to_first_shards(self):
+        assert _shard_bounds(10, 4) == [0, 3, 6, 8, 10]
+
+    def test_more_shards_than_chunks_leaves_empty_tail_spans(self):
+        assert _shard_bounds(2, 4) == [0, 1, 2, 2, 2]
+
+    @pytest.mark.parametrize("total", [1, 5, 17, 100])
+    @pytest.mark.parametrize("shards", [1, 2, 3, 7])
+    def test_spans_are_balanced_and_cover_everything(self, total, shards):
+        bounds = _shard_bounds(total, shards)
+        spans = [stop - start for start, stop in zip(bounds, bounds[1:])]
+        assert bounds[0] == 0 and bounds[-1] == total
+        assert len(spans) == shards
+        assert max(spans) - min(spans) <= 1

@@ -132,6 +132,44 @@ class TestSyntheticTrace:
             TraceConfig(payload_bytes=-1)
 
 
+class TestTraceSeek:
+    """``iter_batches(start_chunk=k)`` — the trace side of shard seeking."""
+
+    _COLUMNS = (
+        "src_ip", "dst_ip", "src_port", "dst_port", "protocol",
+        "ip_id", "length", "uid", "send_time", "flow_id",
+    )
+
+    def test_start_chunk_yields_bitwise_identical_suffix(self):
+        config = TraceConfig(packet_count=1000, arrival_process="mmpp")
+        full = list(SyntheticTrace(config=config, seed=11).iter_batches(128))
+        for start in (0, 1, 3, len(full)):
+            suffix = list(
+                SyntheticTrace(config=config, seed=11).iter_batches(
+                    128, start_chunk=start
+                )
+            )
+            assert len(suffix) == len(full) - start
+            for expected, actual in zip(full[start:], suffix):
+                for column in self._COLUMNS:
+                    assert np.array_equal(
+                        getattr(actual, column), getattr(expected, column)
+                    ), column
+                assert np.array_equal(actual.payload, expected.payload)
+
+    def test_start_chunk_past_the_end_yields_nothing(self):
+        config = TraceConfig(packet_count=300)
+        chunks = list(
+            SyntheticTrace(config=config, seed=12).iter_batches(128, start_chunk=99)
+        )
+        assert chunks == []
+
+    def test_negative_start_chunk_rejected(self):
+        trace = SyntheticTrace(config=TraceConfig(packet_count=300), seed=13)
+        with pytest.raises(ValueError, match="start_chunk"):
+            list(trace.iter_batches(128, start_chunk=-1))
+
+
 class TestWorkloads:
     def test_known_workloads_materialize(self):
         trace = make_workload("smoke-sequence", seed=1)
