@@ -1,7 +1,8 @@
 """Package metadata for the VPM reproduction.
 
 Installs the ``repro`` package from ``src/`` and the ``repro`` console script
-(campaign run/resume/report + golden-fixture regeneration).  The ``dev``
+(campaign run/resume/report/list, the ``repro serve`` measurement service,
+and golden-fixture regeneration).  The ``dev``
 extra pins the tooling CI uses (pytest + benchmark/hypothesis plugins and
 ruff) so ``pip install -e ".[dev]"`` reproduces the exact environment of
 ``.github/workflows/ci.yml`` locally.
@@ -11,13 +12,14 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro-vpm",
-    version="1.2.0",
+    version="1.3.0",
     description=(
         "Reproduction of 'Verifiable network-performance measurements' "
         "(ArgyrakiMS10): HOP receipts, bias-resistant delay sampling and "
         "tunable aggregation, with a vectorized batch fast path, a "
-        "declarative experiment API, and checkpointable long-horizon "
-        "campaigns with a durable run store"
+        "declarative experiment API, checkpointable long-horizon "
+        "campaigns with a durable run store, and a stdlib-only measurement "
+        "service (REST API, crash-safe job queue, browser dashboard)"
     ),
     package_dir={"": "src"},
     packages=find_packages("src"),

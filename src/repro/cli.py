@@ -10,7 +10,13 @@ The CLI covers that whole lifecycle plus the repo's golden-fixture workflow:
   completed interval; the finished store is byte-identical to an
   uninterrupted run, whatever engine either invocation used.
 * ``repro report runs/<id>`` — the campaign SLA verdict table (per-interval
-  history + campaign-level pooled statistics and verdicts).
+  history + campaign-level pooled statistics and verdicts); ``--json`` emits
+  the byte-stable machine-readable report the service API and dashboard
+  consume (:func:`repro.service.report.run_report`).
+* ``repro list [--runs-dir]`` — every run store under a root, with progress
+  and campaign SLA verdicts (the same scan the service's ``RunIndex`` uses).
+* ``repro serve`` — the measurement service: HTTP API + job queue + browser
+  dashboard over a store root (see :mod:`repro.service`).
 * ``repro regen-goldens`` — regenerate the conformance golden fixtures, or
   (``--check``) regenerate into a scratch directory and diff against the
   committed ones, failing with a readable diff on drift.
@@ -36,8 +42,14 @@ from pathlib import Path
 from typing import Any, NoReturn, Sequence
 
 from repro.api.spec import CampaignSpec, ExecutionPolicy, MeshSpec
-from repro.engine.campaign import CampaignAccumulator, CampaignRunner
-from repro.store import RunStore, RunStoreError
+from repro.engine.campaign import (
+    CampaignAccumulator,
+    CampaignEvent,
+    CampaignRunner,
+    CheckpointWritten,
+    IntervalCommitted,
+)
+from repro.store import RunStore, RunStoreError, stable_json
 
 __all__ = ["main"]
 
@@ -172,7 +184,16 @@ def _drive(runner: CampaignRunner, args: argparse.Namespace, store: RunStore) ->
     spec = runner.spec
     throttle = runner.policy.throttle
 
-    def progress(record: dict[str, Any]) -> None:
+    def progress(event: CampaignEvent) -> None:
+        if not isinstance(event, IntervalCommitted):
+            if isinstance(event, CheckpointWritten) and not args.quiet:
+                print(
+                    f"  checkpoint: interval {event.interval + 1} at chunk "
+                    f"{event.chunk_index}",
+                    flush=True,
+                )
+            return
+        record = event.record
         if throttle > 0:
             # The record is already durably checkpointed; sleeping here gives
             # a kill signal a deterministic window between intervals.
@@ -193,7 +214,7 @@ def _drive(runner: CampaignRunner, args: argparse.Namespace, store: RunStore) ->
         )
 
     try:
-        outcome = runner.run(max_intervals=args.max_intervals, on_interval=progress)
+        outcome = runner.run(max_intervals=args.max_intervals, on_event=progress)
     except KeyboardInterrupt:
         print(
             f"\ninterrupted after {runner.next_interval} completed interval(s); "
@@ -354,7 +375,65 @@ def _cmd_report(args: argparse.Namespace) -> int:
         store = RunStore.open(args.run_dir)
     except RunStoreError as exc:
         _fail(str(exc))
+    if args.json:
+        from repro.service.report import run_report
+
+        # stable_json makes the emitted bytes a pure function of the store:
+        # CI, the dashboard and scripts all diff this exact serialization.
+        print(stable_json(run_report(store)))
+        return 0
     _print_report(store)
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    from repro.service.index import RunIndex
+
+    root = Path(args.runs_dir)
+    entries = RunIndex(root).entries()
+    if args.json:
+        print(stable_json({"runs": [entry.to_dict() for entry in entries]}))
+        return 0
+    if not entries:
+        print(f"no run stores under {root}")
+        return 0
+    rows = [
+        (
+            entry.run_id,
+            entry.name,
+            f"{entry.completed}/{entry.intervals}",
+            "complete" if entry.complete else "in progress",
+            {True: "COMPLIANT", False: "IN VIOLATION", None: "-"}[
+                entry.sla_compliant
+            ],
+            entry.spec_hash[:12],
+        )
+        for entry in entries
+    ]
+    print(
+        _format_table(
+            ("run", "campaign", "intervals", "state", "sla verdict", "spec hash"),
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.app import serve
+
+    if args.port < 0 or args.port > 65535:
+        _fail(f"--port must be in [0, 65535], got {args.port}")
+    if args.workers < 1:
+        _fail(f"--workers must be >= 1, got {args.workers}")
+    serve(
+        store_root=args.store_root,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        execution=args.execution,
+        quiet=args.quiet,
+    )
     return 0
 
 
@@ -493,7 +572,60 @@ def build_parser() -> argparse.ArgumentParser:
         "report", help="print the campaign SLA verdict table for a run store"
     )
     report_parser.add_argument("run_dir", help="the run-store directory")
+    report_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the byte-stable machine-readable report (the same "
+        "serialization the service API and dashboard consume)",
+    )
     report_parser.set_defaults(handler=_cmd_report)
+
+    list_parser = commands.add_parser(
+        "list", help="list every run store under a runs directory"
+    )
+    list_parser.add_argument(
+        "--runs-dir",
+        default="runs",
+        help="directory holding run stores (default: ./runs)",
+    )
+    list_parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    list_parser.set_defaults(handler=_cmd_list)
+
+    serve_parser = commands.add_parser(
+        "serve",
+        help="run the measurement service (HTTP API + job queue + dashboard) "
+        "over a store root",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=8642, help="bind port (default: 8642; 0 = ephemeral)"
+    )
+    serve_parser.add_argument(
+        "--store-root",
+        default="runs",
+        help="directory holding run stores (default: ./runs; created if missing)",
+    )
+    serve_parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="concurrent campaign workers (default: 2)",
+    )
+    serve_parser.add_argument(
+        "--execution",
+        choices=("subprocess", "inprocess"),
+        default="subprocess",
+        help="run campaigns as kill-safe `repro resume` subprocesses (default) "
+        "or in worker threads",
+    )
+    serve_parser.add_argument(
+        "--quiet", action="store_true", help="suppress the startup banner"
+    )
+    serve_parser.set_defaults(handler=_cmd_serve)
 
     regen_parser = commands.add_parser(
         "regen-goldens",

@@ -25,8 +25,12 @@ byte-identically.
 
 from repro.engine.campaign import (
     CampaignAccumulator,
+    CampaignEvent,
     CampaignRunner,
     CampaignRunOutcome,
+    CheckpointWritten,
+    IntervalCommitted,
+    RunComplete,
     interval_record,
 )
 from repro.engine.checkpoint import StreamCheckpoint
@@ -49,11 +53,15 @@ from repro.engine.streaming import (
 __all__ = [
     "DEFAULT_CHUNK_SIZE",
     "CampaignAccumulator",
+    "CampaignEvent",
     "CampaignRunOutcome",
     "CampaignRunner",
+    "CheckpointWritten",
+    "IntervalCommitted",
     "MeshCell",
     "MeshRunner",
     "MeshStreamingResult",
+    "RunComplete",
     "RunnerCheckpoint",
     "ScenarioStream",
     "StreamCheckpoint",

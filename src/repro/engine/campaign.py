@@ -33,6 +33,7 @@ import hashlib
 import os
 import pickle
 import time
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable, Mapping, NamedTuple, Sequence
 
@@ -54,12 +55,49 @@ from repro.store import RunStore
 
 __all__ = [
     "CampaignAccumulator",
+    "CampaignEvent",
     "CampaignRunner",
     "CampaignRunOutcome",
+    "CheckpointWritten",
+    "IntervalCommitted",
+    "RunComplete",
     "interval_record",
 ]
 
 RECORD_VERSION = 1
+
+
+@dataclass(frozen=True)
+class IntervalCommitted:
+    """Interval ``interval`` finished and its record is durably in the store."""
+
+    interval: int
+    intervals: int
+    record: Mapping[str, Any]
+
+
+@dataclass(frozen=True)
+class CheckpointWritten:
+    """A mid-interval stream checkpoint landed at a chunk boundary."""
+
+    interval: int
+    intervals: int
+    chunk_index: int
+
+
+@dataclass(frozen=True)
+class RunComplete:
+    """The campaign's final interval committed and the summary was written."""
+
+    intervals: int
+    summary: Mapping[str, Any]
+
+
+#: Everything a campaign run can report while it executes.  Consumers match on
+#: the concrete type; the union exists so a sink can be typed once and handed
+#: to any driver (the CLI's progress printer and the measurement service's job
+#: event log both consume exactly this stream).
+CampaignEvent = IntervalCommitted | CheckpointWritten | RunComplete
 
 
 def _matched_delays(verifier: Verifier, path: HOPPath, domain: str) -> np.ndarray:
@@ -463,6 +501,7 @@ class CampaignRunner:
         ):  # pragma: no cover - bind() already rejects this
             raise ValueError("mid-interval checkpointing needs a single-path cell")
         self._memory_records: list[dict[str, Any]] = []
+        self._event_sink: Callable[[CampaignEvent], None] | None = None
         existing = store.records() if store is not None else []
         self.accumulator = CampaignAccumulator.from_records(self.spec, existing)
 
@@ -572,6 +611,13 @@ class CampaignRunner:
                 handle.flush()
                 os.fsync(handle.fileno())
             os.replace(scratch, path)
+            self._emit(
+                CheckpointWritten(
+                    interval=index,
+                    intervals=self.spec.intervals,
+                    chunk_index=checkpoint.stream.chunk_index,
+                )
+            )
             if throttle > 0:
                 # The checkpoint is durable; sleeping here gives a kill
                 # signal a deterministic window at every chunk boundary.
@@ -596,6 +642,10 @@ class CampaignRunner:
 
     # -- execution ---------------------------------------------------------------------
 
+    def _emit(self, event: CampaignEvent) -> None:
+        if self._event_sink is not None:
+            self._event_sink(event)
+
     def run_interval(self, index: int) -> dict[str, Any]:
         """Execute one interval, persist its record, fold it; returns the record."""
         if index != self.next_interval:
@@ -619,34 +669,57 @@ class CampaignRunner:
         if self.store is None:
             self._memory_records.append(record)
         self.accumulator.fold(record)
+        self._emit(
+            IntervalCommitted(
+                interval=index, intervals=self.spec.intervals, record=record
+            )
+        )
         return record
 
     def run(
         self,
         max_intervals: int | None = None,
         on_interval: Callable[[dict[str, Any]], None] | None = None,
+        on_event: Callable[[CampaignEvent], None] | None = None,
     ) -> CampaignRunOutcome:
         """Run remaining intervals (up to ``max_intervals``) with checkpoints.
 
         On completion the campaign summary is written to the store.  The
         runner may be killed at any point; a later :meth:`resume` continues
         from the last completed interval.
+
+        ``on_event`` receives the typed :data:`CampaignEvent` stream —
+        :class:`IntervalCommitted` after each durable interval append,
+        :class:`CheckpointWritten` at every persisted mid-interval chunk
+        boundary, :class:`RunComplete` once the summary lands.  Every event
+        fires *after* its state is durable, so a consumer that dies inside a
+        handler never observes progress the store does not hold.
+        ``on_interval`` is the older record-only hook and is equivalent to
+        matching :class:`IntervalCommitted` and taking ``.record``.
         """
         if max_intervals is not None and max_intervals < 0:
             raise ValueError(f"max_intervals must be >= 0, got {max_intervals}")
-        ran = 0
-        while not self.completed:
-            if max_intervals is not None and ran >= max_intervals:
-                break
-            record = self.run_interval(self.next_interval)
-            ran += 1
-            if on_interval is not None:
-                on_interval(record)
-        summary = None
-        if self.completed:
-            summary = self.accumulator.summary()
-            if self.store is not None and self.store.summary() != summary:
-                self.store.write_summary(summary)
+        previous_sink = self._event_sink
+        self._event_sink = on_event
+        try:
+            ran = 0
+            while not self.completed:
+                if max_intervals is not None and ran >= max_intervals:
+                    break
+                record = self.run_interval(self.next_interval)
+                ran += 1
+                if on_interval is not None:
+                    on_interval(record)
+            summary = None
+            if self.completed:
+                summary = self.accumulator.summary()
+                if self.store is not None and self.store.summary() != summary:
+                    self.store.write_summary(summary)
+                self._emit(
+                    RunComplete(intervals=self.spec.intervals, summary=summary)
+                )
+        finally:
+            self._event_sink = previous_sink
         return CampaignRunOutcome(
             completed=self.completed,
             intervals_run=ran,

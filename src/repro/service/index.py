@@ -1,0 +1,208 @@
+"""A lightweight index over every run store under one root.
+
+The service's run-listing endpoints and ``repro list`` both need to answer
+"what runs exist, how far along is each, and what did they conclude?" across
+a store root that live campaigns are writing into *right now*.  Opening every
+store and re-folding every record per request would be quadratic in campaign
+length, so :class:`RunIndex` keeps a per-run cache keyed on the cheap
+observables that change when (and only when) a store changes:
+
+* ``spec.json`` is written once, atomically, at creation — parse it once and
+  cache forever.
+* a record commits by appending exactly one newline to ``records.jsonl`` —
+  the committed-record count *is* the newline count, torn tails included,
+  so progress is one ``read_bytes`` + ``count`` without JSON parsing.
+* ``summary.json`` appears (atomically) exactly once, at completion.
+
+Everything tolerates in-flight writers and foreign directories: a child that
+is not a run store (no ``spec.json``), or whose spec does not parse, is
+skipped — scanning must never take the service down because someone dropped a
+scratch directory into the root.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from repro.service.report import overall_sla
+from repro.store import RunStore, RunStoreError
+from repro.store.runstore import RECORDS_FILE, SPEC_FILE, SUMMARY_FILE
+
+__all__ = ["RunEntry", "RunIndex", "validate_run_id"]
+
+
+def validate_run_id(run_id: str) -> str:
+    """A run id is a single store-root child name, never a path.
+
+    Everything the HTTP layer resolves against the store root goes through
+    here, so a request cannot escape the root with ``..`` or separators.
+    """
+    if (
+        not run_id
+        or run_id in (".", "..")
+        or "/" in run_id
+        or "\\" in run_id
+        or "\x00" in run_id
+    ):
+        raise ValueError(f"invalid run id {run_id!r}")
+    return run_id
+
+
+@dataclass(frozen=True)
+class RunEntry:
+    """One run's indexed metadata (see :class:`RunIndex` for freshness)."""
+
+    run_id: str
+    name: str
+    spec_hash: str
+    intervals: int
+    completed: int
+    complete: bool
+    sla_compliant: bool | None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "run": self.run_id,
+            "name": self.name,
+            "spec_hash": self.spec_hash,
+            "intervals": {
+                "total": self.intervals,
+                "completed": self.completed,
+                "complete": self.complete,
+            },
+            "sla_compliant": self.sla_compliant,
+        }
+
+
+@dataclass
+class _CacheSlot:
+    """What we remember about one run dir between scans."""
+
+    name: str
+    spec_hash: str
+    intervals: int
+    records_size: int
+    has_summary: bool
+    entry: RunEntry
+
+
+class RunIndex:
+    """Scan/caching layer over :meth:`repro.store.RunStore.list_runs`."""
+
+    def __init__(self, root: Path | str) -> None:
+        self.root = Path(root)
+        self._cache: dict[str, _CacheSlot] = {}
+
+    # -- scanning ----------------------------------------------------------------------
+
+    def _spec_header(self, run_dir: Path) -> tuple[str, str, int] | None:
+        """(name, spec_hash, intervals) from ``spec.json``, or None if foreign."""
+        try:
+            payload = json.loads((run_dir / SPEC_FILE).read_text())
+            spec = payload["spec"]
+            return (str(spec["name"]), str(payload["spec_hash"]), int(spec["intervals"]))
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def _observe(self, run_dir: Path) -> RunEntry | None:
+        """The current entry for one run dir, reusing the cache when fresh."""
+        run_id = run_dir.name
+        records_path = run_dir / RECORDS_FILE
+        try:
+            records_size = records_path.stat().st_size
+        except OSError:
+            records_size = 0
+        has_summary = (run_dir / SUMMARY_FILE).exists()
+
+        slot = self._cache.get(run_id)
+        if (
+            slot is not None
+            and slot.records_size == records_size
+            and slot.has_summary == has_summary
+        ):
+            return slot.entry
+
+        header = self._spec_header(run_dir)
+        if header is None:
+            self._cache.pop(run_id, None)
+            return None
+        name, spec_hash, intervals = header
+        # A record commits with its newline; a torn tail has none, so the
+        # newline count equals the committed-record count without parsing.
+        completed = 0
+        if records_size:
+            try:
+                completed = records_path.read_bytes().count(b"\n")
+            except OSError:
+                completed = 0
+        summary = None
+        if has_summary:
+            try:
+                summary = json.loads((run_dir / SUMMARY_FILE).read_text())
+            except (OSError, ValueError):
+                summary = None
+        entry = RunEntry(
+            run_id=run_id,
+            name=name,
+            spec_hash=spec_hash,
+            intervals=intervals,
+            completed=completed,
+            complete=completed >= intervals,
+            sla_compliant=overall_sla(summary),
+        )
+        self._cache[run_id] = _CacheSlot(
+            name=name,
+            spec_hash=spec_hash,
+            intervals=intervals,
+            records_size=records_size,
+            has_summary=has_summary,
+            entry=entry,
+        )
+        return entry
+
+    def entries(
+        self,
+        name: str | None = None,
+        complete: bool | None = None,
+        sla_compliant: bool | None = None,
+        spec_hash: str | None = None,
+    ) -> list[RunEntry]:
+        """Every indexed run under the root, filtered, sorted by run id."""
+        live: set[str] = set()
+        entries: list[RunEntry] = []
+        for run_dir in RunStore.list_runs(self.root):
+            entry = self._observe(run_dir)
+            if entry is None:
+                continue
+            live.add(entry.run_id)
+            if name is not None and entry.name != name:
+                continue
+            if complete is not None and entry.complete != complete:
+                continue
+            if sla_compliant is not None and entry.sla_compliant != sla_compliant:
+                continue
+            if spec_hash is not None and not entry.spec_hash.startswith(spec_hash):
+                continue
+            entries.append(entry)
+        # Deleted runs must not linger in the cache (or in later scans).
+        for stale in set(self._cache) - live:
+            self._cache.pop(stale, None)
+        return entries
+
+    # -- single-run access -------------------------------------------------------------
+
+    def entry(self, run_id: str) -> RunEntry | None:
+        run_dir = self.root / validate_run_id(run_id)
+        if not (run_dir / SPEC_FILE).is_file():
+            return None
+        return self._observe(run_dir)
+
+    def store(self, run_id: str) -> RunStore:
+        """Open one run's store (full validation), by id."""
+        run_dir = self.root / validate_run_id(run_id)
+        if not (run_dir / SPEC_FILE).is_file():
+            raise RunStoreError(f"no run {run_id!r} under {self.root}")
+        return RunStore.open(run_dir)

@@ -1,0 +1,88 @@
+"""Machine-readable campaign run reports.
+
+One serialization, three consumers: ``repro report --json`` prints it, the
+service's ``GET /api/runs/<id>/report`` endpoint serves it, and the browser
+dashboard renders it.  The payload is a pure function of the store's committed
+bytes (records are re-folded through
+:class:`~repro.engine.campaign.CampaignAccumulator`, never trusted from
+``summary.json`` alone), and serializing it with
+:func:`~repro.store.stable_json` is byte-stable — two equal stores report
+identical bytes, so CI can diff reports the way it diffs stores.
+
+The per-interval rows deliberately omit ``delay_samples`` (the raw pooled
+sample payload, by far the largest field in a record): a report answers "what
+were the verdicts and estimates", and a consumer that wants the raw samples
+reads the records endpoint or the store itself.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.engine.campaign import CampaignAccumulator
+from repro.store import RunStore
+
+__all__ = ["REPORT_VERSION", "run_report"]
+
+REPORT_VERSION = 1
+
+#: Record fields surfaced per interval (everything but the bulk samples).
+_INTERVAL_FIELDS = (
+    "interval",
+    "seed",
+    "receipts_digest",
+    "result_digest",
+    "estimates",
+    "verdicts",
+)
+
+
+def overall_sla(summary: dict[str, Any] | None) -> bool | None:
+    """Fold per-domain SLA verdicts into one campaign answer.
+
+    ``False`` if any domain is in violation, ``True`` if every domain with a
+    verdict is compliant (and at least one has one), ``None`` when no domain
+    carries a verdict (no SLA contracted) or there is no summary yet.
+    """
+    if summary is None:
+        return None
+    verdicts = [
+        entry.get("sla_compliant")
+        for entry in summary.get("domains", {}).values()
+        if entry.get("sla_compliant") is not None
+    ]
+    if not verdicts:
+        return None
+    return all(verdicts)
+
+
+def run_report(store: RunStore) -> dict[str, Any]:
+    """The complete machine-readable report for one run store."""
+    spec = store.spec()
+    records = store.records()
+    accumulator = CampaignAccumulator.from_records(spec, records)
+    summary = accumulator.summary()
+    persisted = store.summary()
+    return {
+        "version": REPORT_VERSION,
+        "run": store.path.name,
+        "name": spec.name,
+        "spec_hash": store.spec_hash,
+        "intervals": {
+            "total": spec.intervals,
+            "completed": len(records),
+            "complete": len(records) >= spec.intervals,
+        },
+        "sla": spec.sla.to_dict() if spec.sla is not None else None,
+        "sla_compliant": overall_sla(summary) if records else None,
+        "records": [
+            {field: record[field] for field in _INTERVAL_FIELDS}
+            for record in records
+        ],
+        "summary": summary if records else None,
+        # None until completion writes summary.json; thereafter a mismatch
+        # means the store was edited (the CLI warns on exactly this).
+        "summary_matches_store": (
+            None if persisted is None else persisted == summary
+        ),
+    }

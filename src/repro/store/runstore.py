@@ -117,6 +117,29 @@ class RunStore:
         return cls(path, payload)
 
     @classmethod
+    def list_runs(cls, root: Path | str) -> list[Path]:
+        """Every run-store directory directly under ``root``, sorted by name.
+
+        The scan is deliberately tolerant: a store root is a live directory
+        with campaigns being written into it at any moment, so a child that
+        is not (yet) a run store — a scratch directory, a store whose
+        ``spec.json`` has not landed — is simply skipped rather than raised
+        on.  Opening (and validating) an individual run stays :meth:`open`'s
+        job; this helper only answers "which directories hold runs?", the
+        question both the service's ``RunIndex`` and ``repro list`` ask.
+        """
+        root = Path(root)
+        if not root.exists():
+            return []
+        if not root.is_dir():
+            raise RunStoreError(f"store root {root} is not a directory")
+        runs = []
+        for child in sorted(root.iterdir()):
+            if child.is_dir() and (child / SPEC_FILE).is_file():
+                runs.append(child)
+        return runs
+
+    @classmethod
     def open(cls, path: Path | str) -> "RunStore":
         """Open an existing store, validating format version and spec hash."""
         path = Path(path)

@@ -231,3 +231,56 @@ class TestResumeAndReport:
         capsys.readouterr()
         assert main(["report", str(tmp_path / "part")]) == 0
         assert "1/3 intervals" in capsys.readouterr().out
+
+    def test_report_json_is_byte_stable(self, tmp_path, spec_file, capsys):
+        from repro.service.report import run_report
+        from repro.store import stable_json
+
+        main(["run", str(spec_file), "--run-dir", str(tmp_path / "run"), "--quiet"])
+        capsys.readouterr()
+        assert main(["report", str(tmp_path / "run"), "--json"]) == 0
+        first = capsys.readouterr().out
+        assert main(["report", str(tmp_path / "run"), "--json"]) == 0
+        second = capsys.readouterr().out
+        # Byte-stable machine-readable output: repeated invocations emit the
+        # identical bytes, and they are exactly the service's report payload.
+        assert first == second
+        payload = json.loads(first)
+        assert first == stable_json(run_report(RunStore.open(tmp_path / "run"))) + "\n"
+        assert payload["intervals"] == {"total": 3, "completed": 3, "complete": True}
+        assert payload["summary_matches_store"] is True
+        assert "delay_samples" not in payload["records"][0]
+
+
+class TestListCommand:
+    def test_list_table_and_json(self, tmp_path, spec, spec_file, capsys):
+        runs = tmp_path / "runs"
+        main(["run", str(spec_file), "--runs-dir", str(runs), "--quiet"])
+        main(["run", str(spec_file), "--run-dir", str(runs / "partial"),
+              "--max-intervals", "1", "--quiet"])
+        capsys.readouterr()
+
+        assert main(["list", "--runs-dir", str(runs)]) == 0
+        out = capsys.readouterr().out
+        assert f"cli-test-{spec.spec_hash()[:10]}" in out
+        assert "partial" in out
+        assert "complete" in out and "in progress" in out
+
+        assert main(["list", "--runs-dir", str(runs), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [entry["run"] for entry in payload["runs"]] == sorted(
+            entry["run"] for entry in payload["runs"]
+        )
+        by_run = {entry["run"]: entry for entry in payload["runs"]}
+        assert by_run["partial"]["intervals"] == {
+            "total": 3,
+            "completed": 1,
+            "complete": False,
+        }
+        full = by_run[f"cli-test-{spec.spec_hash()[:10]}"]
+        assert full["intervals"]["complete"] is True
+        assert full["sla_compliant"] is True
+
+    def test_list_empty_root(self, tmp_path, capsys):
+        assert main(["list", "--runs-dir", str(tmp_path / "nothing")]) == 0
+        assert "no run stores" in capsys.readouterr().out

@@ -1,0 +1,152 @@
+"""Unit tests for the multi-run scan (`RunStore.list_runs`) and `RunIndex`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.spec import (
+    CampaignSpec,
+    ConditionSpec,
+    ExperimentSpec,
+    HOPSpec,
+    PathSpec,
+    ProtocolSpec,
+    SLATargetSpec,
+    TrafficSpec,
+)
+from repro.engine.campaign import CampaignRunner
+from repro.service.index import RunIndex, validate_run_id
+from repro.store import RunStore, RunStoreError
+
+
+def _spec(name: str = "index-test", intervals: int = 2, sla: bool = True) -> CampaignSpec:
+    return CampaignSpec(
+        name=name,
+        intervals=intervals,
+        cell=ExperimentSpec(
+            seed=31,
+            traffic=TrafficSpec(workload=None, packet_count=300),
+            path=PathSpec(
+                conditions={
+                    "X": ConditionSpec(
+                        delay="jitter",
+                        delay_params={"base_delay": 1e-3, "jitter_std": 0.2e-3},
+                    )
+                }
+            ),
+            protocol=ProtocolSpec(
+                default=HOPSpec(sampling_rate=0.2, marker_rate=0.02, aggregate_size=150)
+            ),
+        ),
+        sla=(
+            SLATargetSpec(delay_bound=10e-3, delay_quantile=0.9, loss_bound=0.05)
+            if sla
+            else None
+        ),
+    )
+
+
+class TestListRuns:
+    def test_missing_root_is_empty(self, tmp_path):
+        assert RunStore.list_runs(tmp_path / "nowhere") == []
+
+    def test_non_directory_root_rejected(self, tmp_path):
+        target = tmp_path / "file"
+        target.write_text("x")
+        with pytest.raises(RunStoreError, match="not a directory"):
+            RunStore.list_runs(target)
+
+    def test_lists_only_run_stores_sorted(self, tmp_path):
+        spec = _spec()
+        RunStore.create(tmp_path / "b-run", spec)
+        RunStore.create(tmp_path / "a-run", spec)
+        (tmp_path / "scratch").mkdir()  # no spec.json -> not a run
+        (tmp_path / "loose-file.json").write_text("{}")  # not a directory
+        assert [path.name for path in RunStore.list_runs(tmp_path)] == [
+            "a-run",
+            "b-run",
+        ]
+
+
+class TestRunIndex:
+    def test_entry_tracks_progress_and_completion(self, tmp_path):
+        spec = _spec(intervals=2)
+        store = RunStore.create(tmp_path / "run", spec)
+        index = RunIndex(tmp_path)
+
+        entry = index.entry("run")
+        assert entry.completed == 0 and not entry.complete
+        assert entry.sla_compliant is None  # no summary yet
+        assert entry.name == "index-test"
+        assert entry.spec_hash == spec.spec_hash()
+
+        runner = CampaignRunner(spec, store)
+        runner.run(max_intervals=1)
+        assert index.entry("run").completed == 1
+
+        runner.run()
+        entry = index.entry("run")
+        assert entry.complete and entry.completed == 2
+        assert entry.sla_compliant is True
+
+    def test_entries_filtering(self, tmp_path):
+        done = RunStore.create(tmp_path / "done", _spec(name="alpha"))
+        CampaignRunner(_spec(name="alpha"), done).run()
+        RunStore.create(tmp_path / "pending", _spec(name="beta"))
+        index = RunIndex(tmp_path)
+
+        assert {entry.run_id for entry in index.entries()} == {"done", "pending"}
+        assert [e.run_id for e in index.entries(complete=True)] == ["done"]
+        assert [e.run_id for e in index.entries(name="beta")] == ["pending"]
+        assert [e.run_id for e in index.entries(sla_compliant=True)] == ["done"]
+        prefix = _spec(name="alpha").spec_hash()[:8]
+        assert [e.run_id for e in index.entries(spec_hash=prefix)] == ["done"]
+
+    def test_foreign_and_torn_dirs_tolerated(self, tmp_path):
+        RunStore.create(tmp_path / "good", _spec())
+        foreign = tmp_path / "foreign"
+        foreign.mkdir()
+        (foreign / "spec.json").write_text("not json at all")
+        index = RunIndex(tmp_path)
+        assert [entry.run_id for entry in index.entries()] == ["good"]
+
+    def test_torn_record_tail_not_counted(self, tmp_path):
+        spec = _spec(intervals=2)
+        store = RunStore.create(tmp_path / "run", spec)
+        CampaignRunner(spec, store).run(max_intervals=1)
+        # Simulate a kill mid-append: an uncommitted newline-less tail.
+        with open(store.records_path, "ab") as handle:
+            handle.write(b'{"interval": 1, "torn": ')
+        entry = RunIndex(tmp_path).entry("run")
+        assert entry.completed == 1 and not entry.complete
+
+    def test_cache_invalidation_on_deletion(self, tmp_path):
+        import shutil
+
+        RunStore.create(tmp_path / "run", _spec())
+        index = RunIndex(tmp_path)
+        assert len(index.entries()) == 1
+        shutil.rmtree(tmp_path / "run")
+        assert index.entries() == []
+        assert index.entry("run") is None
+
+    def test_store_opens_validated(self, tmp_path):
+        spec = _spec()
+        RunStore.create(tmp_path / "run", spec)
+        index = RunIndex(tmp_path)
+        assert index.store("run").spec_hash == spec.spec_hash()
+        with pytest.raises(RunStoreError, match="no run"):
+            index.store("missing")
+
+
+class TestValidateRunId:
+    @pytest.mark.parametrize("good", ["run-1", "campaign-smoke-0123abcdef", "a.b_c"])
+    def test_accepts_plain_names(self, good):
+        assert validate_run_id(good) == good
+
+    @pytest.mark.parametrize(
+        "bad", ["", ".", "..", "a/b", "..\\b", "/etc", "a\x00b"]
+    )
+    def test_rejects_path_escapes(self, bad):
+        with pytest.raises(ValueError, match="invalid run id"):
+            validate_run_id(bad)

@@ -1,0 +1,163 @@
+"""Unit tests for the service `JobQueue` (mostly the inprocess execution mode)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.spec import (
+    CampaignSpec,
+    ConditionSpec,
+    ExecutionPolicy,
+    ExperimentSpec,
+    HOPSpec,
+    PathSpec,
+    ProtocolSpec,
+    SLATargetSpec,
+    TrafficSpec,
+)
+from repro.engine.campaign import CampaignRunner
+from repro.service.jobs import JobQueue, JobRejected
+from repro.store import RunStore
+from repro.store.runstore import SPEC_FILE
+
+
+def _spec(name: str = "jobs-test", intervals: int = 2) -> CampaignSpec:
+    return CampaignSpec(
+        name=name,
+        intervals=intervals,
+        cell=ExperimentSpec(
+            seed=59,
+            traffic=TrafficSpec(workload=None, packet_count=300),
+            path=PathSpec(
+                conditions={
+                    "X": ConditionSpec(
+                        delay="jitter",
+                        delay_params={"base_delay": 1e-3, "jitter_std": 0.2e-3},
+                    )
+                }
+            ),
+            protocol=ProtocolSpec(
+                default=HOPSpec(sampling_rate=0.2, marker_rate=0.02, aggregate_size=150)
+            ),
+        ),
+        sla=SLATargetSpec(delay_bound=10e-3, delay_quantile=0.9, loss_bound=0.05),
+    )
+
+
+@pytest.fixture
+def queue(tmp_path):
+    queue = JobQueue(tmp_path / "runs", workers=1, execution="inprocess")
+    yield queue
+    queue.shutdown(wait=True)
+
+
+class TestConstruction:
+    def test_rejects_bad_arguments(self, tmp_path):
+        with pytest.raises(ValueError, match="workers"):
+            JobQueue(tmp_path, workers=0)
+        with pytest.raises(ValueError, match="execution"):
+            JobQueue(tmp_path, execution="fork")
+        with pytest.raises(ValueError, match="max_attempts"):
+            JobQueue(tmp_path, max_attempts=0)
+
+
+class TestSubmission:
+    def test_submit_creates_store_immediately(self, queue):
+        spec = _spec()
+        job = queue.submit(spec)
+        # The durable spec.json write *is* the acceptance record — it exists
+        # before any worker touches the job.
+        assert (job.run_dir / SPEC_FILE).exists()
+        assert job.run_id == f"jobs-test-{spec.spec_hash()[:10]}"
+        assert job.spec_hash == spec.spec_hash()
+        assert queue.wait_idle(timeout=120.0)
+        assert queue.job(job.id).state == "completed"
+        store = RunStore.open(job.run_dir)
+        assert len(store.records()) == 2
+        assert store.summary() is not None
+
+    def test_inprocess_jobs_record_typed_events(self, queue):
+        job = queue.submit(_spec(name="evented"))
+        assert queue.wait_idle(timeout=120.0)
+        kinds = [event["kind"] for event in queue.snapshot(job)["events"]]
+        assert kinds == ["interval_committed", "interval_committed", "run_complete"]
+
+    def test_duplicate_store_rejected_without_resume_flag(self, queue):
+        spec = _spec(name="dup")
+        queue.submit(spec, run_id="dup-run")
+        assert queue.wait_idle(timeout=120.0)
+        with pytest.raises(JobRejected, match="already holds a store"):
+            queue.submit(spec, run_id="dup-run")
+
+    def test_resume_reenqueues_existing_store(self, queue, tmp_path):
+        spec = _spec(name="handoff")
+        # A "dead service" left a half-finished store behind.
+        store = RunStore.create(queue.store_root / "handoff-run", spec)
+        CampaignRunner(spec, store).run(max_intervals=1)
+        job = queue.submit(spec, run_id="handoff-run", resume=True)
+        assert queue.wait_idle(timeout=120.0)
+        assert queue.job(job.id).state == "completed"
+        finished = RunStore.open(queue.store_root / "handoff-run")
+        assert len(finished.records()) == spec.intervals
+        # Byte-identical to a never-interrupted direct run of the same spec.
+        direct = RunStore.create(tmp_path / "direct", spec)
+        CampaignRunner(spec, direct).run()
+        assert finished.records_path.read_bytes() == direct.records_path.read_bytes()
+
+    def test_resume_without_store_rejected(self, queue):
+        with pytest.raises(JobRejected, match="no store to resume"):
+            queue.submit(_spec(), run_id="ghost", resume=True)
+
+    def test_impossible_policy_dies_at_submission(self, queue):
+        with pytest.raises(ValueError):
+            queue.submit(
+                _spec(), policy=ExecutionPolicy(engine="scalar", checkpoint_every=1)
+            )
+
+    def test_path_escaping_run_id_rejected(self, queue):
+        with pytest.raises(ValueError, match="invalid run id"):
+            queue.submit(_spec(), run_id="../outside")
+
+    def test_submit_after_shutdown_rejected(self, tmp_path):
+        queue = JobQueue(tmp_path / "runs", workers=1, execution="inprocess")
+        queue.shutdown(wait=True)
+        with pytest.raises(JobRejected, match="shut down"):
+            queue.submit(_spec())
+
+
+class TestInspection:
+    def test_stats_and_listing(self, queue):
+        job = queue.submit(_spec(name="stats"))
+        assert queue.wait_idle(timeout=120.0)
+        assert [j.id for j in queue.jobs()] == [job.id]
+        stats = queue.stats()
+        assert stats["completed"] == 1
+        assert stats["queued"] == stats["running"] == stats["failed"] == 0
+        assert stats["workers"] == 1
+
+    def test_kill_requires_a_running_subprocess(self, queue):
+        job = queue.submit(_spec(name="unkillable"))
+        assert queue.wait_idle(timeout=120.0)
+        # Completed (and inprocess) jobs expose no killable child.
+        assert queue.kill(job.id) is False
+        assert queue.kill("job-does-not-exist") is False
+
+
+class TestSubprocessMode:
+    def test_subprocess_run_matches_direct_run(self, tmp_path):
+        spec = _spec(name="subproc")
+        queue = JobQueue(tmp_path / "runs", workers=1, execution="subprocess")
+        try:
+            job = queue.submit(spec, run_id="via-worker")
+            assert queue.wait_idle(timeout=240.0)
+            assert queue.job(job.id).state == "completed", queue.job(job.id).error
+        finally:
+            queue.shutdown(wait=True)
+        direct = RunStore.create(tmp_path / "direct", spec)
+        CampaignRunner(spec, direct).run()
+        worker_store = RunStore.open(tmp_path / "runs" / "via-worker")
+        assert (
+            worker_store.records_path.read_bytes()
+            == direct.records_path.read_bytes()
+        )
+        assert worker_store.digest() == direct.digest()
