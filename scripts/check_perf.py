@@ -16,7 +16,14 @@ Runs four quick probes:
   over the total packets of all paths, and
 * the **campaign** runner on a 4-interval checkpointed campaign (60k packets
   per interval into a scratch run store — per-interval stats folding,
-  receipt digests and atomic checkpoint writes included in the measurement);
+  receipt digests and atomic checkpoint writes included in the measurement),
+* the **sketch memory** probe: a 200-interval campaign in sketch estimation
+  mode plus a variant carrying 8x the samples per interval — the committed
+  record bytes must stay under ``max_sketch_record_bytes`` *and* must not
+  grow with the per-interval sample count (ratio ceiling
+  ``max_sketch_record_scale_ratio``), which is the O(sketch)-bytes-per-
+  interval contract sketch mode exists for (the exact-mode bytes at the
+  same scale are measured alongside for contrast, unenforced);
 
 then compares packets/second against ``benchmarks/perf_thresholds.json``.
 A probe fails when it runs more than ``regression_tolerance`` (25%) below its
@@ -68,6 +75,10 @@ CAMPAIGN_INTERVALS = 4
 CAMPAIGN_PACKETS_PER_INTERVAL = 60_000
 STREAMING_CHUNK = 1 << 16
 ENGINES = ("batch", "streaming", "streaming_shard2", "mesh", "campaign")
+SKETCH_INTERVALS = 200
+SKETCH_PACKETS_PER_INTERVAL = 600
+SKETCH_SCALE_FACTOR = 8
+SKETCH_SCALE_INTERVALS = 20
 
 
 def probe_spec() -> ExperimentSpec:
@@ -130,6 +141,39 @@ def campaign_probe_spec() -> CampaignSpec:
     )
 
 
+def sketch_probe_spec(intervals: int, packets: int, mode: str) -> CampaignSpec:
+    # Dense sampling so every interval pools a meaningful number of matched
+    # delays (the record-size probe is about sample volume, not throughput).
+    cell = probe_spec().with_overrides(
+        {
+            "name": f"sketch-perf-probe-{mode}",
+            "traffic.packet_count": packets,
+            "protocol.default.sampling_rate": 0.5,
+            "protocol.default.aggregate_size": 200,
+        }
+    )
+    if mode == "sketch":
+        cell = cell.with_overrides({"estimation.mode": "sketch"})
+    return CampaignSpec(
+        name=f"sketch-perf-probe-{mode}",
+        intervals=intervals,
+        cell=cell,
+        sla=SLATargetSpec(delay_bound=10e-3, delay_quantile=0.9, loss_bound=0.1),
+    )
+
+
+def _record_bytes(intervals: int, packets: int, mode: str) -> tuple[int, float]:
+    """(max, mean) committed record-line bytes of one campaign run."""
+    with tempfile.TemporaryDirectory(prefix="repro-perf-sketch-") as scratch:
+        spec = sketch_probe_spec(intervals, packets, mode)
+        store = RunStore.create(Path(scratch) / "run", spec)
+        CampaignRunner(spec, store).run()
+        lines = (store.path / "records.jsonl").read_bytes().splitlines()
+    assert len(lines) == intervals
+    sizes = [len(line) for line in lines]
+    return max(sizes), sum(sizes) / len(sizes)
+
+
 def measure() -> dict[str, float]:
     spec = probe_spec()
     measurements: dict[str, float] = {}
@@ -173,6 +217,31 @@ def measure() -> dict[str, float]:
         CAMPAIGN_INTERVALS * CAMPAIGN_PACKETS_PER_INTERVAL / elapsed
     )
     measurements["campaign_seconds"] = elapsed
+
+    # Sketch memory probe: committed bytes per interval must not scale with
+    # the per-interval sample count.  Record sizes are deterministic, so no
+    # variance tolerance applies.
+    clear_trace_cache()
+    started = time.perf_counter()
+    sketch_max, sketch_mean = _record_bytes(
+        SKETCH_INTERVALS, SKETCH_PACKETS_PER_INTERVAL, "sketch"
+    )
+    scaled_max, _ = _record_bytes(
+        SKETCH_SCALE_INTERVALS,
+        SKETCH_PACKETS_PER_INTERVAL * SKETCH_SCALE_FACTOR,
+        "sketch",
+    )
+    exact_scaled_max, _ = _record_bytes(
+        SKETCH_SCALE_INTERVALS,
+        SKETCH_PACKETS_PER_INTERVAL * SKETCH_SCALE_FACTOR,
+        "exact",
+    )
+    measurements["sketch_probe_seconds"] = time.perf_counter() - started
+    measurements["sketch_record_bytes_max"] = float(sketch_max)
+    measurements["sketch_record_bytes_mean"] = sketch_mean
+    measurements["sketch_scaled_record_bytes_max"] = float(scaled_max)
+    measurements["sketch_record_scale_ratio"] = scaled_max / sketch_max
+    measurements["exact_scaled_record_bytes_max"] = float(exact_scaled_max)
     return measurements
 
 
@@ -197,6 +266,10 @@ def main() -> int:
                 engine: round(measurements[f"{engine}_packets_per_second"] * 0.6)
                 for engine in ENGINES
             },
+            "max_sketch_record_bytes": round(
+                measurements["sketch_record_bytes_max"] * 1.5
+            ),
+            "max_sketch_record_scale_ratio": 1.25,
         }
         print("suggested thresholds:")
         print(json.dumps(suggested, indent=2, sort_keys=True))
@@ -234,6 +307,32 @@ def main() -> int:
                 f"shard2 parallel efficiency: {speedup:.2f}x over shards=1 "
                 f"(not enforced on a single-CPU host)"
             )
+
+    byte_ceiling = float(config.get("max_sketch_record_bytes", 0.0))
+    if byte_ceiling:
+        worst = max(
+            measurements["sketch_record_bytes_max"],
+            measurements["sketch_scaled_record_bytes_max"],
+        )
+        status = "ok" if worst <= byte_ceiling else "REGRESSION"
+        print(
+            f"sketch record bytes: max {worst:,.0f} over "
+            f"{SKETCH_INTERVALS}-interval + {SKETCH_SCALE_FACTOR}x-sample "
+            f"probes (ceiling {byte_ceiling:,.0f}, exact-mode at the same "
+            f"scale {measurements['exact_scaled_record_bytes_max']:,.0f}) "
+            f"-> {status}"
+        )
+        failed |= worst > byte_ceiling
+    ratio_ceiling = float(config.get("max_sketch_record_scale_ratio", 0.0))
+    if ratio_ceiling:
+        ratio = measurements["sketch_record_scale_ratio"]
+        status = "ok" if ratio <= ratio_ceiling else "REGRESSION"
+        print(
+            f"sketch record scaling: {SKETCH_SCALE_FACTOR}x samples/interval "
+            f"-> {ratio:.2f}x record bytes (ceiling {ratio_ceiling:.2f}x) "
+            f"-> {status}"
+        )
+        failed |= ratio > ratio_ceiling
     return 1 if failed else 0
 
 

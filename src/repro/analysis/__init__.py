@@ -16,14 +16,22 @@ from repro.analysis.metrics import (
     loss_granularity_report,
     relative_error,
 )
-from repro.analysis.quantiles import empirical_quantiles, quantile_error
+from repro.analysis.quantiles import (
+    MergedDelayPool,
+    empirical_quantiles,
+    quantile_error,
+)
+from repro.analysis.sketch import DEFAULT_SKETCH_SIZE, DelayQuantileSketch
 from repro.analysis.sla import SLASpec, SLAVerdict, check_sla
 from repro.analysis.statistics import summarize
 
 __all__ = [
     "AccuracyReport",
+    "DEFAULT_SKETCH_SIZE",
+    "DelayQuantileSketch",
     "DomainDiagnosis",
     "DomainImplication",
+    "MergedDelayPool",
     "MeshTriangulation",
     "PathDiagnosis",
     "SLASpec",

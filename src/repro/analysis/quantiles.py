@@ -21,6 +21,23 @@ from repro.util.validation import check_probability
 __all__ = ["MergedDelayPool", "empirical_quantiles", "quantile_error"]
 
 
+def _checked_samples(samples: Sequence[float] | np.ndarray) -> np.ndarray:
+    """Samples as a float64 array, rejecting NaN/inf with a clear error.
+
+    A NaN would silently poison the pool: ``np.sort`` parks NaNs at the end,
+    so every subsequent merge and quantile would be computed over a corrupted
+    order, and ``state_digest()`` would still look healthy.  Refuse at the
+    boundary instead.
+    """
+    array = np.asarray(samples, dtype=np.float64)
+    if array.size and not np.isfinite(array).all():
+        raise ValueError(
+            "delay samples must be finite; got NaN or infinity "
+            "(check the matched-delay extraction upstream)"
+        )
+    return array
+
+
 def _merge_sorted(left: np.ndarray, right: np.ndarray) -> np.ndarray:
     """Linear stable merge of two sorted float arrays (left's ties first)."""
     if not len(left):
@@ -48,7 +65,7 @@ class MergedDelayPool:
     """
 
     def __init__(self, samples: Sequence[float] | np.ndarray = ()) -> None:
-        array = np.asarray(samples, dtype=np.float64)
+        array = _checked_samples(samples)
         self._sorted = np.sort(array) if array.size else np.empty(0, dtype=np.float64)
 
     def __len__(self) -> int:
@@ -66,8 +83,11 @@ class MergedDelayPool:
         return view
 
     def extend(self, samples: Sequence[float] | np.ndarray) -> "MergedDelayPool":
-        """Fold one interval's (unsorted) samples into the pool; returns self."""
-        array = np.asarray(samples, dtype=np.float64)
+        """Fold one interval's (unsorted) samples into the pool; returns self.
+
+        NaN and infinite values are rejected with a :class:`ValueError`.
+        """
+        array = _checked_samples(samples)
         if array.size:
             self._sorted = _merge_sorted(self._sorted, np.sort(array))
         return self
@@ -97,8 +117,8 @@ class MergedDelayPool:
     def from_hex(cls, values: Iterable[str]) -> "MergedDelayPool":
         """Rebuild a pool from :meth:`to_hex` output (bit-exact round trip)."""
         pool = cls()
-        pool._sorted = np.asarray(
-            [float.fromhex(value) for value in values], dtype=np.float64
+        pool._sorted = _checked_samples(
+            [float.fromhex(value) for value in values]
         )
         return pool
 

@@ -37,6 +37,7 @@ from repro.api.registry import (
     TOPOLOGIES,
     Registry,
 )
+from repro.analysis.sketch import DEFAULT_SKETCH_SIZE, MIN_SKETCH_SIZE
 from repro.core.aggregation import AggregatorConfig
 from repro.core.estimation import DEFAULT_QUANTILES
 from repro.core.hop import HOPConfig
@@ -587,15 +588,44 @@ class AdversarySpec:
 # -- estimation ----------------------------------------------------------------------
 
 
+def _check_estimation_mode(mode: str, sketch_size: int, where: str) -> None:
+    """Shared validation for the estimation-tier knobs (cell + mesh specs)."""
+    if mode not in ("exact", "sketch"):
+        raise ValueError(
+            f"{where} estimation mode must be 'exact' or 'sketch', got {mode!r}"
+        )
+    if not isinstance(sketch_size, int) or isinstance(sketch_size, bool):
+        raise ValueError(
+            f"{where} sketch_size must be an int, got {type(sketch_size).__name__}"
+        )
+    if sketch_size < MIN_SKETCH_SIZE:
+        raise ValueError(
+            f"{where} sketch_size must be >= {MIN_SKETCH_SIZE}, got {sketch_size}"
+        )
+
+
 @dataclass(frozen=True)
 class EstimationSpec:
-    """Who estimates whom, and what to compute per target."""
+    """Who estimates whom, and what to compute per target.
+
+    ``mode`` selects the campaign estimation tier: ``"exact"`` (the default)
+    pools every matched delay sample through
+    :class:`~repro.analysis.quantiles.MergedDelayPool`; ``"sketch"`` folds
+    them through a :class:`~repro.analysis.sketch.DelayQuantileSketch` of
+    budget ``sketch_size`` instead, bounding per-interval record size and
+    campaign memory at a guaranteed ``1/(sketch_size+1)`` relative quantile
+    error.  Both knobs serialize only in sketch mode, so every exact-mode
+    artifact (goldens, spec hashes, stores) is byte-identical to before the
+    tier existed.
+    """
 
     observer: str = "L"
     targets: tuple[str, ...] = ("X",)
     quantiles: tuple[float, ...] = DEFAULT_QUANTILES
     verify: bool = True
     independent: bool = True
+    mode: str = "exact"
+    sketch_size: int = DEFAULT_SKETCH_SIZE
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "targets", tuple(self.targets))
@@ -606,15 +636,20 @@ class EstimationSpec:
             raise ValueError("EstimationSpec.targets must name at least one domain")
         for quantile in self.quantiles:
             check_probability("quantile", quantile)
+        _check_estimation_mode(self.mode, self.sketch_size, "EstimationSpec")
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        payload = {
             "observer": self.observer,
             "targets": list(self.targets),
             "quantiles": list(self.quantiles),
             "verify": self.verify,
             "independent": self.independent,
         }
+        if self.mode != "exact":
+            payload["mode"] = self.mode
+            payload["sketch_size"] = self.sketch_size
+        return payload
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "EstimationSpec":
@@ -783,6 +818,8 @@ class MeshSpec:
     protocol: ProtocolSpec = field(default_factory=ProtocolSpec)
     adversaries: tuple[AdversarySpec, ...] = ()
     quantiles: tuple[float, ...] = DEFAULT_QUANTILES
+    estimation_mode: str = "exact"
+    sketch_size: int = DEFAULT_SKETCH_SIZE
 
     def __post_init__(self) -> None:
         if self.engine not in ("batch", "streaming"):
@@ -812,6 +849,7 @@ class MeshSpec:
             raise ValueError("MeshSpec.quantiles must name at least one quantile")
         for quantile in self.quantiles:
             check_probability("quantile", quantile)
+        _check_estimation_mode(self.estimation_mode, self.sketch_size, "MeshSpec")
 
     # -- convenience -------------------------------------------------------------------
 
@@ -836,7 +874,7 @@ class MeshSpec:
         return derive_seed(base, f"mesh.traffic.{path_index}")
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        payload: dict[str, Any] = {
             "name": self.name,
             "seed": self.seed,
             "engine": self.engine,
@@ -850,6 +888,12 @@ class MeshSpec:
             "adversaries": [adversary.to_dict() for adversary in self.adversaries],
             "quantiles": list(self.quantiles),
         }
+        # The estimation-tier knobs serialize only in sketch mode, keeping
+        # every exact-mode artifact (goldens, spec hashes) byte-identical.
+        if self.estimation_mode != "exact":
+            payload["estimation_mode"] = self.estimation_mode
+            payload["sketch_size"] = self.sketch_size
+        return payload
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "MeshSpec":

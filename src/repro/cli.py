@@ -13,6 +13,9 @@ The CLI covers that whole lifecycle plus the repo's golden-fixture workflow:
   history + campaign-level pooled statistics and verdicts); ``--json`` emits
   the byte-stable machine-readable report the service API and dashboard
   consume (:func:`repro.service.report.run_report`).
+* ``repro compare runs/<a> runs/<b> ...`` — per-domain statistics side by
+  side across runs; sketch-tier runs are annotated with their guaranteed
+  quantile error bound so precision differences are visible.
 * ``repro list [--runs-dir]`` — every run store under a root, with progress
   and campaign SLA verdicts (the same scan the service's ``RunIndex`` uses).
 * ``repro serve`` — the measurement service: HTTP API + job queue + browser
@@ -334,6 +337,7 @@ def _print_report(store: RunStore) -> None:
 
     print()
     campaign_rows = []
+    sketch_tiers = set()
     for domain, entry in sorted(summary["domains"].items()):
         delay_text = "n/a"
         if entry["pooled_quantiles"]:
@@ -342,7 +346,14 @@ def _print_report(store: RunStore) -> None:
                 if sla is not None and repr(float(sla.delay_quantile)) in entry["pooled_quantiles"]
                 else sorted(entry["pooled_quantiles"])[0]
             )
-            delay_text = f"{entry['pooled_quantiles'][key]['estimate'] * 1e3:.3f}"
+            payload = entry["pooled_quantiles"][key]
+            delay_text = f"{payload['estimate'] * 1e3:.3f}"
+            if entry.get("estimation") is not None:
+                # Sketch estimates are honest about their guaranteed error.
+                delay_text += f" ±{(payload['upper'] - payload['estimate']) * 1e3:.3f}"
+        if entry.get("estimation") is not None:
+            tier = entry["estimation"]
+            sketch_tiers.add((tier["sketch_size"], tier["relative_error_bound"]))
         campaign_rows.append(
             (
                 domain,
@@ -361,6 +372,11 @@ def _print_report(store: RunStore) -> None:
             campaign_rows,
         )
     )
+    for size, bound in sorted(sketch_tiers):
+        print(
+            f"estimation tier: sketch (size {size}, guaranteed relative "
+            f"error <= {bound:.3%})"
+        )
 
     if persisted is not None and persisted != summary:
         print(
@@ -383,6 +399,79 @@ def _cmd_report(args: argparse.Namespace) -> int:
         print(stable_json(run_report(store)))
         return 0
     _print_report(store)
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.service.report import compare_runs
+
+    if len(args.run_dirs) < 2:
+        _fail("compare needs at least two run stores")
+    try:
+        stores = [RunStore.open(run_dir) for run_dir in args.run_dirs]
+    except RunStoreError as exc:
+        _fail(str(exc))
+    payload = compare_runs(stores)
+    if args.json:
+        print(stable_json(payload))
+        return 0
+    for run in payload["runs"]:
+        state = "complete" if run["intervals"]["complete"] else "in progress"
+        verdict = {True: "COMPLIANT", False: "IN VIOLATION", None: "-"}[
+            run["sla_compliant"]
+        ]
+        print(
+            f"run {run['run']!r}: campaign {run['name']!r}, "
+            f"{run['intervals']['completed']}/{run['intervals']['total']} "
+            f"intervals ({state}), sla {verdict}"
+        )
+    for domain, per_run in sorted(payload["domains"].items()):
+        rows = []
+        for run_id, entry in per_run.items():
+            delay_text = "n/a"
+            if entry["pooled_quantiles"]:
+                key = sorted(entry["pooled_quantiles"])[0]
+                quantile = entry["pooled_quantiles"][key]
+                delay_text = f"{quantile['estimate'] * 1e3:.3f}"
+                if entry.get("estimation") is not None:
+                    delay_text += (
+                        f" ±{(quantile['upper'] - quantile['estimate']) * 1e3:.3f}"
+                    )
+            tier = entry.get("estimation")
+            tier_text = (
+                f"sketch ±{tier['relative_error_bound']:.3%}"
+                if tier is not None
+                else "exact"
+            )
+            rows.append(
+                (
+                    run_id,
+                    entry["delay_sample_count"],
+                    delay_text,
+                    f"{entry['loss_rate'] * 100:.3f}",
+                    f"{entry['acceptance_rate'] * 100:.0f}%",
+                    tier_text,
+                    {True: "COMPLIANT", False: "IN VIOLATION", None: "-"}[
+                        entry["sla_compliant"]
+                    ],
+                )
+            )
+        print()
+        print(f"domain {domain}:")
+        print(
+            _format_table(
+                (
+                    "run",
+                    "samples",
+                    "delay[ms]",
+                    "loss[%]",
+                    "accepted",
+                    "estimation",
+                    "sla verdict",
+                ),
+                rows,
+            )
+        )
     return 0
 
 
@@ -579,6 +668,19 @@ def build_parser() -> argparse.ArgumentParser:
         "serialization the service API and dashboard consume)",
     )
     report_parser.set_defaults(handler=_cmd_report)
+
+    compare_parser = commands.add_parser(
+        "compare",
+        help="compare per-domain campaign statistics across run stores "
+        "(sketch-tier runs are annotated with their error bound)",
+    )
+    compare_parser.add_argument(
+        "run_dirs", nargs="+", metavar="RUN_DIR", help="two or more run stores"
+    )
+    compare_parser.add_argument(
+        "--json", action="store_true", help="emit machine-readable JSON"
+    )
+    compare_parser.set_defaults(handler=_cmd_compare)
 
     list_parser = commands.add_parser(
         "list", help="list every run store under a runs directory"

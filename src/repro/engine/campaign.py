@@ -7,8 +7,10 @@ interval at a time on the fast engines (batch, streaming with any shard
 count, or the mesh engines, per the cell spec / runtime override), folds each
 interval into campaign-level statistics **incrementally** — pooled delay
 quantiles live in a :class:`~repro.analysis.quantiles.MergedDelayPool`, never
-re-pooled from raw samples — and checkpoints after every interval to a
-:class:`~repro.store.RunStore`.
+re-pooled from raw samples, or (with ``EstimationSpec.mode="sketch"``) in a
+bounded-memory :class:`~repro.analysis.sketch.DelayQuantileSketch` whose
+per-interval record state is O(sketch) bytes regardless of traffic volume —
+and checkpoints after every interval to a :class:`~repro.store.RunStore`.
 
 Because interval ``i`` is a pure function of ``(spec, i)`` (the spec's
 BLAKE2b seed-spacing) and the store append is atomic, a campaign killed at
@@ -40,6 +42,7 @@ from typing import Any, Callable, Mapping, NamedTuple, Sequence
 import numpy as np
 
 from repro.analysis.quantiles import MergedDelayPool
+from repro.analysis.sketch import DelayQuantileSketch
 from repro.analysis.sla import SLAVerdict, check_sla
 from repro.api.spec import CampaignSpec, ExecutionPolicy, ExperimentSpec, MeshSpec
 from repro.engine.streaming import DEFAULT_CHUNK_SIZE, RunnerCheckpoint
@@ -61,6 +64,7 @@ __all__ = [
     "CheckpointWritten",
     "IntervalCommitted",
     "RunComplete",
+    "estimation_settings",
     "interval_record",
 ]
 
@@ -98,6 +102,13 @@ class RunComplete:
 #: to any driver (the CLI's progress printer and the measurement service's job
 #: event log both consume exactly this stream).
 CampaignEvent = IntervalCommitted | CheckpointWritten | RunComplete
+
+
+def estimation_settings(cell: ExperimentSpec | MeshSpec) -> tuple[str, int]:
+    """The estimation tier ``(mode, sketch_size)`` one cell spec selects."""
+    if isinstance(cell, MeshSpec):
+        return cell.estimation_mode, cell.sketch_size
+    return cell.estimation.mode, cell.estimation.sketch_size
 
 
 def _matched_delays(verifier: Verifier, path: HOPPath, domain: str) -> np.ndarray:
@@ -288,9 +299,11 @@ def interval_record(
         )
         quantiles = cell.estimation.quantiles
 
+    mode, sketch_size = estimation_settings(cell)
     estimates: dict[str, Any] = {}
     verdicts: dict[str, Any] = {}
     delay_samples: dict[str, list[str]] = {}
+    delay_sketch: dict[str, dict[str, Any]] = {}
     for domain in sorted(outcome.delays):
         delays = outcome.delays[domain]
         offered = outcome.offered[domain]
@@ -310,9 +323,14 @@ def interval_record(
             "accepted": outcome.accepted[domain],
             "sla_compliant": sla_compliant,
         }
-        delay_samples[domain] = [value.hex() for value in delays.tolist()]
+        if mode == "sketch":
+            delay_sketch[domain] = DelayQuantileSketch(
+                sketch_size, delays
+            ).to_state()
+        else:
+            delay_samples[domain] = [value.hex() for value in delays.tolist()]
 
-    return {
+    record: dict[str, Any] = {
         "version": RECORD_VERSION,
         "interval": index,
         "spec_hash": spec.spec_hash(),
@@ -321,8 +339,14 @@ def interval_record(
         "result_digest": outcome.result_digest,
         "estimates": estimates,
         "verdicts": verdicts,
-        "delay_samples": delay_samples,
     }
+    # Sketch-mode records carry O(sketch) bucket state instead of the raw
+    # sample hex — the field name switch is what bounds record size.
+    if mode == "sketch":
+        record["delay_sketch"] = delay_sketch
+    else:
+        record["delay_samples"] = delay_samples
+    return record
 
 
 class CampaignAccumulator:
@@ -338,7 +362,8 @@ class CampaignAccumulator:
 
     def __init__(self, spec: CampaignSpec) -> None:
         self.spec = spec
-        self.pools: dict[str, MergedDelayPool] = {}
+        self.mode, self.sketch_size = estimation_settings(spec.cell)
+        self.pools: dict[str, MergedDelayPool | DelayQuantileSketch] = {}
         self.offered: dict[str, int] = {}
         self.lost: dict[str, int] = {}
         self.accepted_intervals: dict[str, int] = {}
@@ -352,6 +377,11 @@ class CampaignAccumulator:
             return cell.quantiles
         return cell.estimation.quantiles
 
+    def _new_pool(self) -> MergedDelayPool | DelayQuantileSketch:
+        if self.mode == "sketch":
+            return DelayQuantileSketch(self.sketch_size)
+        return MergedDelayPool()
+
     def fold(self, record: Mapping[str, Any]) -> None:
         """Fold one interval record (in interval order) into the campaign."""
         if record.get("interval") != self.intervals_folded:
@@ -364,10 +394,21 @@ class CampaignAccumulator:
                 self.offered.get(domain, 0) + estimate["offered_packets"]
             )
             self.lost[domain] = self.lost.get(domain, 0) + estimate["lost_packets"]
-            pool = self.pools.setdefault(domain, MergedDelayPool())
-            pool.extend(
-                [float.fromhex(value) for value in record["delay_samples"][domain]]
-            )
+            pool = self.pools.setdefault(domain, self._new_pool())
+            if self.mode == "sketch":
+                state = record.get("delay_sketch", {}).get(domain)
+                if state is None:
+                    raise ValueError(
+                        f"sketch-mode campaign record for interval "
+                        f"{record.get('interval')!r} carries no delay_sketch "
+                        f"state for domain {domain!r} (was the store written "
+                        f"by an exact-mode spec?)"
+                    )
+                pool.merge(DelayQuantileSketch.from_state(state))
+            else:
+                pool.extend(
+                    [float.fromhex(value) for value in record["delay_samples"][domain]]
+                )
             verdict = record["verdicts"][domain]
             if verdict["accepted"] is not None:
                 self.verified_intervals[domain] = (
@@ -388,18 +429,49 @@ class CampaignAccumulator:
             accumulator.fold(record)
         return accumulator
 
+    def _sketch_estimates(
+        self, pool: DelayQuantileSketch
+    ) -> dict[float, DelayQuantileEstimate]:
+        """Sketch quantiles as confidence-bounded estimates (for SLA checks).
+
+        The lower/upper bounds are the sketch's guaranteed relative-error
+        interval, so ``check_sla``'s optimistic-bound semantics carry over:
+        a violation is flagged only when even the lower end of the guaranteed
+        interval exceeds the promised bound.
+        """
+        estimates: dict[float, DelayQuantileEstimate] = {}
+        for quantile, value in sorted(pool.quantiles(self.quantiles).items()):
+            lower, upper = pool.value_bounds(value)
+            estimates[quantile] = DelayQuantileEstimate(
+                quantile=quantile,
+                estimate=value,
+                lower=lower,
+                upper=upper,
+                sample_count=len(pool),
+            )
+        return estimates
+
     def sla_verdict(self, domain: str) -> SLAVerdict | None:
         """The campaign-level SLA verdict for one domain (None without an SLA)."""
         if self.spec.sla is None:
             return None
-        pool = self.pools.get(domain, MergedDelayPool())
-        performance = _performance_from(
-            domain,
-            np.asarray(pool.sorted_samples),
-            self.quantiles,
-            self.offered.get(domain, 0),
-            self.lost.get(domain, 0),
-        )
+        pool = self.pools.get(domain, self._new_pool())
+        if self.mode == "sketch":
+            performance = DomainPerformance(
+                domain=domain,
+                delay_quantiles=self._sketch_estimates(pool),
+                delay_sample_count=len(pool),
+                offered_packets=self.offered.get(domain, 0),
+                lost_packets=self.lost.get(domain, 0),
+            )
+        else:
+            performance = _performance_from(
+                domain,
+                np.asarray(pool.sorted_samples),
+                self.quantiles,
+                self.offered.get(domain, 0),
+                self.lost.get(domain, 0),
+            )
         return check_sla(performance, self.spec.sla.build())
 
     def summary(self) -> dict[str, Any]:
@@ -412,18 +484,42 @@ class CampaignAccumulator:
             verified = self.verified_intervals.get(domain, 0)
             accepted = self.accepted_intervals.get(domain, 0)
             verdict = self.sla_verdict(domain)
+            if self.mode == "sketch":
+                pooled_quantiles = {
+                    repr(float(quantile)): {
+                        "estimate": entry.estimate,
+                        "lower": entry.lower,
+                        "upper": entry.upper,
+                        "relative_error_bound": pool.relative_accuracy,
+                    }
+                    for quantile, entry in sorted(
+                        self._sketch_estimates(pool).items()
+                    )
+                }
+            else:
+                pooled_quantiles = _quantile_payload(
+                    np.asarray(pool.sorted_samples), self.quantiles
+                )
             domains[domain] = {
                 "offered_packets": offered,
                 "lost_packets": lost,
                 "loss_rate": (lost / offered) if offered else 0.0,
                 "delay_sample_count": len(pool),
-                "pooled_quantiles": _quantile_payload(
-                    np.asarray(pool.sorted_samples), self.quantiles
-                ),
+                "pooled_quantiles": pooled_quantiles,
                 "pool_digest": pool.state_digest(),
                 "acceptance_rate": (accepted / verified) if verified else 1.0,
                 "sla_compliant": verdict.compliant if verdict is not None else None,
             }
+            # Sketch summaries annotate their precision so downstream
+            # consumers (report, compare) are honest about the error bound;
+            # exact summaries stay byte-identical to the pre-sketch format.
+            if self.mode == "sketch":
+                domains[domain]["estimation"] = {
+                    "mode": "sketch",
+                    "sketch_size": self.sketch_size,
+                    "relative_error_bound": pool.relative_accuracy,
+                    "bucket_count": pool.bucket_count,
+                }
         return {
             "version": RECORD_VERSION,
             "spec_hash": self.spec.spec_hash(),

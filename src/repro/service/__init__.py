@@ -23,7 +23,7 @@ into a system users hit:
 from repro.service.app import HTTPError, ServiceApp, make_service_server, serve
 from repro.service.index import RunEntry, RunIndex, validate_run_id
 from repro.service.jobs import Job, JobQueue, JobRejected
-from repro.service.report import REPORT_VERSION, run_report
+from repro.service.report import REPORT_VERSION, compare_runs, run_report
 
 __all__ = [
     "HTTPError",
@@ -34,6 +34,7 @@ __all__ = [
     "RunEntry",
     "RunIndex",
     "ServiceApp",
+    "compare_runs",
     "make_service_server",
     "run_report",
     "serve",

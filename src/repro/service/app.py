@@ -50,7 +50,7 @@ from repro.api.spec import CampaignSpec, ExecutionPolicy
 from repro.service.dashboard import DASHBOARD_HTML
 from repro.service.index import RunIndex
 from repro.service.jobs import JobQueue, JobRejected
-from repro.service.report import run_report
+from repro.service.report import compare_runs, run_report
 from repro.store import RunStoreError, stable_json
 
 __all__ = ["HTTPError", "ServiceApp", "make_service_server", "serve"]
@@ -307,8 +307,14 @@ class ServiceApp:
             time.sleep(0.1)
         fresh = records[since:]
         if not full:
+            # Strip the bulk per-interval payload (raw sample hex in exact
+            # mode, bucket state in sketch mode) unless explicitly requested.
             fresh = [
-                {key: value for key, value in record.items() if key != "delay_samples"}
+                {
+                    key: value
+                    for key, value in record.items()
+                    if key not in ("delay_samples", "delay_sketch")
+                }
                 for record in fresh
             ]
         return {
@@ -326,33 +332,7 @@ class ServiceApp:
             raise HTTPError(
                 400, "compare needs at least two run ids: ?runs=<id>,<id>[,...]"
             )
-        runs: list[dict[str, Any]] = []
-        domains: dict[str, dict[str, Any]] = {}
-        for run_id in run_ids:
-            report = run_report(self._store(run_id))
-            runs.append(
-                {
-                    key: report[key]
-                    for key in (
-                        "run",
-                        "name",
-                        "spec_hash",
-                        "intervals",
-                        "sla",
-                        "sla_compliant",
-                    )
-                }
-            )
-            summary = report["summary"] or {"domains": {}}
-            for domain, entry in summary["domains"].items():
-                domains.setdefault(domain, {})[run_id] = {
-                    "loss_rate": entry["loss_rate"],
-                    "delay_sample_count": entry["delay_sample_count"],
-                    "pooled_quantiles": entry["pooled_quantiles"],
-                    "acceptance_rate": entry["acceptance_rate"],
-                    "sla_compliant": entry["sla_compliant"],
-                }
-        return {"runs": runs, "domains": domains}
+        return compare_runs([self._store(run_id) for run_id in run_ids])
 
     # -- job handlers ------------------------------------------------------------------
 

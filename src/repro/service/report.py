@@ -17,12 +17,12 @@ reads the records endpoint or the store itself.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Sequence
 
 from repro.engine.campaign import CampaignAccumulator
 from repro.store import RunStore
 
-__all__ = ["REPORT_VERSION", "run_report"]
+__all__ = ["REPORT_VERSION", "compare_runs", "run_report"]
 
 REPORT_VERSION = 1
 
@@ -86,3 +86,43 @@ def run_report(store: RunStore) -> dict[str, Any]:
             None if persisted is None else persisted == summary
         ),
     }
+
+
+def compare_runs(stores: Sequence[RunStore]) -> dict[str, Any]:
+    """Cross-run comparison payload (``repro compare`` and ``GET /api/compare``).
+
+    ``domains`` maps each domain to per-run quantile/loss/acceptance
+    summaries.  Each entry carries the run's ``estimation`` annotation
+    (sketch size + relative error bound) or ``None`` for the exact tier, so
+    a consumer comparing quantiles across runs measured at different
+    precisions sees how much of a gap is attributable to sketch error.
+    """
+    runs: list[dict[str, Any]] = []
+    domains: dict[str, dict[str, Any]] = {}
+    for store in stores:
+        report = run_report(store)
+        run_id = report["run"]
+        runs.append(
+            {
+                key: report[key]
+                for key in (
+                    "run",
+                    "name",
+                    "spec_hash",
+                    "intervals",
+                    "sla",
+                    "sla_compliant",
+                )
+            }
+        )
+        summary = report["summary"] or {"domains": {}}
+        for domain, entry in summary["domains"].items():
+            domains.setdefault(domain, {})[run_id] = {
+                "loss_rate": entry["loss_rate"],
+                "delay_sample_count": entry["delay_sample_count"],
+                "pooled_quantiles": entry["pooled_quantiles"],
+                "acceptance_rate": entry["acceptance_rate"],
+                "sla_compliant": entry["sla_compliant"],
+                "estimation": entry.get("estimation"),
+            }
+    return {"runs": runs, "domains": domains}

@@ -1,0 +1,12 @@
+"""Differential test tier: sketch-mode estimation vs the exact pool.
+
+Every test in this tier compares the bounded-memory sketch path
+(:class:`repro.analysis.sketch.DelayQuantileSketch`, ``EstimationSpec
+mode="sketch"``) against the exact path (:class:`MergedDelayPool`, raw
+pooled samples) on the *same* executed scenarios — the conformance
+goldens plus a generated distribution matrix — and asserts the documented
+error bound, byte-for-byte merge grouping invariance, and byte-identical
+kill-anywhere campaign resume in sketch mode.
+
+CI runs this tier as its own ``sketch-accuracy`` step.
+"""

@@ -1,0 +1,104 @@
+"""Properties of the mergeable quantile sketch.
+
+For arbitrary finite float64 samples (heavy tails, duplicates, sorted and
+reverse-sorted runs, mixed signs, exact zeros, magnitudes across hundreds
+of orders of magnitude):
+
+* merge is associative and commutative **byte-for-byte** — any grouping of
+  any partition converges on one ``state_digest()``, equal to the one-shot
+  sketch's;
+* the digest is invariant to the order samples were folded in;
+* serialization round trips bit-exactly through ``to_state()`` (the JSON
+  checkpoint form) and pickle, so state rebuilt in another process is
+  indistinguishable from the original;
+* every quantile estimate satisfies the documented relative error bound
+  against the exact order statistics.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pickle
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.sketch import DelayQuantileSketch
+
+_QUANTILES = (0.0, 0.1, 0.5, 0.9, 0.99, 1.0)
+
+# Finite, and away from the extreme ~1e308 edge where gamma**i itself
+# overflows float64 (the sketch documents its bound for |x| <= 1e300).
+_sample = st.one_of(
+    st.floats(
+        min_value=-1e300,
+        max_value=1e300,
+        allow_nan=False,
+        allow_infinity=False,
+    ),
+    st.sampled_from([0.0, 1e-3, -1e-3, 2.5e-4]),  # force ties and zeros
+)
+_samples = st.lists(_sample, min_size=0, max_size=120)
+_sizes = st.sampled_from([8, 32, 512])
+
+
+@settings(max_examples=120, deadline=None)
+@given(samples=_samples, size=_sizes, data=st.data())
+def test_merge_grouping_and_order_invariance(samples, size, data):
+    one_shot = DelayQuantileSketch(size, samples)
+
+    # arbitrary partition, arbitrary merge order
+    pieces: list[list[float]] = [[]]
+    for value in samples:
+        if data.draw(st.booleans(), label="split-here"):
+            pieces.append([])
+        pieces[-1].append(value)
+    order = data.draw(st.permutations(range(len(pieces))), label="merge-order")
+
+    merged = DelayQuantileSketch(size)
+    for index in order:
+        merged.merge(DelayQuantileSketch(size, pieces[index]))
+    assert merged.state_digest() == one_shot.state_digest()
+
+    # fold order within one sketch doesn't matter either
+    shuffled = data.draw(st.permutations(samples), label="extend-order")
+    assert (
+        DelayQuantileSketch(size, shuffled).state_digest()
+        == one_shot.state_digest()
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(samples=_samples, size=_sizes)
+def test_state_round_trips_are_bit_exact(samples, size):
+    sketch = DelayQuantileSketch(size, samples)
+    digest = sketch.state_digest()
+
+    # the JSON checkpoint form survives serialization to text and back
+    payload = json.loads(json.dumps(sketch.to_state()))
+    rebuilt = DelayQuantileSketch.from_state(payload)
+    assert rebuilt.state_digest() == digest
+    assert rebuilt.quantiles(_QUANTILES) == sketch.quantiles(_QUANTILES)
+
+    # pickle (the process-boundary transport) preserves the digest too
+    assert pickle.loads(pickle.dumps(sketch)).state_digest() == digest
+
+
+@settings(max_examples=150, deadline=None)
+@given(samples=st.lists(_sample, min_size=1, max_size=120), size=_sizes)
+def test_quantile_estimates_satisfy_the_documented_bound(samples, size):
+    sketch = DelayQuantileSketch(size, samples)
+    alpha = sketch.relative_accuracy
+    ordered = np.sort(np.asarray(samples, dtype=np.float64))
+    estimates = sketch.quantiles(_QUANTILES)
+    for quantile in _QUANTILES:
+        rank = quantile * (len(ordered) - 1)
+        bracket = max(
+            abs(ordered[int(math.floor(rank))]),
+            abs(ordered[int(math.ceil(rank))]),
+        )
+        exact = float(np.quantile(ordered, quantile))
+        bound = alpha * bracket
+        assert abs(estimates[quantile] - exact) <= bound * (1 + 1e-9) + 1e-18

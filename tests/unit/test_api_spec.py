@@ -279,6 +279,31 @@ class TestRoundTrips:
         with pytest.raises(ValueError):
             EstimationSpec(quantiles=(1.5,))
 
+    def test_estimation_mode_validation(self):
+        with pytest.raises(ValueError, match="mode"):
+            EstimationSpec(mode="approximate")
+        with pytest.raises(ValueError, match="sketch_size"):
+            EstimationSpec(mode="sketch", sketch_size=4)
+        with pytest.raises(ValueError, match="sketch_size"):
+            EstimationSpec(mode="sketch", sketch_size=True)
+
+    def test_sketch_mode_round_trips(self):
+        spec = EstimationSpec(mode="sketch", sketch_size=128)
+        data = spec.to_dict()
+        assert data["mode"] == "sketch"
+        assert data["sketch_size"] == 128
+        assert EstimationSpec.from_dict(json.loads(json.dumps(data))) == spec
+
+    def test_exact_mode_serialization_is_unchanged(self):
+        """Byte-stability: default exact mode must not add keys to to_dict.
+
+        spec_hash and the conformance goldens embed this serialization —
+        adding keys for the default mode would invalidate every golden.
+        """
+        data = EstimationSpec().to_dict()
+        assert "mode" not in data
+        assert "sketch_size" not in data
+
     def test_adversary_validation(self):
         with pytest.raises(ValueError, match="unknown adversary"):
             AdversarySpec(kind="bribery", domain="X")

@@ -294,6 +294,22 @@ class TestMeshSpec:
         with pytest.raises(ValueError, match="mesh engine"):
             MeshSpec(engine="scalar")
 
+    def test_estimation_mode_round_trips_and_validates(self):
+        spec = MeshSpec(estimation_mode="sketch", sketch_size=64)
+        data = spec.to_dict()
+        assert data["estimation_mode"] == "sketch"
+        assert data["sketch_size"] == 64
+        assert MeshSpec.from_dict(data) == spec
+        with pytest.raises(ValueError, match="mode"):
+            MeshSpec(estimation_mode="fuzzy")
+        with pytest.raises(ValueError, match="sketch_size"):
+            MeshSpec(estimation_mode="sketch", sketch_size=2)
+
+    def test_exact_mode_serialization_is_unchanged(self):
+        data = MeshSpec().to_dict()
+        assert "estimation_mode" not in data
+        assert "sketch_size" not in data
+
     def test_rejects_unknown_topology_kind(self):
         with pytest.raises(ValueError, match="unknown topology"):
             TopologySpec(kind="doughnut")

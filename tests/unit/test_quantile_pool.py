@@ -81,3 +81,34 @@ class TestMergedDelayPool:
         assert pool.extend([1.0]) is pool
         assert pool.merge(MergedDelayPool([2.0])) is pool
         assert len(pool) == 2
+
+    def test_empty_pool_merge_is_identity_both_ways(self):
+        samples = RNG.normal(1e-3, 2e-4, size=17)
+        populated = MergedDelayPool(samples)
+        before = populated.state_digest()
+        populated.merge(MergedDelayPool())
+        assert populated.state_digest() == before
+        empty = MergedDelayPool()
+        empty.merge(MergedDelayPool(samples))
+        assert empty.state_digest() == before
+        both_empty = MergedDelayPool().merge(MergedDelayPool())
+        assert len(both_empty) == 0
+        assert both_empty.state_digest() == MergedDelayPool().state_digest()
+
+    def test_single_sample_quantiles(self):
+        pool = MergedDelayPool([4.2e-3])
+        wanted = (0.0, 0.25, 0.5, 0.9, 1.0)
+        assert pool.quantiles(wanted) == {q: 4.2e-3 for q in wanted}
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_non_finite_samples_rejected_with_clear_error(self, bad):
+        with pytest.raises(ValueError, match="finite"):
+            MergedDelayPool([1e-3, bad])
+        with pytest.raises(ValueError, match="finite"):
+            MergedDelayPool().extend([bad, 2e-3])
+
+    def test_non_finite_hex_payload_rejected(self):
+        payload = MergedDelayPool([1e-3]).to_hex()
+        payload.append(float("nan").hex())
+        with pytest.raises(ValueError, match="finite"):
+            MergedDelayPool.from_hex(payload)

@@ -1,0 +1,202 @@
+"""Unit tests for the mergeable quantile sketch (DelayQuantileSketch)."""
+
+from __future__ import annotations
+
+import math
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.analysis.sketch import DEFAULT_SKETCH_SIZE, DelayQuantileSketch
+
+RNG = np.random.default_rng(20260807)
+
+QUANTILES = (0.0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0)
+
+
+def _error_bound(sorted_samples: np.ndarray, quantile: float, alpha: float) -> float:
+    """The documented bound: alpha * max|bracketing order statistics|."""
+    rank = quantile * (len(sorted_samples) - 1)
+    low = sorted_samples[int(math.floor(rank))]
+    high = sorted_samples[int(math.ceil(rank))]
+    return alpha * max(abs(low), abs(high))
+
+
+def assert_within_bound(
+    sketch: DelayQuantileSketch, samples: np.ndarray, quantiles=QUANTILES
+) -> None:
+    ordered = np.sort(samples)
+    estimates = sketch.quantiles(quantiles)
+    for quantile in quantiles:
+        exact = float(np.quantile(ordered, quantile))
+        bound = _error_bound(ordered, quantile, sketch.relative_accuracy)
+        assert abs(estimates[quantile] - exact) <= bound * (1 + 1e-9) + 1e-18, (
+            f"q={quantile}: |{estimates[quantile]} - {exact}| > {bound}"
+        )
+
+
+class TestAccuracy:
+    @pytest.mark.parametrize("size", [8, 64, DEFAULT_SKETCH_SIZE])
+    def test_quantiles_within_documented_bound(self, size):
+        samples = RNG.lognormal(-6.5, 1.0, 4000)
+        sketch = DelayQuantileSketch(size, samples)
+        assert sketch.relative_accuracy == 1.0 / (size + 1)
+        assert_within_bound(sketch, samples)
+
+    def test_mixed_signs_and_zeros(self):
+        samples = np.concatenate(
+            [RNG.normal(0.0, 1e-3, 2000), np.zeros(37), [-5e-2, 5e-2]]
+        )
+        sketch = DelayQuantileSketch(512, samples)
+        assert_within_bound(sketch, samples)
+
+    def test_single_sample(self):
+        sketch = DelayQuantileSketch(512, [3.5e-3])
+        estimates = sketch.quantiles((0.0, 0.5, 1.0))
+        for value in estimates.values():
+            assert value == pytest.approx(3.5e-3, rel=sketch.relative_accuracy)
+
+    def test_extreme_quantiles_clamp_to_tracked_min_max(self):
+        samples = RNG.lognormal(-6, 1, 500)
+        sketch = DelayQuantileSketch(64, samples)
+        alpha = sketch.relative_accuracy
+        low, high = float(samples.min()), float(samples.max())
+        estimates = sketch.quantiles((0.0, 1.0))
+        assert low <= estimates[0.0] <= low * (1 + alpha)
+        assert high * (1 - alpha) <= estimates[1.0] <= high
+
+    def test_value_bounds_contain_the_exact_quantile(self):
+        samples = RNG.lognormal(-6, 1.2, 3000)
+        sketch = DelayQuantileSketch(128, samples)
+        for quantile, estimate in sketch.quantiles((0.5, 0.9, 0.99)).items():
+            lower, upper = sketch.value_bounds(estimate)
+            assert lower <= float(np.quantile(samples, quantile)) <= upper
+
+    def test_empty_sketch(self):
+        sketch = DelayQuantileSketch()
+        assert len(sketch) == 0
+        assert sketch.quantiles((0.5, 0.9)) == {}
+        assert sketch.bucket_count == 0
+
+
+class TestMergeAndDeterminism:
+    def test_merge_equals_one_shot_extend(self):
+        samples = RNG.lognormal(-6, 1, 900)
+        parts = np.array_split(samples, 7)
+        merged = DelayQuantileSketch(256)
+        for part in parts:
+            merged.merge(DelayQuantileSketch(256, part))
+        one_shot = DelayQuantileSketch(256, samples)
+        assert merged.state_digest() == one_shot.state_digest()
+        assert merged.quantiles(QUANTILES) == one_shot.quantiles(QUANTILES)
+
+    def test_merge_is_commutative_byte_for_byte(self):
+        a = DelayQuantileSketch(128, RNG.lognormal(-6, 1, 200))
+        b = DelayQuantileSketch(128, RNG.lognormal(-7, 2, 300))
+        ab = DelayQuantileSketch.from_state(a.to_state()).merge(b)
+        ba = DelayQuantileSketch.from_state(b.to_state()).merge(a)
+        assert ab.state_digest() == ba.state_digest()
+
+    def test_extend_order_never_matters(self):
+        samples = RNG.normal(1e-3, 3e-4, 400)
+        forward = DelayQuantileSketch(512, samples)
+        backward = DelayQuantileSketch(512, samples[::-1])
+        sorted_in = DelayQuantileSketch(512, np.sort(samples))
+        assert (
+            forward.state_digest()
+            == backward.state_digest()
+            == sorted_in.state_digest()
+        )
+
+    def test_merge_rejects_mismatched_size(self):
+        with pytest.raises(ValueError, match="different size budgets"):
+            DelayQuantileSketch(128).merge(DelayQuantileSketch(256))
+
+    def test_merge_rejects_non_sketch(self):
+        with pytest.raises(ValueError, match="DelayQuantileSketch"):
+            DelayQuantileSketch(128).merge([1.0, 2.0])
+
+    def test_merge_with_empty_is_identity(self):
+        samples = RNG.lognormal(-6, 1, 100)
+        sketch = DelayQuantileSketch(512, samples)
+        before = sketch.state_digest()
+        sketch.merge(DelayQuantileSketch(512))
+        assert sketch.state_digest() == before
+        empty = DelayQuantileSketch(512)
+        empty.merge(DelayQuantileSketch(512, samples))
+        assert empty.state_digest() == before
+
+    def test_bucket_count_is_independent_of_sample_count(self):
+        base = RNG.lognormal(-6, 0.5, 500)
+        small = DelayQuantileSketch(512, base)
+        large = DelayQuantileSketch(512, np.tile(base, 50))
+        assert large.bucket_count == small.bucket_count
+        assert len(large) == 50 * len(small)
+
+
+class TestSerialization:
+    def test_state_round_trip_is_bit_exact(self):
+        samples = np.concatenate(
+            [RNG.lognormal(-6, 1.5, 800), -RNG.lognormal(-8, 1, 100), np.zeros(5)]
+        )
+        sketch = DelayQuantileSketch(256, samples)
+        clone = DelayQuantileSketch.from_state(sketch.to_state())
+        assert clone.state_digest() == sketch.state_digest()
+        assert clone.quantiles(QUANTILES) == sketch.quantiles(QUANTILES)
+        assert len(clone) == len(sketch)
+
+    def test_state_is_json_safe(self):
+        import json
+
+        sketch = DelayQuantileSketch(64, RNG.lognormal(-6, 1, 50))
+        payload = json.loads(json.dumps(sketch.to_state()))
+        assert DelayQuantileSketch.from_state(payload).state_digest() == (
+            sketch.state_digest()
+        )
+
+    def test_pickle_preserves_digest(self):
+        sketch = DelayQuantileSketch(512, RNG.lognormal(-6, 1, 200))
+        assert pickle.loads(pickle.dumps(sketch)).state_digest() == (
+            sketch.state_digest()
+        )
+
+    def test_from_state_rejects_bad_version(self):
+        state = DelayQuantileSketch(64, [1.0]).to_state()
+        state["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            DelayQuantileSketch.from_state(state)
+
+    def test_from_state_rejects_inconsistent_count(self):
+        state = DelayQuantileSketch(64, [1.0, 2.0]).to_state()
+        state["count"] = 5
+        with pytest.raises(ValueError, match="does not match"):
+            DelayQuantileSketch.from_state(state)
+
+    def test_from_state_rejects_non_positive_bucket_counts(self):
+        state = DelayQuantileSketch(64, [1.0]).to_state()
+        (key,) = state["positive"]
+        state["positive"][key] = 0
+        with pytest.raises(ValueError, match="non-positive"):
+            DelayQuantileSketch.from_state(state)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_rejects_non_finite_samples(self, bad):
+        with pytest.raises(ValueError, match="finite"):
+            DelayQuantileSketch(512, [1e-3, bad])
+        with pytest.raises(ValueError, match="finite"):
+            DelayQuantileSketch(512).extend([bad])
+
+    def test_rejects_tiny_size(self):
+        with pytest.raises(ValueError, match="size"):
+            DelayQuantileSketch(4)
+
+    def test_rejects_non_int_size(self):
+        with pytest.raises(ValueError, match="int"):
+            DelayQuantileSketch(512.0)
+
+    def test_rejects_bad_quantile(self):
+        with pytest.raises(ValueError):
+            DelayQuantileSketch(512, [1.0]).quantiles([1.5])
