@@ -255,6 +255,99 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return _drive(runner, args, store)
 
 
+def _cmd_dispatch(args: argparse.Namespace) -> int:
+    from repro.dist.dispatch import (
+        ChaosSchedule,
+        DispatchCoordinator,
+        DispatchError,
+        DispatchWorker,
+        validate_dispatch_policy,
+    )
+
+    run_dir = Path(args.run_dir).resolve()
+    if args.spec is not None and not (run_dir / "spec.json").exists():
+        spec = _load_spec(args.spec)
+        try:
+            store = RunStore.create(run_dir, spec)
+        except RunStoreError as exc:
+            _fail(str(exc))
+        if not args.quiet:
+            print(f"run store: {run_dir} (spec hash {spec.spec_hash()[:12]})")
+    else:
+        try:
+            store = RunStore.open(run_dir)
+        except RunStoreError as exc:
+            _fail(str(exc))
+        if args.spec is not None:
+            try:
+                store.validate_spec(_load_spec(args.spec))
+            except RunStoreError as exc:
+                _fail(str(exc))
+    if args.lease <= 0:
+        _fail(f"--lease must be > 0 seconds, got {args.lease}")
+    if args.max_intervals is not None:
+        _fail(
+            "dispatch runs a campaign to completion; --max-intervals applies "
+            "to `repro run`/`repro resume`"
+        )
+    policy = _build_policy(store.spec(), args)
+    try:
+        policy = validate_dispatch_policy(store.spec(), policy)
+    except ValueError as exc:
+        _fail(str(exc))
+
+    if args.worker_only:
+        if args.chaos_seed is not None or args.chaos_kills:
+            _fail("--chaos-seed/--chaos-kills apply to the coordinator only")
+        worker = DispatchWorker(
+            run_dir, policy=policy, worker_id=args.worker_id, lease=args.lease
+        )
+        computed = worker.run()
+        if not args.quiet:
+            print(f"worker {worker.worker_id}: computed {computed} interval(s)")
+        return 0
+
+    if args.chaos_kills and args.chaos_seed is None:
+        _fail("--chaos-kills needs --chaos-seed so the kill schedule reproduces")
+    chaos = None
+    if args.chaos_seed is not None:
+        chaos = ChaosSchedule(seed=args.chaos_seed, kills=args.chaos_kills)
+    spec = store.spec()
+
+    def progress(event: CampaignEvent) -> None:
+        if args.quiet or not isinstance(event, IntervalCommitted):
+            return
+        print(
+            f"interval {event.interval + 1}/{spec.intervals} committed "
+            f"[receipts {event.record['receipts_digest'][:12]}]",
+            flush=True,
+        )
+
+    coordinator = DispatchCoordinator(
+        store,
+        policy=policy,
+        workers=args.workers,
+        lease=args.lease,
+        chaos=chaos,
+        on_event=progress,
+    )
+    try:
+        coordinator.run()
+    except KeyboardInterrupt:
+        print(
+            f"\ninterrupted after {store.next_interval} committed interval(s); "
+            f"continue with: repro dispatch {store.path}",
+            file=sys.stderr,
+        )
+        return 130
+    except DispatchError as exc:
+        _fail(str(exc))
+    if not args.quiet:
+        print(f"campaign complete: {store.path} ({spec.intervals} intervals)")
+        _print_report(store)
+    return 0
+
+
 def _cmd_resume(args: argparse.Namespace) -> int:
     try:
         store = RunStore.open(args.run_dir)
@@ -515,12 +608,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         _fail(f"--port must be in [0, 65535], got {args.port}")
     if args.workers < 1:
         _fail(f"--workers must be >= 1, got {args.workers}")
+    if args.dispatch_workers < 1:
+        _fail(f"--dispatch-workers must be >= 1, got {args.dispatch_workers}")
     serve(
         store_root=args.store_root,
         host=args.host,
         port=args.port,
         workers=args.workers,
         execution=args.execution,
+        dispatch_workers=args.dispatch_workers,
         quiet=args.quiet,
     )
     return 0
@@ -657,6 +753,68 @@ def build_parser() -> argparse.ArgumentParser:
     _execution_knobs(resume_parser)
     resume_parser.set_defaults(handler=_cmd_resume)
 
+    dispatch_parser = commands.add_parser(
+        "dispatch",
+        help="run a campaign across a pool of workers (distributed dispatch); "
+        "the finished store is byte-identical to a single-host `repro run`",
+    )
+    dispatch_parser.add_argument(
+        "run_dir",
+        help="the run-store directory (shared by every worker and the "
+        "coordinator; create it here with --spec if it does not exist yet)",
+    )
+    dispatch_parser.add_argument(
+        "--spec",
+        default=None,
+        metavar="SPEC.JSON",
+        help="create the run store from this CampaignSpec when RUN_DIR holds "
+        "none (validated against the store otherwise)",
+    )
+    dispatch_parser.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="local worker processes to spawn (default: 2; 0 = commit-only "
+        "coordinator fed by --worker-only processes on other hosts)",
+    )
+    dispatch_parser.add_argument(
+        "--lease",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="interval claim lease; a worker that stops heartbeating for this "
+        "long is presumed dead and its interval is re-claimed (default: 30)",
+    )
+    dispatch_parser.add_argument(
+        "--worker-only",
+        action="store_true",
+        help="run one claim/compute/stage worker against RUN_DIR and exit "
+        "when no work remains (the remote-host role; a coordinator elsewhere "
+        "commits)",
+    )
+    dispatch_parser.add_argument(
+        "--worker-id",
+        default=None,
+        help="stable worker identity for claims (default: <host>-<pid>)",
+    )
+    dispatch_parser.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="chaos hook: SIGKILL local workers mid-interval on a seeded, "
+        "reproducible schedule (testing/CI)",
+    )
+    dispatch_parser.add_argument(
+        "--chaos-kills",
+        type=int,
+        default=0,
+        metavar="K",
+        help="number of chaos kills to deliver (requires --chaos-seed)",
+    )
+    _execution_knobs(dispatch_parser)
+    dispatch_parser.set_defaults(handler=_cmd_dispatch)
+
     report_parser = commands.add_parser(
         "report", help="print the campaign SLA verdict table for a run store"
     )
@@ -719,10 +877,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_parser.add_argument(
         "--execution",
-        choices=("subprocess", "inprocess"),
+        choices=("subprocess", "inprocess", "dispatch"),
         default="subprocess",
-        help="run campaigns as kill-safe `repro resume` subprocesses (default) "
-        "or in worker threads",
+        help="run campaigns as kill-safe `repro resume` subprocesses (default), "
+        "in worker threads, or as distributed `repro dispatch` coordinators",
+    )
+    serve_parser.add_argument(
+        "--dispatch-workers",
+        type=int,
+        default=2,
+        help="worker processes per campaign under --execution dispatch "
+        "(default: 2)",
     )
     serve_parser.add_argument(
         "--quiet", action="store_true", help="suppress the startup banner"

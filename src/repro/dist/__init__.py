@@ -1,0 +1,31 @@
+"""Distributed campaign dispatch across worker processes and hosts.
+
+See :mod:`repro.dist.dispatch` for the coordinator/worker protocol and
+:mod:`repro.dist.claims` for the lease-based claim board.
+"""
+
+from repro.dist.claims import Claim, ClaimBoard, LeaseRenewer
+from repro.dist.dispatch import (
+    DISPATCH_DIR,
+    ChaosSchedule,
+    DispatchCoordinator,
+    DispatchError,
+    DispatchWorker,
+    StagingArea,
+    dispatch_campaign,
+    validate_dispatch_policy,
+)
+
+__all__ = [
+    "DISPATCH_DIR",
+    "ChaosSchedule",
+    "Claim",
+    "ClaimBoard",
+    "DispatchCoordinator",
+    "DispatchError",
+    "DispatchWorker",
+    "LeaseRenewer",
+    "StagingArea",
+    "dispatch_campaign",
+    "validate_dispatch_policy",
+]

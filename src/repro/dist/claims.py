@@ -1,0 +1,190 @@
+"""Lease-based interval claims for distributed campaign dispatch.
+
+A :class:`ClaimBoard` coordinates *which worker is computing which interval*
+through plain files on the filesystem the run store lives on — the same
+shared directory remote hosts already mount to reach the store, so no extra
+transport is needed.  One claim file per interval, JSON, atomically replaced:
+
+* **Claiming** is an ``O_CREAT | O_EXCL`` create — exactly one worker wins a
+  fresh interval.
+* **Leases expire.** A claim carries ``expires_at`` (wall clock, renewed by a
+  background heartbeat while the owner computes); a claim past its expiry is
+  up for **takeover** via an atomic replace.  That is the straggler/crash
+  re-execution path: a SIGKILLed worker's claim goes stale after one lease
+  and any idle worker re-claims the interval.
+* **Takeover races are benign by design.**  Two workers that both observe an
+  expired lease may both replace it and both compute the interval.  Interval
+  ``i`` is a pure function of ``(spec, i)``, so the duplicate results are
+  byte-identical — the staging layer *asserts* that identity before dropping
+  the duplicate rather than trusting it.  The claim board therefore only has
+  to make double-execution rare, never impossible.
+
+Leases compare wall-clock times written by different hosts, so the usual
+lease caveat applies: keep the lease comfortably above the expected clock
+skew (the default is 30 s; NTP-synced hosts skew milliseconds).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["Claim", "ClaimBoard", "LeaseRenewer"]
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One parsed claim file: who owns an interval, and until when."""
+
+    interval: int
+    worker: str
+    expires_at: float
+
+    def expired(self, now: float | None = None) -> bool:
+        return (now if now is not None else time.time()) >= self.expires_at
+
+
+class ClaimBoard:
+    """File-per-interval claims under ``<dispatch_dir>/claims``."""
+
+    def __init__(
+        self, dispatch_dir: Path | str, worker: str, lease: float = 30.0
+    ) -> None:
+        if lease <= 0:
+            raise ValueError(f"lease must be > 0 seconds, got {lease}")
+        self.claims_dir = Path(dispatch_dir) / "claims"
+        self.worker = worker
+        self.lease = lease
+        self.claims_dir.mkdir(parents=True, exist_ok=True)
+
+    # -- paths -------------------------------------------------------------------------
+
+    def path(self, interval: int) -> Path:
+        return self.claims_dir / f"interval-{interval:06d}.json"
+
+    def _payload(self, interval: int) -> bytes:
+        return json.dumps(
+            {
+                "interval": interval,
+                "worker": self.worker,
+                "expires_at": time.time() + self.lease,
+            }
+        ).encode("utf-8")
+
+    # -- reading -----------------------------------------------------------------------
+
+    def holder(self, interval: int) -> Claim | None:
+        """The current claim on ``interval``, or None when unclaimed.
+
+        A claim file that cannot be parsed (a crash mid-create, a truncated
+        write) is reported as an already-expired claim so it is eligible for
+        takeover rather than wedging the interval forever.
+        """
+        try:
+            payload = json.loads(self.path(interval).read_bytes())
+            return Claim(
+                interval=int(payload["interval"]),
+                worker=str(payload["worker"]),
+                expires_at=float(payload["expires_at"]),
+            )
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            return Claim(interval=interval, worker="<corrupt>", expires_at=0.0)
+
+    def claims(self) -> dict[int, Claim]:
+        """Every interval currently holding a claim file."""
+        held: dict[int, Claim] = {}
+        try:
+            names = sorted(os.listdir(self.claims_dir))
+        except OSError:
+            return held
+        for name in names:
+            if not (name.startswith("interval-") and name.endswith(".json")):
+                continue
+            try:
+                interval = int(name[len("interval-") : -len(".json")])
+            except ValueError:
+                continue
+            claim = self.holder(interval)
+            if claim is not None:
+                held[interval] = claim
+        return held
+
+    # -- writing -----------------------------------------------------------------------
+
+    def try_claim(self, interval: int) -> bool:
+        """Claim ``interval`` if unclaimed or expired; True when we now own it."""
+        path = self.path(interval)
+        try:
+            fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+        except FileExistsError:
+            existing = self.holder(interval)
+            if existing is None:
+                # Deleted between our open and our read; next scan retries.
+                return False
+            if not existing.expired():
+                return False
+            # Takeover of a stale lease: atomic replace.  Two racing
+            # takeovers may both "win" — see the module docstring for why
+            # double execution is legal here.
+            self._rewrite(interval)
+            return True
+        try:
+            os.write(fd, self._payload(interval))
+        finally:
+            os.close(fd)
+        return True
+
+    def _rewrite(self, interval: int) -> None:
+        path = self.path(interval)
+        scratch = path.with_name(f"{path.name}.{self.worker}.tmp")
+        scratch.write_bytes(self._payload(interval))
+        os.replace(scratch, path)
+
+    def renew(self, interval: int) -> None:
+        """Extend our lease on ``interval`` (the heartbeat while computing)."""
+        self._rewrite(interval)
+
+    def release(self, interval: int) -> None:
+        """Drop the claim on ``interval`` (after staging its result)."""
+        self.path(interval).unlink(missing_ok=True)
+
+
+class LeaseRenewer:
+    """Background heartbeat renewing one claim while its owner computes.
+
+    Renewal happens every ``lease / 3`` so a single missed beat never lets
+    the lease lapse; a SIGKILLed owner simply stops beating and the lease
+    expires on schedule.
+    """
+
+    def __init__(self, board: ClaimBoard, interval: int) -> None:
+        self._board = board
+        self._interval = interval
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run, name=f"repro-lease-renew-{interval}", daemon=True
+        )
+
+    def _run(self) -> None:
+        period = self._board.lease / 3.0
+        while not self._stop.wait(period):
+            try:
+                self._board.renew(self._interval)
+            except OSError:
+                # A vanished claims dir (coordinator cleanup) just means the
+                # campaign finished around us; the compute result still lands.
+                return
+
+    def __enter__(self) -> "LeaseRenewer":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._stop.set()
+        self._thread.join(timeout=self._board.lease)

@@ -1,0 +1,561 @@
+"""Distributed campaign dispatch: many workers, one ordered commit point.
+
+The campaign engine already has every ingredient exactly-once distributed
+execution needs: interval ``i`` is a pure function of ``(spec, i)``,
+accumulator state folds associatively from the stored records, and the
+:class:`~repro.store.RunStore` validates spec hashes.  This module arranges
+those pieces into a coordinator/worker protocol over a shared run directory
+(worker processes on one host, or remote hosts mounting the same store
+root):
+
+* **Workers** (:class:`DispatchWorker`) claim pending intervals through the
+  lease-based :class:`~repro.dist.claims.ClaimBoard` (work-stealing: lowest
+  unclaimed interval first, expired leases taken over), compute the interval
+  record with the ordinary pure :func:`~repro.engine.campaign.interval_record`,
+  and stage the result as one atomic file under ``<run_dir>/dispatch/staging``.
+  Workers never touch ``records.jsonl``.
+* **The coordinator** (:class:`DispatchCoordinator`) is the store's single
+  writer.  The staging directory *is* its reorder buffer: staged records
+  commit to the store strictly in interval order, each one folded into a
+  :class:`~repro.engine.campaign.CampaignAccumulator` exactly as a
+  single-host :class:`~repro.engine.campaign.CampaignRunner` would fold it,
+  so the finished store — records, summary, everything — is **byte-identical**
+  to an uninterrupted ``repro run`` of the same spec.
+* **Duplicates are asserted, not assumed.**  Straggler re-execution (a
+  worker SIGKILLed mid-interval, a lease takeover race) can produce the same
+  interval twice.  Determinism makes the duplicate byte-identical; both the
+  staging layer and the committed-record check *verify* that identity and
+  raise :class:`DispatchError` on any mismatch instead of silently dropping
+  data.
+
+The coordinator also supervises local worker subprocesses (respawning any
+that die while work remains) and hosts the seeded chaos hook the
+``distributed-smoke`` CI job and the chaos tests drive: ``chaos_seed`` /
+``chaos_kills`` SIGKILL live workers — preferring one currently holding a
+claim, i.e. mid-interval — on a reproducible schedule.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import shutil
+import signal
+import socket
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Mapping
+
+from repro.api.spec import CampaignSpec, ExecutionPolicy
+from repro.dist.claims import ClaimBoard, LeaseRenewer
+from repro.engine.campaign import (
+    CampaignAccumulator,
+    CampaignEvent,
+    CampaignRunOutcome,
+    IntervalCommitted,
+    RunComplete,
+    interval_record,
+)
+from repro.store import RunStore, stable_json
+from repro.store.runstore import RECORDS_FILE, SPEC_FILE
+
+__all__ = [
+    "DISPATCH_DIR",
+    "ChaosSchedule",
+    "DispatchCoordinator",
+    "DispatchError",
+    "DispatchWorker",
+    "StagingArea",
+    "dispatch_campaign",
+    "validate_dispatch_policy",
+]
+
+#: Scratch directory inside the run store; removed when the campaign
+#: completes so a dispatched store diffs clean against a single-host run.
+DISPATCH_DIR = "dispatch"
+
+#: Default lease (seconds) on one interval claim; see claims.py for the
+#: clock-skew caveat.
+DEFAULT_LEASE = 30.0
+
+
+class DispatchError(RuntimeError):
+    """The dispatch protocol hit a state determinism forbids."""
+
+
+def validate_dispatch_policy(
+    spec: CampaignSpec, policy: ExecutionPolicy | None
+) -> ExecutionPolicy:
+    """Resolve (and vet) the execution policy every dispatch worker runs.
+
+    Mid-interval checkpointing is a single-writer feature — a worker's
+    partial stream state has no home in the staging protocol — so
+    ``checkpoint_every`` is rejected up front.
+    """
+    policy = policy if policy is not None else ExecutionPolicy()
+    if policy.checkpoint_every is not None:
+        raise ValueError(
+            "dispatch workers recompute an interval from its start on "
+            "re-claim; checkpoint_every applies to single-host runs only"
+        )
+    return policy.bind(spec.cell)
+
+
+def _committed_count(store: RunStore) -> int:
+    """Committed records right now (newline count; tolerates a torn tail)."""
+    records_path = Path(store.path) / RECORDS_FILE
+    try:
+        return records_path.read_bytes().count(b"\n")
+    except OSError:
+        return 0
+
+
+class StagingArea:
+    """Per-interval staged records under ``<run_dir>/dispatch/staging``.
+
+    A staged record is one atomically-renamed file whose bytes are exactly
+    the ``records.jsonl`` line the coordinator will append (stable JSON plus
+    the trailing newline), so staging a duplicate reduces to a byte compare.
+    """
+
+    def __init__(self, dispatch_dir: Path | str) -> None:
+        self.staging_dir = Path(dispatch_dir) / "staging"
+        self.staging_dir.mkdir(parents=True, exist_ok=True)
+
+    def path(self, interval: int) -> Path:
+        return self.staging_dir / f"interval-{interval:06d}.json"
+
+    def stage(self, interval: int, record: Mapping[str, Any], worker: str) -> bool:
+        """Stage one computed record; False when an identical copy already sits.
+
+        A pre-existing staged record must be byte-identical (determinism);
+        anything else is a :class:`DispatchError`, never a silent overwrite.
+        """
+        line = (stable_json(dict(record)) + "\n").encode("utf-8")
+        path = self.path(interval)
+        existing = self._read(path)
+        if existing is not None:
+            if existing != line:
+                raise DispatchError(
+                    f"staged record for interval {interval} differs from a "
+                    f"re-execution's result; interval records must be pure "
+                    f"functions of (spec, interval)"
+                )
+            return False
+        scratch = path.with_name(f"{path.name}.{worker}.tmp")
+        with open(scratch, "wb") as handle:
+            handle.write(line)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(scratch, path)
+        return True
+
+    def _read(self, path: Path) -> bytes | None:
+        try:
+            return path.read_bytes()
+        except OSError:
+            return None
+
+    def staged(self) -> dict[int, Path]:
+        """Every staged interval, sorted by index."""
+        out: dict[int, Path] = {}
+        try:
+            names = sorted(os.listdir(self.staging_dir))
+        except OSError:
+            return out
+        for name in names:
+            if not (name.startswith("interval-") and name.endswith(".json")):
+                continue
+            try:
+                interval = int(name[len("interval-") : -len(".json")])
+            except ValueError:
+                continue
+            out[interval] = self.staging_dir / name
+        return out
+
+    def load(self, interval: int) -> tuple[dict[str, Any], bytes]:
+        payload = self.path(interval).read_bytes()
+        return json.loads(payload), payload
+
+    def discard(self, interval: int) -> None:
+        self.path(interval).unlink(missing_ok=True)
+
+
+def default_worker_id() -> str:
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+class DispatchWorker:
+    """One claim/compute/stage loop over a shared run directory.
+
+    Run it in-process (tests, embedding) or as a ``repro dispatch
+    --worker-only`` subprocess (the coordinator's local pool, or a remote
+    host pointed at the shared store root).  The worker only ever *reads*
+    the store — committed progress is the newline count of ``records.jsonl``
+    — and hands finished records to the coordinator through the staging
+    directory.
+    """
+
+    def __init__(
+        self,
+        run_dir: Path | str,
+        policy: ExecutionPolicy | None = None,
+        worker_id: str | None = None,
+        lease: float = DEFAULT_LEASE,
+        poll: float = 0.05,
+    ) -> None:
+        self.store = RunStore.open(run_dir)
+        self.spec = self.store.spec()
+        self.policy = validate_dispatch_policy(self.spec, policy)
+        self.worker_id = worker_id if worker_id is not None else default_worker_id()
+        self.poll = poll
+        dispatch_dir = Path(self.store.path) / DISPATCH_DIR
+        self.claims = ClaimBoard(dispatch_dir, worker=self.worker_id, lease=lease)
+        self.staging = StagingArea(dispatch_dir)
+
+    def _pending(self) -> list[int]:
+        """Intervals not yet committed and not yet staged, lowest first."""
+        committed = _committed_count(self.store)
+        if committed >= self.spec.intervals:
+            return []
+        staged = self.staging.staged()
+        return [
+            interval
+            for interval in range(committed, self.spec.intervals)
+            if interval not in staged
+        ]
+
+    def run_one(self) -> int | None:
+        """Claim and compute one interval; its index, or None when idle.
+
+        "Idle" covers both nothing-left (every remaining interval is staged
+        or committed) and everything-claimed (other workers own the pending
+        intervals under live leases — the caller decides whether to wait for
+        a straggler's lease to lapse).
+        """
+        for interval in self._pending():
+            if not self.claims.try_claim(interval):
+                continue
+            with LeaseRenewer(self.claims, interval):
+                record = interval_record(self.spec, interval, policy=self.policy)
+            self.staging.stage(interval, record, worker=self.worker_id)
+            self.claims.release(interval)
+            if self.policy.throttle > 0:
+                # The staged record is durable; the pause gives chaos
+                # harnesses a deterministic kill window per interval.
+                time.sleep(self.policy.throttle)
+            return interval
+        return None
+
+    def run(self) -> int:
+        """Work until every remaining interval is staged or committed."""
+        computed = 0
+        while True:
+            if self.run_one() is not None:
+                computed += 1
+                continue
+            if not self._pending():
+                return computed
+            # Every pending interval is claimed under a live lease; wait for
+            # progress (a commit, a staged result) or a lease expiry.
+            time.sleep(self.poll)
+
+
+@dataclass(frozen=True)
+class ChaosSchedule:
+    """Seeded kill schedule for the chaos hook (reproducible by seed)."""
+
+    seed: int
+    kills: int
+    min_delay: float = 0.2
+    max_delay: float = 1.0
+
+    def delays(self) -> "random.Random":
+        return random.Random(self.seed)
+
+
+class DispatchCoordinator:
+    """The run store's single writer plus the local worker supervisor.
+
+    ``workers=0`` runs commit-only: the coordinator folds whatever remote
+    (or pre-staged) workers deliver, which is the multi-host topology — one
+    ``repro dispatch <dir> --workers 0`` next to the store, any number of
+    ``repro dispatch <dir> --worker-only`` processes on other hosts.
+    """
+
+    def __init__(
+        self,
+        store: RunStore,
+        policy: ExecutionPolicy | None = None,
+        workers: int = 2,
+        lease: float = DEFAULT_LEASE,
+        poll: float = 0.05,
+        chaos: ChaosSchedule | None = None,
+        on_event: Callable[[CampaignEvent], None] | None = None,
+    ) -> None:
+        if workers < 0:
+            raise ValueError(f"workers must be >= 0, got {workers}")
+        self.store = store
+        self.spec = store.spec()
+        self.policy = validate_dispatch_policy(self.spec, policy)
+        self.workers = workers
+        self.lease = lease
+        self.poll = poll
+        self.chaos = chaos
+        self.on_event = on_event
+        self.dispatch_dir = Path(store.path) / DISPATCH_DIR
+        self.staging = StagingArea(self.dispatch_dir)
+        self.claims = ClaimBoard(self.dispatch_dir, worker="coordinator", lease=lease)
+        self._children: dict[str, subprocess.Popen] = {}
+        self._spawned = 0
+
+    # -- events ------------------------------------------------------------------------
+
+    def _emit(self, event: CampaignEvent) -> None:
+        if self.on_event is not None:
+            self.on_event(event)
+
+    # -- worker subprocesses -----------------------------------------------------------
+
+    def _worker_argv(self, worker_id: str) -> list[str]:
+        argv = [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "dispatch",
+            str(Path(self.store.path).resolve()),
+            "--worker-only",
+            "--worker-id",
+            worker_id,
+            "--lease",
+            repr(self.lease),
+            "--quiet",
+        ]
+        if self.policy.engine is not None:
+            argv += ["--engine", self.policy.engine]
+        if self.policy.shards != 1:
+            argv += ["--shards", str(self.policy.shards)]
+        if self.policy.chunk_size is not None:
+            argv += ["--chunk-size", str(self.policy.chunk_size)]
+        if self.policy.throttle:
+            argv += ["--throttle", repr(self.policy.throttle)]
+        return argv
+
+    def _spawn_worker(self) -> None:
+        import repro
+
+        self._spawned += 1
+        worker_id = f"{socket.gethostname()}-{os.getpid()}-w{self._spawned}"
+        package_parent = str(Path(repro.__file__).resolve().parent.parent)
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [package_parent, env["PYTHONPATH"]]
+            if env.get("PYTHONPATH")
+            else [package_parent]
+        )
+        self._children[worker_id] = subprocess.Popen(
+            self._worker_argv(worker_id),
+            env=env,
+            stdout=subprocess.DEVNULL,
+        )
+
+    def _reap_and_respawn(self) -> None:
+        """Collect exited workers; respawn crashed ones while work remains."""
+        for worker_id, child in list(self._children.items()):
+            status = child.poll()
+            if status is None:
+                continue
+            del self._children[worker_id]
+            if status != 0 and not self._all_work_delivered():
+                self._spawn_worker()
+
+    def _all_work_delivered(self) -> bool:
+        committed = self.store.record_count
+        if committed >= self.spec.intervals:
+            return True
+        staged = self.staging.staged()
+        return all(
+            interval in staged for interval in range(committed, self.spec.intervals)
+        )
+
+    def _terminate_workers(self) -> None:
+        for child in self._children.values():
+            if child.poll() is None:
+                child.terminate()
+        deadline = time.monotonic() + 5.0
+        for child in self._children.values():
+            remaining = max(0.0, deadline - time.monotonic())
+            try:
+                child.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                child.kill()
+                child.wait()
+        self._children.clear()
+
+    # -- chaos -------------------------------------------------------------------------
+
+    def _chaos_step(self, rng: "random.Random", state: dict[str, Any]) -> None:
+        """SIGKILL a live worker on the seeded schedule (prefer mid-interval)."""
+        if state["kills_left"] <= 0 or time.monotonic() < state["next_kill"]:
+            return
+        live = {
+            worker_id: child
+            for worker_id, child in self._children.items()
+            if child.poll() is None
+        }
+        if not live:
+            return
+        # Killing a worker that currently holds a claim is a guaranteed
+        # mid-interval kill — the interesting case for straggler re-execution.
+        holding = sorted(
+            {claim.worker for claim in self.claims.claims().values()} & set(live)
+        )
+        victims = holding if holding else sorted(live)
+        victim = rng.choice(victims)
+        try:
+            os.kill(live[victim].pid, signal.SIGKILL)
+        except OSError:
+            return
+        state["kills_left"] -= 1
+        state["next_kill"] = time.monotonic() + rng.uniform(
+            self.chaos.min_delay, self.chaos.max_delay
+        )
+
+    # -- committing --------------------------------------------------------------------
+
+    def _committed_line(self, interval: int) -> bytes:
+        """The exact committed bytes of record ``interval`` (for duplicate checks)."""
+        payload = self.store.records_path.read_bytes()
+        lines = payload[: payload.rfind(b"\n") + 1].split(b"\n")
+        return lines[interval] + b"\n"
+
+    def _commit_ready(self, accumulator: CampaignAccumulator) -> int:
+        """Fold every commit-ready staged record into the store, in order."""
+        staged = self.staging.staged()
+        committed = 0
+        next_interval = self.store.next_interval
+        # A straggler may re-deliver an interval that already committed
+        # (claimed before the commit, staged after).  The duplicate must be
+        # byte-identical to the committed line; assert, then drop.
+        for interval in sorted(staged):
+            if interval >= next_interval:
+                break
+            _, line = self.staging.load(interval)
+            if line != self._committed_line(interval):
+                raise DispatchError(
+                    f"re-executed interval {interval} disagrees with its "
+                    f"committed record; the store or a worker is corrupt"
+                )
+            self.staging.discard(interval)
+        while True:
+            next_interval = self.store.next_interval
+            if next_interval >= self.spec.intervals or next_interval not in staged:
+                break
+            record, _ = self.staging.load(next_interval)
+            self.store.append(record)
+            accumulator.fold(record)
+            self.staging.discard(next_interval)
+            self.claims.release(next_interval)
+            committed += 1
+            self._emit(
+                IntervalCommitted(
+                    interval=next_interval,
+                    intervals=self.spec.intervals,
+                    record=record,
+                )
+            )
+        return committed
+
+    def _cleanup(self) -> None:
+        shutil.rmtree(self.dispatch_dir, ignore_errors=True)
+
+    # -- driving -----------------------------------------------------------------------
+
+    def run(self) -> CampaignRunOutcome:
+        """Dispatch until the campaign completes; byte-identical store out.
+
+        Safe to interrupt (SIGINT) and re-invoke: the store's committed
+        prefix is durable, staged results survive in the dispatch directory,
+        and a fresh coordinator folds both before spawning new workers.
+        """
+        # The coordinator is the single writer: repair any torn tail a
+        # previous coordinator's death left mid-append.
+        self.store.repair_torn_tail()
+        accumulator = CampaignAccumulator.from_records(self.spec, self.store.records())
+        ran = 0
+        rng = self.chaos.delays() if self.chaos is not None else None
+        chaos_state = {"kills_left": 0, "next_kill": 0.0}
+        if self.chaos is not None:
+            chaos_state = {
+                "kills_left": self.chaos.kills,
+                "next_kill": time.monotonic()
+                + rng.uniform(self.chaos.min_delay, self.chaos.max_delay),
+            }
+        try:
+            for _ in range(self.workers):
+                self._spawn_worker()
+            while accumulator.intervals_folded < self.spec.intervals:
+                progressed = self._commit_ready(accumulator)
+                ran += progressed
+                self._reap_and_respawn()
+                if self.chaos is not None:
+                    self._chaos_step(rng, chaos_state)
+                if not progressed:
+                    time.sleep(self.poll)
+            summary = accumulator.summary()
+            if self.store.summary() != summary:
+                self.store.write_summary(summary)
+            self._emit(RunComplete(intervals=self.spec.intervals, summary=summary))
+        finally:
+            self._terminate_workers()
+        self._cleanup()
+        return CampaignRunOutcome(
+            completed=True,
+            intervals_run=ran,
+            next_interval=self.store.next_interval,
+            summary=summary,
+        )
+
+
+def dispatch_campaign(
+    run_dir: Path | str,
+    spec: CampaignSpec | None = None,
+    policy: ExecutionPolicy | None = None,
+    workers: int = 2,
+    lease: float = DEFAULT_LEASE,
+    poll: float = 0.05,
+    chaos: ChaosSchedule | None = None,
+    on_event: Callable[[CampaignEvent], None] | None = None,
+) -> CampaignRunOutcome:
+    """Run one campaign to completion across ``workers`` local processes.
+
+    With ``spec`` given, a fresh store is created at ``run_dir`` (or, when a
+    store already exists there, the spec is validated against it — the
+    resume-a-killed-dispatch path).  The finished store is byte-identical to
+    a single-host ``repro run`` of the same spec.
+    """
+    run_dir = Path(run_dir)
+    if (run_dir / SPEC_FILE).exists():
+        store = RunStore.open(run_dir)
+        if spec is not None:
+            store.validate_spec(spec)
+    else:
+        if spec is None:
+            raise DispatchError(
+                f"{run_dir} holds no run store; pass a spec to create one"
+            )
+        store = RunStore.create(run_dir, spec)
+    coordinator = DispatchCoordinator(
+        store,
+        policy=policy,
+        workers=workers,
+        lease=lease,
+        poll=poll,
+        chaos=chaos,
+        on_event=on_event,
+    )
+    return coordinator.run()

@@ -211,10 +211,11 @@ class ServiceApp:
             if method == "POST":
                 return self._json(202, {"job": self._submit(environ)})
             self._require(method, "GET", path)
-            return self._json(200, {"jobs": [job.to_dict() for job in self._jobs()]})
+            return self._json(200, {"jobs": self._require_queue().snapshots()})
         if len(route) == 2 and route[0] == "jobs":
             self._require(method, "GET", path)
-            return self._json(200, {"job": self._job(route[1]).to_dict()})
+            queue = self._require_queue()
+            return self._json(200, {"job": queue.snapshot(self._job(route[1]))})
         if len(route) == 3 and route[0] == "jobs" and route[2] == "kill":
             self._require(method, "POST", path)
             return self._json(200, self._kill(route[1]))
@@ -286,7 +287,9 @@ class ServiceApp:
                     job = candidate  # latest submission wins
         detail = entry.to_dict()
         detail["summary"] = self._store(run_id).summary()
-        detail["job"] = job.to_dict() if job is not None else None
+        # Serialize through the queue (lock-holding snapshot): workers mutate
+        # job state/events concurrently and a bare to_dict() can tear.
+        detail["job"] = self.queue.snapshot(job) if job is not None else None
         return detail
 
     def _run_records(
@@ -341,9 +344,6 @@ class ServiceApp:
             raise HTTPError(503, "this service instance has no job queue")
         return self.queue
 
-    def _jobs(self):
-        return self._require_queue().jobs()
-
     def _job(self, job_id: str):
         job = self._require_queue().job(job_id)
         if job is None:
@@ -351,9 +351,10 @@ class ServiceApp:
         return job
 
     def _kill(self, job_id: str) -> dict[str, Any]:
+        queue = self._require_queue()
         job = self._job(job_id)
-        killed = self._require_queue().kill(job_id)
-        return {"job": job.to_dict(), "killed": killed}
+        killed = queue.kill(job_id)
+        return {"job": queue.snapshot(job), "killed": killed}
 
     def _read_body(self, environ: dict[str, Any]) -> dict[str, Any]:
         try:
@@ -400,7 +401,7 @@ class ServiceApp:
             raise HTTPError(409, str(exc)) from exc
         except (ValueError, RunStoreError) as exc:
             raise HTTPError(400, str(exc)) from exc
-        return job.to_dict()
+        return queue.snapshot(job)
 
 
 # -- serving -------------------------------------------------------------------------
@@ -439,10 +440,16 @@ def serve(
     port: int = 8642,
     workers: int = 2,
     execution: str = "subprocess",
+    dispatch_workers: int = 2,
     quiet: bool = False,
 ) -> None:
     """Run the measurement service until interrupted (the ``repro serve`` body)."""
-    queue = JobQueue(store_root, workers=workers, execution=execution)
+    queue = JobQueue(
+        store_root,
+        workers=workers,
+        execution=execution,
+        dispatch_workers=dispatch_workers,
+    )
     app = ServiceApp(store_root, queue=queue)
     server = make_service_server(host, port, app, quiet=True)
     bound_host, bound_port = server.server_address[:2]

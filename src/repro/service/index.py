@@ -8,7 +8,9 @@ length, so :class:`RunIndex` keeps a per-run cache keyed on the cheap
 observables that change when (and only when) a store changes:
 
 * ``spec.json`` is written once, atomically, at creation — parse it once and
-  cache forever.
+  cache it for as long as *the same file* is there.  A run dir that is
+  deleted and recreated under the same id gets a new ``spec.json`` inode, so
+  the cache keys on the spec file's stat signature, not just its presence.
 * a record commits by appending exactly one newline to ``records.jsonl`` —
   the committed-record count *is* the newline count, torn tails included,
   so progress is one ``read_bytes`` + ``count`` without JSON parsing.
@@ -84,6 +86,7 @@ class _CacheSlot:
     name: str
     spec_hash: str
     intervals: int
+    spec_sig: tuple[int, int, int]
     records_size: int
     has_summary: bool
     entry: RunEntry
@@ -107,6 +110,23 @@ class RunIndex:
         except (OSError, ValueError, KeyError, TypeError):
             return None
 
+    @staticmethod
+    def _spec_signature(run_dir: Path) -> tuple[int, int, int] | None:
+        """Stat signature of ``spec.json``: changes iff the file is replaced.
+
+        ``spec.json`` is immutable for the lifetime of a run dir, but the run
+        dir itself is not immortal: delete it and recreate a different run
+        under the same id and a cache keyed only on ``records_size`` serves
+        the *old* run's name/spec_hash/intervals whenever the sizes happen to
+        collide (an empty recreated run vs. a cached empty run, for one).
+        ``(mtime_ns, size, inode)`` pins the cache to this exact spec file.
+        """
+        try:
+            st = (run_dir / SPEC_FILE).stat()
+        except OSError:
+            return None
+        return (st.st_mtime_ns, st.st_size, st.st_ino)
+
     def _observe(self, run_dir: Path) -> RunEntry | None:
         """The current entry for one run dir, reusing the cache when fresh."""
         run_id = run_dir.name
@@ -116,10 +136,17 @@ class RunIndex:
         except OSError:
             records_size = 0
         has_summary = (run_dir / SUMMARY_FILE).exists()
+        spec_sig = self._spec_signature(run_dir)
+        if spec_sig is None:
+            # No readable spec.json: a foreign directory (or one deleted out
+            # from under us) — drop whatever we remembered about the id.
+            self._cache.pop(run_id, None)
+            return None
 
         slot = self._cache.get(run_id)
         if (
             slot is not None
+            and slot.spec_sig == spec_sig
             and slot.records_size == records_size
             and slot.has_summary == has_summary
         ):
@@ -157,6 +184,7 @@ class RunIndex:
             name=name,
             spec_hash=spec_hash,
             intervals=intervals,
+            spec_sig=spec_sig,
             records_size=records_size,
             has_summary=has_summary,
             entry=entry,

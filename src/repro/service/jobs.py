@@ -4,7 +4,7 @@
 :class:`~repro.store.RunStore` immediately (the durable ``spec.json`` write is
 the acceptance record — a crash between accept and execution loses nothing),
 then worker threads drain the queue with bounded concurrency.  Execution has
-two modes:
+three modes:
 
 ``subprocess`` (the service default)
     Each attempt runs ``repro resume <run_dir>`` in a child process (always
@@ -20,6 +20,14 @@ two modes:
     directly and records its typed :data:`~repro.engine.campaign.CampaignEvent`
     stream on the job (useful for embedding and tests; a worker thread cannot
     be killed, so crash-handoff coverage lives in subprocess mode).
+
+``dispatch``
+    Each attempt runs ``repro dispatch <run_dir>`` in a child process: a
+    distributed coordinator (see :mod:`repro.dist`) fanning the campaign's
+    intervals across ``dispatch_workers`` worker processes.  The same
+    kill/retry contract as subprocess mode applies — re-dispatch continues
+    from the committed prefix plus any staged interval results, and the
+    finished store is byte-identical to single-host execution.
 
 Either way, per-interval *progress* is read from the store (the service's
 ``?since=`` record cursor), never from worker memory — what the queue knows
@@ -124,19 +132,24 @@ class JobQueue:
         workers: int = 2,
         execution: str = "subprocess",
         max_attempts: int = 3,
+        dispatch_workers: int = 2,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
-        if execution not in ("subprocess", "inprocess"):
+        if execution not in ("subprocess", "inprocess", "dispatch"):
             raise ValueError(
-                f"execution must be 'subprocess' or 'inprocess', got {execution!r}"
+                f"execution must be 'subprocess', 'inprocess' or 'dispatch', "
+                f"got {execution!r}"
             )
         if max_attempts < 1:
             raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if dispatch_workers < 1:
+            raise ValueError(f"dispatch_workers must be >= 1, got {dispatch_workers}")
         self.store_root = Path(store_root)
         self.store_root.mkdir(parents=True, exist_ok=True)
         self.execution = execution
         self.max_attempts = max_attempts
+        self.dispatch_workers = dispatch_workers
         self._tasks: queue.Queue[Job | None] = queue.Queue()
         self._jobs: dict[str, Job] = {}
         self._order: list[str] = []
@@ -170,6 +183,11 @@ class JobQueue:
         policy = policy if policy is not None else ExecutionPolicy()
         # Impossible spec/policy pairings die at submission, not in a worker.
         policy = policy.bind(spec.cell)
+        if self.execution == "dispatch" and policy.checkpoint_every is not None:
+            raise JobRejected(
+                "dispatch execution re-claims intervals from their start; "
+                "checkpoint_every applies to single-host execution modes"
+            )
         run_id = validate_run_id(
             run_id if run_id is not None else f"{spec.name}-{spec.spec_hash()[:10]}"
         )
@@ -205,7 +223,13 @@ class JobQueue:
             )
             self._jobs[job.id] = job
             self._order.append(job.id)
-        self._tasks.put(job)
+            # Enqueue under the same lock that guards ``_closed``: a put
+            # outside it can land *behind* shutdown's None sentinels and
+            # leave the job "queued" forever with no worker left to run it.
+            # Inside the lock the FIFO order is decided: either this put
+            # precedes every sentinel (some worker runs the job before its
+            # sentinel), or the closed check above already rejected it.
+            self._tasks.put(job)
         return job
 
     # -- inspection --------------------------------------------------------------------
@@ -219,8 +243,20 @@ class JobQueue:
             return [self._jobs[job_id] for job_id in self._order]
 
     def snapshot(self, job: Job) -> dict[str, Any]:
+        """One job's state as a plain dict, read atomically under the lock.
+
+        Workers mutate ``state``/``attempts``/``events`` under the queue
+        lock; every consumer that serializes a live :class:`Job` (the HTTP
+        layer above all) must come through here (or :meth:`snapshots`) — a
+        bare ``job.to_dict()`` can copy ``events`` mid-append and tear.
+        """
         with self._lock:
             return job.to_dict()
+
+    def snapshots(self) -> list[dict[str, Any]]:
+        """Every job's state, in submission order, under one lock hold."""
+        with self._lock:
+            return [self._jobs[job_id].to_dict() for job_id in self._order]
 
     def stats(self) -> dict[str, int]:
         with self._lock:
@@ -289,10 +325,10 @@ class JobQueue:
         with self._lock:
             job.state = "running"
             job.attempts += 1
-        if self.execution == "subprocess":
-            error = self._run_subprocess(job)
-        else:
+        if self.execution == "inprocess":
             error = self._run_inprocess(job)
+        else:
+            error = self._run_subprocess(job)
         with self._lock:
             job.pid = None
             if error is None:
@@ -301,13 +337,15 @@ class JobQueue:
                 return
             job.error = error
             if job.attempts < job.max_attempts and not self._closed:
+                # Requeue under the lock, for the same reason submit does:
+                # deciding "not closed" and putting must be atomic against
+                # shutdown's sentinel enqueue, or the retry lands behind the
+                # sentinels and sits "queued" forever.  After shutdown the
+                # failed attempt is terminal instead.
                 job.state = "queued"
-                requeue = True
+                self._tasks.put(job)
             else:
                 job.state = "failed"
-                requeue = False
-        if requeue:
-            self._tasks.put(job)
 
     def _policy_argv(self, policy: ExecutionPolicy) -> list[str]:
         argv: list[str] = []
@@ -334,15 +372,33 @@ class JobQueue:
             if env.get("PYTHONPATH")
             else [package_parent]
         )
-        argv = [
-            sys.executable,
-            "-m",
-            "repro.cli",
-            "resume",
-            str(job.run_dir),
-            "--quiet",
-            *self._policy_argv(job.policy),
-        ]
+        if self.execution == "dispatch":
+            # Distributed mode: the child is a dispatch coordinator fanning
+            # the campaign's intervals out across its own worker pool (see
+            # repro.dist).  Re-dispatch after a kill is exactly as safe as
+            # resume: the store's committed prefix plus any staged interval
+            # results carry over.
+            argv = [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "dispatch",
+                str(job.run_dir),
+                "--workers",
+                str(self.dispatch_workers),
+                "--quiet",
+                *self._policy_argv(job.policy),
+            ]
+        else:
+            argv = [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "resume",
+                str(job.run_dir),
+                "--quiet",
+                *self._policy_argv(job.policy),
+            ]
         try:
             child = subprocess.Popen(
                 argv,

@@ -1,0 +1,224 @@
+"""Integration tests: distributed dispatch with real worker subprocesses.
+
+The ISSUE acceptance criterion, end to end: a campaign dispatched across
+several worker processes — including workers SIGKILLed mid-interval on a
+seeded chaos schedule — finishes with a run store **byte-identical**
+(``RunStore.digest()`` and a full directory diff) to an uninterrupted
+single-host ``repro run`` of the same spec.
+"""
+
+from __future__ import annotations
+
+import filecmp
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.api.spec import (
+    CampaignSpec,
+    ConditionSpec,
+    ExperimentSpec,
+    HOPSpec,
+    PathSpec,
+    ProtocolSpec,
+    SLATargetSpec,
+    TrafficSpec,
+)
+from repro.dist import DISPATCH_DIR, ChaosSchedule, dispatch_campaign
+from repro.engine.campaign import CampaignRunner
+from repro.store import RunStore
+
+
+def _spec(name: str, intervals: int, seed: int = 97) -> CampaignSpec:
+    return CampaignSpec(
+        name=name,
+        intervals=intervals,
+        cell=ExperimentSpec(
+            seed=seed,
+            traffic=TrafficSpec(workload=None, packet_count=300),
+            path=PathSpec(
+                conditions={
+                    "X": ConditionSpec(
+                        delay="jitter",
+                        delay_params={"base_delay": 1e-3, "jitter_std": 0.2e-3},
+                    )
+                }
+            ),
+            protocol=ProtocolSpec(
+                default=HOPSpec(sampling_rate=0.2, marker_rate=0.02, aggregate_size=150)
+            ),
+        ),
+        sla=SLATargetSpec(delay_bound=10e-3, delay_quantile=0.9, loss_bound=0.05),
+    )
+
+
+def _direct_run(base: Path, spec: CampaignSpec) -> RunStore:
+    store = RunStore.create(base / "direct", spec)
+    CampaignRunner(spec, store).run()
+    return store
+
+
+def _child_env() -> dict[str, str]:
+    package_parent = str(Path(repro.__file__).resolve().parent.parent)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [package_parent, env["PYTHONPATH"]]
+        if env.get("PYTHONPATH")
+        else [package_parent]
+    )
+    return env
+
+
+def _assert_stores_identical(dispatched: Path, direct: Path) -> None:
+    """Byte-identity both ways: store digests and a full directory diff."""
+    assert RunStore.open(dispatched).digest() == RunStore.open(direct).digest()
+    comparison = filecmp.dircmp(dispatched, direct)
+    assert comparison.left_only == []  # no dispatch scratch left behind
+    assert comparison.right_only == []
+    mismatched = [
+        name
+        for name in comparison.common_files
+        if (dispatched / name).read_bytes() != (direct / name).read_bytes()
+    ]
+    assert mismatched == []
+
+
+class TestSubprocessPool:
+    def test_four_workers_match_direct_run(self, tmp_path):
+        spec = _spec("dispatch-pool", intervals=6)
+        direct = _direct_run(tmp_path, spec)
+        outcome = dispatch_campaign(tmp_path / "dispatched", spec=spec, workers=4)
+        assert outcome.completed
+        _assert_stores_identical(tmp_path / "dispatched", Path(direct.path))
+
+    def test_interrupted_dispatch_resumes(self, tmp_path):
+        # A dispatch that commits a prefix, "dies", and is re-invoked must
+        # finish from the committed prefix — same contract as `repro resume`.
+        spec = _spec("dispatch-resume", intervals=4)
+        direct = _direct_run(tmp_path, spec)
+        store = RunStore.create(tmp_path / "dispatched", spec)
+        CampaignRunner(spec, store).run(max_intervals=2)  # the "first life"
+        outcome = dispatch_campaign(tmp_path / "dispatched", workers=2)
+        assert outcome.completed
+        assert outcome.intervals_run == 2  # only the remaining tail
+        _assert_stores_identical(tmp_path / "dispatched", Path(direct.path))
+
+
+class TestChaos:
+    def test_seeded_kills_still_byte_identical(self, tmp_path):
+        spec = _spec("dispatch-chaos", intervals=8)
+        direct = _direct_run(tmp_path, spec)
+        outcome = dispatch_campaign(
+            tmp_path / "dispatched",
+            spec=spec,
+            workers=4,
+            lease=3.0,  # short lease so a killed worker's claim lapses fast
+            chaos=ChaosSchedule(seed=1337, kills=3, min_delay=0.2, max_delay=0.8),
+        )
+        assert outcome.completed
+        _assert_stores_identical(tmp_path / "dispatched", Path(direct.path))
+
+    def test_sigkill_while_holding_a_claim(self, tmp_path):
+        # Deterministic mid-interval kill: a lone worker-only process is
+        # SIGKILLed the moment its claim file appears (claims are created
+        # *before* computing, so the kill is guaranteed mid-interval), then
+        # a fresh dispatch with a short lease must take the interval over.
+        spec = _spec("dispatch-midkill", intervals=3)
+        direct = _direct_run(tmp_path, spec)
+        run_dir = tmp_path / "dispatched"
+        RunStore.create(run_dir, spec)
+        claims_dir = run_dir / DISPATCH_DIR / "claims"
+        worker = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "dispatch",
+                str(run_dir),
+                "--worker-only",
+                "--worker-id",
+                "doomed",
+                "--lease",
+                "2.0",
+                "--quiet",
+            ],
+            env=_child_env(),
+            stdout=subprocess.DEVNULL,
+        )
+        try:
+            deadline = time.monotonic() + 120.0
+            while time.monotonic() < deadline:
+                if claims_dir.is_dir() and any(claims_dir.glob("interval-*.json")):
+                    break
+                if worker.poll() is not None:
+                    pytest.fail("worker exited before claiming an interval")
+                time.sleep(0.01)
+            else:
+                pytest.fail("worker never claimed an interval")
+            os.kill(worker.pid, signal.SIGKILL)
+        finally:
+            worker.wait()
+        assert any(claims_dir.glob("interval-*.json"))  # the orphaned claim
+        outcome = dispatch_campaign(run_dir, workers=2, lease=2.0)
+        assert outcome.completed
+        _assert_stores_identical(run_dir, Path(direct.path))
+
+
+class TestCLI:
+    def test_cli_dispatch_matches_direct_run(self, tmp_path):
+        spec = _spec("dispatch-cli", intervals=4)
+        direct = _direct_run(tmp_path, spec)
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(spec.to_json())
+        run_dir = tmp_path / "dispatched"
+        result = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "dispatch",
+                str(run_dir),
+                "--spec",
+                str(spec_file),
+                "--workers",
+                "2",
+                "--quiet",
+            ],
+            env=_child_env(),
+            capture_output=True,
+            text=True,
+            timeout=240.0,
+        )
+        assert result.returncode == 0, result.stderr
+        _assert_stores_identical(run_dir, Path(direct.path))
+
+    def test_cli_rejects_checkpointing_and_chaos_misuse(self, tmp_path):
+        spec = _spec("dispatch-reject", intervals=2)
+        run_dir = tmp_path / "run"
+        RunStore.create(run_dir, spec)
+        base = [sys.executable, "-m", "repro.cli", "dispatch", str(run_dir)]
+        env = _child_env()
+        checkpoint = subprocess.run(
+            [*base, "--engine", "streaming", "--checkpoint-every", "1"],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=120.0,
+        )
+        assert checkpoint.returncode != 0
+        assert "checkpoint_every" in checkpoint.stderr
+        chaos = subprocess.run(
+            [*base, "--chaos-kills", "2"],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=120.0,
+        )
+        assert chaos.returncode != 0
+        assert "--chaos-seed" in chaos.stderr

@@ -269,6 +269,83 @@ def test_compare_across_runs(service):
         assert entry["delay_sample_count"] > 0
 
 
+def test_job_endpoints_hammered_while_events_stream(tmp_path):
+    """Hammer /api/jobs while an inprocess job appends events concurrently.
+
+    Inprocess workers append to ``job.events`` on every interval commit;
+    the HTTP layer serializes jobs through the queue's lock-holding
+    snapshots, so every response under fire must be a clean 200 with
+    internally-consistent JSON — never a 500 from a dict mutated during
+    serialization, never a torn event list.
+    """
+    queue = JobQueue(tmp_path / "store", workers=2, execution="inprocess")
+    app = ServiceApp(tmp_path / "store", queue=queue)
+    server = make_service_server("127.0.0.1", 0, app)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    base = f"http://{host}:{port}"
+    try:
+        specs = [_spec(f"hammer-{i}", intervals=3, seed=130 + i) for i in range(2)]
+        job_ids = []
+        for i, spec in enumerate(specs):
+            status, accepted = _request(
+                base,
+                "/api/jobs",
+                method="POST",
+                body={"spec": spec.to_dict(), "run_id": f"hammer-run-{i}"},
+            )
+            assert status == 202, accepted
+            job_ids.append(accepted["job"]["id"])
+
+        stop = threading.Event()
+        failures = []
+
+        def hammer():
+            while not stop.is_set():
+                for path in ("/api/jobs", f"/api/jobs/{job_ids[0]}"):
+                    status, payload = _request(base, path, timeout=30.0)
+                    if status != 200:
+                        failures.append((path, status, payload))
+                        return
+                    jobs = payload["jobs"] if "jobs" in payload else [payload["job"]]
+                    for job in jobs:
+                        kinds = {event["kind"] for event in job["events"]}
+                        if not kinds <= {"interval_committed", "run_complete"}:
+                            failures.append((path, "torn events", job["events"]))
+                            return
+
+        hammers = [threading.Thread(target=hammer) for _ in range(4)]
+        for worker in hammers:
+            worker.start()
+        try:
+            for job_id in job_ids:
+                deadline = time.monotonic() + 240.0
+                while time.monotonic() < deadline:
+                    status, payload = _request(base, f"/api/jobs/{job_id}")
+                    assert status == 200, payload
+                    if payload["job"]["state"] in ("completed", "failed"):
+                        break
+                    time.sleep(0.1)
+                assert payload["job"]["state"] == "completed", payload
+        finally:
+            stop.set()
+            for worker in hammers:
+                worker.join(timeout=30.0)
+        assert failures == []
+        # Every job's final event stream is exactly the campaign's commits.
+        status, payload = _request(base, "/api/jobs")
+        assert status == 200
+        for job in payload["jobs"]:
+            kinds = [event["kind"] for event in job["events"]]
+            assert kinds == ["interval_committed"] * 3 + ["run_complete"]
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+        queue.shutdown(wait=False)
+
+
 def test_killed_worker_resumes_to_byte_identical_store(service, tmp_path):
     """SIGINT a worker mid-campaign; the re-dispatched resume must converge
     on a store byte-identical to an uninterrupted direct run."""

@@ -1,0 +1,260 @@
+"""Unit tests for the distributed dispatch layer (claims, staging, commit).
+
+Everything here runs in-process — workers are driven as plain objects and
+the coordinator runs with ``workers=0`` (commit-only) over pre-staged
+records, so these tests cover the protocol's invariants without subprocess
+spawn latency.  Subprocess pools, chaos kills and the CLI live in
+``tests/integration/test_dispatch_chaos.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.api.spec import (
+    CampaignSpec,
+    ConditionSpec,
+    ExecutionPolicy,
+    ExperimentSpec,
+    HOPSpec,
+    PathSpec,
+    ProtocolSpec,
+    SLATargetSpec,
+    TrafficSpec,
+)
+from repro.dist import (
+    DISPATCH_DIR,
+    ClaimBoard,
+    DispatchCoordinator,
+    DispatchError,
+    DispatchWorker,
+    StagingArea,
+    dispatch_campaign,
+    validate_dispatch_policy,
+)
+from repro.engine.campaign import CampaignRunner, interval_record
+from repro.store import RunStore
+
+
+def _spec(name: str = "dispatch-test", intervals: int = 3) -> CampaignSpec:
+    return CampaignSpec(
+        name=name,
+        intervals=intervals,
+        cell=ExperimentSpec(
+            seed=83,
+            traffic=TrafficSpec(workload=None, packet_count=300),
+            path=PathSpec(
+                conditions={
+                    "X": ConditionSpec(
+                        delay="jitter",
+                        delay_params={"base_delay": 1e-3, "jitter_std": 0.2e-3},
+                    )
+                }
+            ),
+            protocol=ProtocolSpec(
+                default=HOPSpec(sampling_rate=0.2, marker_rate=0.02, aggregate_size=150)
+            ),
+        ),
+        sla=SLATargetSpec(delay_bound=10e-3, delay_quantile=0.9, loss_bound=0.05),
+    )
+
+
+def _direct_run(tmp_path, spec: CampaignSpec) -> RunStore:
+    store = RunStore.create(tmp_path / "direct", spec)
+    CampaignRunner(spec, store).run()
+    return store
+
+
+class TestClaimBoard:
+    def test_fresh_claim_single_winner(self, tmp_path):
+        a = ClaimBoard(tmp_path, worker="a", lease=30.0)
+        b = ClaimBoard(tmp_path, worker="b", lease=30.0)
+        assert a.try_claim(0) is True
+        assert b.try_claim(0) is False  # live lease held by a
+        assert a.holder(0).worker == "a"
+        assert b.try_claim(1) is True
+
+    def test_release_frees_the_interval(self, tmp_path):
+        a = ClaimBoard(tmp_path, worker="a", lease=30.0)
+        b = ClaimBoard(tmp_path, worker="b", lease=30.0)
+        assert a.try_claim(0)
+        a.release(0)
+        assert a.holder(0) is None
+        assert b.try_claim(0) is True
+
+    def test_expired_lease_taken_over(self, tmp_path):
+        dead = ClaimBoard(tmp_path, worker="dead", lease=0.01)
+        live = ClaimBoard(tmp_path, worker="live", lease=30.0)
+        assert dead.try_claim(0)
+        time.sleep(0.05)  # the dead worker's heartbeat never came
+        assert live.try_claim(0) is True
+        assert live.holder(0).worker == "live"
+
+    def test_renew_extends_the_lease(self, tmp_path):
+        a = ClaimBoard(tmp_path, worker="a", lease=0.2)
+        b = ClaimBoard(tmp_path, worker="b", lease=30.0)
+        assert a.try_claim(0)
+        for _ in range(3):
+            time.sleep(0.1)
+            a.renew(0)  # the heartbeat a live worker keeps sending
+            assert b.try_claim(0) is False
+
+    def test_corrupt_claim_file_is_takeover_eligible(self, tmp_path):
+        a = ClaimBoard(tmp_path, worker="a", lease=30.0)
+        a.path(0).write_bytes(b"garbage from a crash mid-create")
+        claim = a.holder(0)
+        assert claim.expired()
+        assert a.try_claim(0) is True
+        assert a.holder(0).worker == "a"
+
+    def test_claims_listing(self, tmp_path):
+        a = ClaimBoard(tmp_path, worker="a", lease=30.0)
+        a.try_claim(2)
+        a.try_claim(0)
+        held = a.claims()
+        assert sorted(held) == [0, 2]
+        assert all(claim.worker == "a" for claim in held.values())
+
+    def test_nonpositive_lease_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="lease"):
+            ClaimBoard(tmp_path, worker="a", lease=0.0)
+
+
+class TestStagingArea:
+    def test_stage_then_load_round_trips(self, tmp_path):
+        staging = StagingArea(tmp_path)
+        record = {"interval": 0, "value": 1.5}
+        assert staging.stage(0, record, worker="w") is True
+        loaded, line = staging.load(0)
+        assert loaded == record
+        assert line.endswith(b"\n") and json.loads(line) == record
+        assert list(staging.staged()) == [0]
+        staging.discard(0)
+        assert staging.staged() == {}
+
+    def test_identical_duplicate_is_dropped_not_rewritten(self, tmp_path):
+        staging = StagingArea(tmp_path)
+        record = {"interval": 1, "value": 2.0}
+        assert staging.stage(1, record, worker="w1") is True
+        # A straggler re-executes the interval: same bytes, benign.
+        assert staging.stage(1, dict(record), worker="w2") is False
+
+    def test_differing_duplicate_is_a_hard_error(self, tmp_path):
+        staging = StagingArea(tmp_path)
+        staging.stage(1, {"interval": 1, "value": 2.0}, worker="w1")
+        with pytest.raises(DispatchError, match="pure functions"):
+            staging.stage(1, {"interval": 1, "value": 999.0}, worker="w2")
+
+
+class TestPolicyValidation:
+    def test_checkpoint_every_rejected(self):
+        spec = _spec()
+        with pytest.raises(ValueError, match="checkpoint_every"):
+            validate_dispatch_policy(spec, ExecutionPolicy(checkpoint_every=1))
+
+    def test_plain_policy_bound(self):
+        spec = _spec()
+        bound = validate_dispatch_policy(spec, None)
+        assert bound.engine is not None  # bind() resolved the engine
+
+
+class TestWorker:
+    def test_worker_stages_every_pending_interval(self, tmp_path):
+        spec = _spec(intervals=3)
+        store = RunStore.create(tmp_path / "run", spec)
+        worker = DispatchWorker(tmp_path / "run", worker_id="w0")
+        assert worker.run() == 3
+        staged = worker.staging.staged()
+        assert sorted(staged) == [0, 1, 2]
+        # Staged bytes are exactly the future records.jsonl lines.
+        for interval in staged:
+            _, line = worker.staging.load(interval)
+            assert json.loads(line)["interval"] == interval
+        assert store.record_count == 0  # workers never touch the store
+
+    def test_worker_skips_committed_prefix(self, tmp_path):
+        spec = _spec(intervals=3)
+        store = RunStore.create(tmp_path / "run", spec)
+        CampaignRunner(spec, store).run(max_intervals=2)
+        worker = DispatchWorker(tmp_path / "run", worker_id="w0")
+        assert worker.run() == 1
+        assert sorted(worker.staging.staged()) == [2]
+
+    def test_worker_respects_live_foreign_claims(self, tmp_path):
+        spec = _spec(intervals=1)
+        RunStore.create(tmp_path / "run", spec)
+        other = ClaimBoard(tmp_path / "run" / DISPATCH_DIR, worker="other", lease=30.0)
+        assert other.try_claim(0)
+        worker = DispatchWorker(tmp_path / "run", worker_id="w0")
+        assert worker.run_one() is None  # idle: the only interval is claimed
+
+
+class TestCommitOnlyCoordinator:
+    def test_pre_staged_records_commit_byte_identical(self, tmp_path):
+        spec = _spec(intervals=4)
+        direct = _direct_run(tmp_path, spec)
+        store = RunStore.create(tmp_path / "dispatched", spec)
+        staging = StagingArea(tmp_path / "dispatched" / DISPATCH_DIR)
+        # Stage every interval out of order (worst-case completion order).
+        for interval in (3, 1, 0, 2):
+            record = interval_record(spec, interval)
+            staging.stage(interval, record, worker="remote")
+        outcome = DispatchCoordinator(store, workers=0).run()
+        assert outcome.completed and outcome.intervals_run == 4
+        assert store.records_path.read_bytes() == direct.records_path.read_bytes()
+        assert store.summary() == direct.summary()
+        assert store.digest() == direct.digest()
+        # The dispatch scratch dir is gone: the store diffs clean.
+        assert not (tmp_path / "dispatched" / DISPATCH_DIR).exists()
+
+    def test_duplicate_of_committed_interval_asserted_then_dropped(self, tmp_path):
+        spec = _spec(intervals=2)
+        store = RunStore.create(tmp_path / "run", spec)
+        CampaignRunner(spec, store).run(max_intervals=1)
+        staging = StagingArea(tmp_path / "run" / DISPATCH_DIR)
+        # A straggler re-delivers interval 0 (already committed) plus the
+        # genuinely-missing interval 1.
+        staging.stage(0, interval_record(spec, 0), worker="straggler")
+        staging.stage(1, interval_record(spec, 1), worker="straggler")
+        outcome = DispatchCoordinator(store, workers=0).run()
+        assert outcome.intervals_run == 1  # only interval 1 commits
+        direct = _direct_run(tmp_path, spec)
+        assert store.records_path.read_bytes() == direct.records_path.read_bytes()
+
+    def test_divergent_duplicate_of_committed_interval_raises(self, tmp_path):
+        spec = _spec(intervals=2)
+        store = RunStore.create(tmp_path / "run", spec)
+        CampaignRunner(spec, store).run(max_intervals=1)
+        staging = StagingArea(tmp_path / "run" / DISPATCH_DIR)
+        tampered = dict(interval_record(spec, 0))
+        tampered["receipts_digest"] = "0" * 16
+        staging.stage(0, tampered, worker="liar")
+        with pytest.raises(DispatchError, match="disagrees with its committed"):
+            DispatchCoordinator(store, workers=0).run()
+
+    def test_negative_workers_rejected(self, tmp_path):
+        spec = _spec(intervals=1)
+        store = RunStore.create(tmp_path / "run", spec)
+        with pytest.raises(ValueError, match="workers"):
+            DispatchCoordinator(store, workers=-1)
+
+
+class TestDispatchCampaign:
+    def test_missing_store_without_spec_rejected(self, tmp_path):
+        with pytest.raises(DispatchError, match="no run store"):
+            dispatch_campaign(tmp_path / "nowhere", workers=0)
+
+    def test_in_process_worker_plus_commit_only_coordinator(self, tmp_path):
+        # The multi-host topology in miniature: a worker process somewhere
+        # stages results, a commit-only coordinator folds them.
+        spec = _spec(intervals=3)
+        RunStore.create(tmp_path / "run", spec)
+        DispatchWorker(tmp_path / "run", worker_id="remote-host").run()
+        outcome = dispatch_campaign(tmp_path / "run", workers=0)
+        assert outcome.completed
+        direct = _direct_run(tmp_path, spec)
+        dispatched = RunStore.open(tmp_path / "run")
+        assert dispatched.digest() == direct.digest()

@@ -130,6 +130,31 @@ class TestRunIndex:
         assert index.entries() == []
         assert index.entry("run") is None
 
+    def test_recreated_run_dir_not_served_from_stale_cache(self, tmp_path):
+        """Regression: delete a run dir and recreate a *different* run under
+        the same id — the index must serve the new spec, not the cached one.
+
+        The cache used to key freshness on (records size, summary presence)
+        alone; two distinct zero-record runs collide on both, so the stale
+        name/spec_hash/intervals survived the recreation.  The spec.json
+        stat signature now pins the cache to the exact spec file.
+        """
+        import shutil
+
+        first = _spec(name="first-life", intervals=2)
+        RunStore.create(tmp_path / "run", first)
+        index = RunIndex(tmp_path)
+        assert index.entry("run").name == "first-life"
+
+        shutil.rmtree(tmp_path / "run")
+        second = _spec(name="second-life", intervals=5)
+        RunStore.create(tmp_path / "run", second)
+        entry = index.entry("run")
+        assert entry.name == "second-life"
+        assert entry.spec_hash == second.spec_hash()
+        assert entry.intervals == 5
+        assert [e.name for e in index.entries()] == ["second-life"]
+
     def test_store_opens_validated(self, tmp_path):
         spec = _spec()
         RunStore.create(tmp_path / "run", spec)

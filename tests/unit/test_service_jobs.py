@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import threading
+
 import pytest
 
 from repro.api.spec import (
@@ -143,6 +145,108 @@ class TestInspection:
         assert queue.kill("job-does-not-exist") is False
 
 
+class TestShutdownRequeueRace:
+    def test_failed_attempt_after_shutdown_is_terminal(self, tmp_path, monkeypatch):
+        """Regression: a retryable failure racing shutdown must not requeue.
+
+        The old code decided "requeue" under the lock but put the job back
+        on the task queue *after* releasing it — shutdown could slip in
+        between, mark the queue closed and enqueue its None sentinels, and
+        the requeued job would land *behind* the sentinels: state "queued"
+        forever, with every worker already gone.  This drives that exact
+        interleaving deterministically: the attempt blocks mid-run while
+        shutdown closes the queue, then fails.
+        """
+        queue = JobQueue(
+            tmp_path / "runs", workers=1, execution="inprocess", max_attempts=3
+        )
+        attempt_started = threading.Event()
+        release_attempt = threading.Event()
+
+        def blocking_failure(job):
+            attempt_started.set()
+            assert release_attempt.wait(timeout=60.0)
+            return "injected failure"
+
+        monkeypatch.setattr(queue, "_run_inprocess", blocking_failure)
+        job = queue.submit(_spec(name="race"))
+        assert attempt_started.wait(timeout=60.0)
+        # The attempt is in flight; shutdown closes the queue and enqueues
+        # the worker sentinels, then the attempt fails with retries left.
+        shutdown = threading.Thread(target=queue.shutdown, kwargs={"wait": True})
+        shutdown.start()
+        release_attempt.set()
+        shutdown.join(timeout=60.0)
+        assert not shutdown.is_alive()  # every worker exited
+        assert queue.job(job.id).state == "failed"  # terminal, not "queued"
+        assert queue.job(job.id).error == "injected failure"
+
+    def test_concurrent_submit_and_shutdown_leaves_no_job_in_limbo(self, tmp_path):
+        """Stress: submissions racing shutdown either run to a terminal state
+        or are rejected — never accepted and then silently never run."""
+        for round_index in range(5):
+            queue = JobQueue(
+                tmp_path / f"runs-{round_index}", workers=2, execution="inprocess"
+            )
+            accepted, rejected = [], []
+            barrier = threading.Barrier(5)
+
+            def submit_some(
+                offset,
+                accepted=accepted,
+                rejected=rejected,
+                barrier=barrier,
+                queue=queue,
+                round_index=round_index,
+            ):
+                barrier.wait()
+                for i in range(3):
+                    try:
+                        accepted.append(
+                            queue.submit(
+                                _spec(name=f"stress-{round_index}"),
+                                run_id=f"stress-{offset}-{i}",
+                            )
+                        )
+                    except JobRejected:
+                        rejected.append((offset, i))
+
+            def shut_down(barrier=barrier, queue=queue):
+                barrier.wait()
+                queue.shutdown(wait=True)
+
+            threads = [
+                threading.Thread(target=submit_some, args=(offset,))
+                for offset in range(4)
+            ] + [threading.Thread(target=shut_down)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=300.0)
+            assert not any(thread.is_alive() for thread in threads)
+            # shutdown(wait=True) returned: every accepted job was drained
+            # to a terminal state before the workers exited.
+            for job in accepted:
+                assert queue.job(job.id).state in ("completed", "failed")
+
+
+class TestDispatchMode:
+    def test_dispatch_rejects_checkpointing_at_submission(self, tmp_path):
+        queue = JobQueue(tmp_path / "runs", workers=1, execution="dispatch")
+        try:
+            with pytest.raises(JobRejected, match="checkpoint_every"):
+                queue.submit(
+                    _spec(),
+                    policy=ExecutionPolicy(engine="streaming", checkpoint_every=1),
+                )
+        finally:
+            queue.shutdown(wait=True)
+
+    def test_dispatch_workers_validated(self, tmp_path):
+        with pytest.raises(ValueError, match="dispatch_workers"):
+            JobQueue(tmp_path, execution="dispatch", dispatch_workers=0)
+
+
 class TestSubprocessMode:
     def test_subprocess_run_matches_direct_run(self, tmp_path):
         spec = _spec(name="subproc")
@@ -161,3 +265,20 @@ class TestSubprocessMode:
             == direct.records_path.read_bytes()
         )
         assert worker_store.digest() == direct.digest()
+
+    def test_dispatch_run_matches_direct_run(self, tmp_path):
+        spec = _spec(name="dispatched")
+        queue = JobQueue(
+            tmp_path / "runs", workers=1, execution="dispatch", dispatch_workers=2
+        )
+        try:
+            job = queue.submit(spec, run_id="via-dispatch")
+            assert queue.wait_idle(timeout=240.0)
+            assert queue.job(job.id).state == "completed", queue.job(job.id).error
+        finally:
+            queue.shutdown(wait=True)
+        direct = RunStore.create(tmp_path / "direct", spec)
+        CampaignRunner(spec, direct).run()
+        dispatched = RunStore.open(tmp_path / "runs" / "via-dispatch")
+        assert dispatched.records_path.read_bytes() == direct.records_path.read_bytes()
+        assert dispatched.digest() == direct.digest()
