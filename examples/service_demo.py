@@ -7,7 +7,7 @@ against a real (ephemeral-port) service instance, entirely over HTTP:
 
 1. starts the service — the threaded stdlib WSGI server, a
    :class:`~repro.service.JobQueue` with subprocess workers, one store root;
-2. submits a campaign spec as JSON (``POST /api/jobs``) and shows a bad spec
+2. submits a campaign spec as JSON (``POST /api/v1/jobs``) and shows a bad spec
    dying at the door with the validator's message;
 3. follows execution live with the ``?since=`` record cursor (the long-poll
    the dashboard uses) as workers commit intervals;
@@ -101,17 +101,17 @@ def main() -> None:
     threading.Thread(target=server.serve_forever, daemon=True).start()
     host, port = server.server_address[:2]
     base = f"http://{host}:{port}"
-    print(f"service up at {base} (dashboard at /, API under /api)")
+    print(f"service up at {base} (dashboard at /, API under /api/v1)")
 
     try:
         # --- 2. submission is validated at the door -------------------------
         broken = SPEC.to_dict()
         broken["intervals"] = 0
-        status, body = call(base, "/api/jobs", {"spec": broken})
+        status, body = call(base, "/api/v1/jobs", {"spec": broken})
         print(f"bad spec -> {status}: {body['error']}")
 
         status, accepted = call(
-            base, "/api/jobs", {"spec": SPEC.to_dict(), "run_id": "demo-run"}
+            base, "/api/v1/jobs", {"spec": SPEC.to_dict(), "run_id": "demo-run"}
         )
         assert status == 202, accepted
         job = accepted["job"]
@@ -122,7 +122,7 @@ def main() -> None:
         cursor = 0
         while True:
             status, page = call(
-                base, f"/api/runs/demo-run/records?since={cursor}&wait=10"
+                base, f"/api/v1/runs/demo-run/records?since={cursor}&wait=10"
             )
             assert status == 200, page
             for record in page["records"]:
@@ -137,7 +137,7 @@ def main() -> None:
         print(f"run complete after {cursor} intervals")
 
         # --- 4. the machine-readable report ---------------------------------
-        status, report = call(base, "/api/runs/demo-run/report")
+        status, report = call(base, "/api/v1/runs/demo-run/report")
         assert status == 200 and report["summary_matches_store"] is True
         sla = SPEC.sla
         for domain, entry in sorted(report["summary"]["domains"].items()):

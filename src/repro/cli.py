@@ -255,8 +255,62 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return _drive(runner, args, store)
 
 
+def _http_worker(args: argparse.Namespace) -> int:
+    """The ``--worker-only --transport http`` body: a mount-less worker.
+
+    Everything but the coordinator URL, run id and worker identity is
+    rejected — the spec, execution policy and lease all come from the
+    coordinator's config endpoint, so every worker in the pool is guaranteed
+    to compute under the coordinator's exact terms.
+    """
+    from repro.dist.dispatch import DispatchError, DispatchWorker
+    from repro.dist.net import HTTPTransport
+
+    if args.coordinator is None or args.run_id is None:
+        _fail(
+            "--worker-only --transport http needs --coordinator URL and "
+            "--run-id (printed by the coordinator at startup)"
+        )
+    if args.run_dir is not None:
+        _fail(
+            "an HTTP worker shares no filesystem with the coordinator; drop "
+            "the RUN_DIR argument"
+        )
+    if args.spec is not None:
+        _fail("--spec applies to the coordinator; HTTP workers fetch it from it")
+    if args.lease is not None:
+        _fail("the lease is coordinator-defined under --transport http")
+    if args.chaos_seed is not None or args.chaos_kills:
+        _fail("--chaos-seed/--chaos-kills apply to the coordinator only")
+    knobs_given = (
+        args.engine is not None
+        or args.shards != 1
+        or args.chunk_size is not None
+        or args.throttle != 0.0
+        or args.checkpoint_every is not None
+        or args.policy is not None
+    )
+    if knobs_given:
+        _fail(
+            "execution knobs apply to the coordinator; HTTP workers compute "
+            "under the policy its config endpoint serves"
+        )
+    try:
+        transport = HTTPTransport(
+            args.coordinator, args.run_id, worker_id=args.worker_id
+        )
+        worker = DispatchWorker(transport)
+        computed = worker.run()
+    except DispatchError as exc:
+        _fail(str(exc))
+    if not args.quiet:
+        print(f"worker {worker.worker_id}: computed {computed} interval(s)")
+    return 0
+
+
 def _cmd_dispatch(args: argparse.Namespace) -> int:
     from repro.dist.dispatch import (
+        DEFAULT_LEASE,
         ChaosSchedule,
         DispatchCoordinator,
         DispatchError,
@@ -264,6 +318,18 @@ def _cmd_dispatch(args: argparse.Namespace) -> int:
         validate_dispatch_policy,
     )
 
+    if args.worker_only and args.transport == "http":
+        return _http_worker(args)
+    if args.coordinator is not None or args.run_id is not None:
+        _fail(
+            "--coordinator/--run-id describe a remote coordinator and apply "
+            "to `--worker-only --transport http` workers only"
+        )
+    if args.run_dir is None:
+        _fail(
+            "dispatch needs the run-store directory (RUN_DIR) except for "
+            "`--worker-only --transport http` workers"
+        )
     run_dir = Path(args.run_dir).resolve()
     if args.spec is not None and not (run_dir / "spec.json").exists():
         spec = _load_spec(args.spec)
@@ -283,8 +349,9 @@ def _cmd_dispatch(args: argparse.Namespace) -> int:
                 store.validate_spec(_load_spec(args.spec))
             except RunStoreError as exc:
                 _fail(str(exc))
-    if args.lease <= 0:
-        _fail(f"--lease must be > 0 seconds, got {args.lease}")
+    lease = args.lease if args.lease is not None else DEFAULT_LEASE
+    if lease <= 0:
+        _fail(f"--lease must be > 0 seconds, got {lease}")
     if args.max_intervals is not None:
         _fail(
             "dispatch runs a campaign to completion; --max-intervals applies "
@@ -300,7 +367,7 @@ def _cmd_dispatch(args: argparse.Namespace) -> int:
         if args.chaos_seed is not None or args.chaos_kills:
             _fail("--chaos-seed/--chaos-kills apply to the coordinator only")
         worker = DispatchWorker(
-            run_dir, policy=policy, worker_id=args.worker_id, lease=args.lease
+            run_dir, policy=policy, worker_id=args.worker_id, lease=lease
         )
         computed = worker.run()
         if not args.quiet:
@@ -327,10 +394,21 @@ def _cmd_dispatch(args: argparse.Namespace) -> int:
         store,
         policy=policy,
         workers=args.workers,
-        lease=args.lease,
+        lease=lease,
         chaos=chaos,
         on_event=progress,
+        transport=args.transport,
+        http_host=args.http_host,
+        http_port=args.http_port,
     )
+    if coordinator.http_url is not None and not args.quiet:
+        print(
+            f"dispatch coordinator: {coordinator.http_url}/api/v1/dispatch/"
+            f"{coordinator.run_id} (workers connect with: repro dispatch "
+            f"--worker-only --transport http --coordinator "
+            f"{coordinator.http_url} --run-id {coordinator.run_id})",
+            flush=True,
+        )
     try:
         coordinator.run()
     except KeyboardInterrupt:
@@ -760,8 +838,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     dispatch_parser.add_argument(
         "run_dir",
+        nargs="?",
+        default=None,
         help="the run-store directory (shared by every worker and the "
-        "coordinator; create it here with --spec if it does not exist yet)",
+        "coordinator; create it here with --spec if it does not exist yet). "
+        "Omitted for `--worker-only --transport http` workers, which need "
+        "no filesystem access at all",
     )
     dispatch_parser.add_argument(
         "--spec",
@@ -780,10 +862,49 @@ def build_parser() -> argparse.ArgumentParser:
     dispatch_parser.add_argument(
         "--lease",
         type=float,
-        default=30.0,
+        default=None,
         metavar="SECONDS",
         help="interval claim lease; a worker that stops heartbeating for this "
-        "long is presumed dead and its interval is re-claimed (default: 30)",
+        "long is presumed dead and its interval is re-claimed (default: 30; "
+        "under --transport http the coordinator defines it for every worker)",
+    )
+    dispatch_parser.add_argument(
+        "--transport",
+        choices=("fs", "http"),
+        default="fs",
+        help="how workers reach the coordinator: 'fs' = the shared run "
+        "directory (claim files + staged files), 'http' = the versioned "
+        "service API (coordinator-clock leases, digest-checked uploads, no "
+        "shared filesystem)",
+    )
+    dispatch_parser.add_argument(
+        "--coordinator",
+        default=None,
+        metavar="URL",
+        help="the coordinator's base URL (with --worker-only --transport "
+        "http; printed by the coordinator at startup)",
+    )
+    dispatch_parser.add_argument(
+        "--run-id",
+        default=None,
+        help="the dispatching run's id on the coordinator (with "
+        "--worker-only --transport http)",
+    )
+    dispatch_parser.add_argument(
+        "--http-host",
+        default="127.0.0.1",
+        metavar="HOST",
+        help="bind address for the coordinator's dispatch endpoints under "
+        "--transport http (default: 127.0.0.1; use 0.0.0.0 for remote "
+        "workers)",
+    )
+    dispatch_parser.add_argument(
+        "--http-port",
+        type=int,
+        default=0,
+        metavar="PORT",
+        help="bind port for the coordinator's dispatch endpoints under "
+        "--transport http (default: 0 = ephemeral)",
     )
     dispatch_parser.add_argument(
         "--worker-only",
@@ -877,10 +998,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_parser.add_argument(
         "--execution",
-        choices=("subprocess", "inprocess", "dispatch"),
+        choices=("subprocess", "inprocess", "dispatch", "dispatch_http"),
         default="subprocess",
         help="run campaigns as kill-safe `repro resume` subprocesses (default), "
-        "in worker threads, or as distributed `repro dispatch` coordinators",
+        "in worker threads, or as distributed `repro dispatch` coordinators "
+        "(dispatch_http routes the worker pool through the HTTP dispatch "
+        "protocol instead of the shared filesystem)",
     )
     serve_parser.add_argument(
         "--dispatch-workers",

@@ -1,7 +1,10 @@
 """Distributed campaign dispatch across worker processes and hosts.
 
-See :mod:`repro.dist.dispatch` for the coordinator/worker protocol and
-:mod:`repro.dist.claims` for the lease-based claim board.
+See :mod:`repro.dist.dispatch` for the coordinator/worker protocol and the
+transport interface, :mod:`repro.dist.claims` for the file-based lease board
+(shared-filesystem transport), and :mod:`repro.dist.net` for the HTTP
+transport (coordinator-clock leases, digest-checked uploads, no shared
+mount).
 """
 
 from repro.dist.claims import Claim, ClaimBoard, LeaseRenewer
@@ -10,10 +13,19 @@ from repro.dist.dispatch import (
     ChaosSchedule,
     DispatchCoordinator,
     DispatchError,
+    DispatchTransport,
     DispatchWorker,
+    FilesystemTransport,
     StagingArea,
     dispatch_campaign,
     validate_dispatch_policy,
+)
+from repro.dist.net import (
+    DispatchHub,
+    HTTPTransport,
+    NetworkClaimBoard,
+    ProtocolError,
+    TransportError,
 )
 
 __all__ = [
@@ -23,9 +35,16 @@ __all__ = [
     "ClaimBoard",
     "DispatchCoordinator",
     "DispatchError",
+    "DispatchHub",
+    "DispatchTransport",
     "DispatchWorker",
+    "FilesystemTransport",
+    "HTTPTransport",
     "LeaseRenewer",
+    "NetworkClaimBoard",
+    "ProtocolError",
     "StagingArea",
+    "TransportError",
     "dispatch_campaign",
     "validate_dispatch_policy",
 ]

@@ -19,9 +19,17 @@ transport is needed.  One claim file per interval, JSON, atomically replaced:
   the duplicate rather than trusting it.  The claim board therefore only has
   to make double-execution rare, never impossible.
 
-Leases compare wall-clock times written by different hosts, so the usual
-lease caveat applies: keep the lease comfortably above the expected clock
-skew (the default is 30 s; NTP-synced hosts skew milliseconds).
+**Clock contract.**  A lease deadline only means something relative to the
+clock that minted it.  This file-based board is the *shared-filesystem*
+transport: every participant writes and reads ``expires_at`` as a wall-clock
+(``time.time()``) value, so expiry decisions compare wall clocks across
+hosts and the usual caveat applies — keep the lease comfortably above the
+expected clock skew (the default is 30 s; NTP-synced hosts skew
+milliseconds).  The HTTP transport has no such caveat: its
+:class:`~repro.dist.net.NetworkClaimBoard` lives inside the coordinator
+process and mints deadlines on the coordinator's own **monotonic** clock,
+which is the only clock ever consulted — workers' clocks never enter lease
+arbitration at all.
 """
 
 from __future__ import annotations
@@ -32,24 +40,46 @@ import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Any
 
 __all__ = ["Claim", "ClaimBoard", "LeaseRenewer"]
 
 
 @dataclass(frozen=True)
 class Claim:
-    """One parsed claim file: who owns an interval, and until when."""
+    """One interval claim: who owns an interval, and until when.
+
+    ``expires_at`` is a deadline **on the clock of the board that minted the
+    claim** — a wall-clock (``time.time()``) value for the file-based
+    :class:`ClaimBoard`, a coordinator-monotonic (``time.monotonic()``) value
+    for the HTTP transport's :class:`~repro.dist.net.NetworkClaimBoard`.
+    The two clock domains must never be compared against each other.
+    """
 
     interval: int
     worker: str
     expires_at: float
 
     def expired(self, now: float | None = None) -> bool:
+        """Whether the lease has lapsed at ``now``.
+
+        ``now`` must come from the same clock domain as ``expires_at``.  The
+        wall-clock default (``time.time()``) is only correct for claims
+        minted by the file-based :class:`ClaimBoard`; boards that arbitrate
+        on a coordinator-side monotonic clock (the HTTP transport) always
+        pass ``now`` explicitly and never rely on this default.
+        """
         return (now if now is not None else time.time()) >= self.expires_at
 
 
 class ClaimBoard:
-    """File-per-interval claims under ``<dispatch_dir>/claims``."""
+    """File-per-interval claims under ``<dispatch_dir>/claims``.
+
+    Lease arbitration here is **wall-clock** (``time.time()``): deadlines
+    written by one host are compared on another, so the lease must dominate
+    cross-host clock skew.  This is the shared-filesystem transport's board;
+    the HTTP transport replaces it with a coordinator-monotonic board.
+    """
 
     def __init__(
         self, dispatch_dir: Path | str, worker: str, lease: float = 30.0
@@ -160,10 +190,14 @@ class LeaseRenewer:
 
     Renewal happens every ``lease / 3`` so a single missed beat never lets
     the lease lapse; a SIGKILLed owner simply stops beating and the lease
-    expires on schedule.
+    expires on schedule.  ``board`` is anything with a ``lease`` attribute
+    and a ``renew(interval)`` method — the file-based :class:`ClaimBoard` or
+    a worker-side :class:`~repro.dist.dispatch.DispatchTransport` (whose
+    HTTP implementation turns each beat into a renew request arbitrated on
+    the coordinator's clock).
     """
 
-    def __init__(self, board: ClaimBoard, interval: int) -> None:
+    def __init__(self, board: Any, interval: int) -> None:
         self._board = board
         self._interval = interval
         self._stop = threading.Event()

@@ -8,12 +8,25 @@ those pieces into a coordinator/worker protocol over a shared run directory
 (worker processes on one host, or remote hosts mounting the same store
 root):
 
-* **Workers** (:class:`DispatchWorker`) claim pending intervals through the
-  lease-based :class:`~repro.dist.claims.ClaimBoard` (work-stealing: lowest
-  unclaimed interval first, expired leases taken over), compute the interval
-  record with the ordinary pure :func:`~repro.engine.campaign.interval_record`,
-  and stage the result as one atomic file under ``<run_dir>/dispatch/staging``.
-  Workers never touch ``records.jsonl``.
+* **Workers** (:class:`DispatchWorker`) claim pending intervals, compute the
+  interval record with the ordinary pure
+  :func:`~repro.engine.campaign.interval_record`, and deliver the result to
+  the coordinator.  *How* they claim and deliver is a
+  :class:`DispatchTransport`:
+
+  - :class:`FilesystemTransport` — the shared-mount protocol: lease files on
+    the lease-based :class:`~repro.dist.claims.ClaimBoard` (work-stealing:
+    lowest unclaimed interval first, expired leases taken over) and one
+    atomic staged file per interval under ``<run_dir>/dispatch/staging``.
+    Leases compare wall clocks across hosts, so the lease must dominate
+    clock skew.
+  - :class:`~repro.dist.net.HTTPTransport` — the network protocol: workers
+    claim/renew/release leases and upload digest-checked record bytes over
+    the coordinator's ``/api/v1/dispatch/...`` endpoints.  The coordinator's
+    **monotonic clock is the only clock** in lease arbitration, and workers
+    need no filesystem access to the run directory at all.
+
+  Either way, workers never touch ``records.jsonl``.
 * **The coordinator** (:class:`DispatchCoordinator`) is the store's single
   writer.  The staging directory *is* its reorder buffer: staged records
   commit to the store strictly in interval order, each one folded into a
@@ -37,6 +50,7 @@ claim, i.e. mid-interval — on a reproducible schedule.
 
 from __future__ import annotations
 
+import abc
 import json
 import os
 import random
@@ -45,6 +59,7 @@ import signal
 import socket
 import subprocess
 import sys
+import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -68,8 +83,11 @@ __all__ = [
     "ChaosSchedule",
     "DispatchCoordinator",
     "DispatchError",
+    "DispatchTransport",
     "DispatchWorker",
+    "FilesystemTransport",
     "StagingArea",
+    "committed_line",
     "dispatch_campaign",
     "validate_dispatch_policy",
 ]
@@ -114,6 +132,13 @@ def _committed_count(store: RunStore) -> int:
         return 0
 
 
+def committed_line(store: RunStore, interval: int) -> bytes:
+    """The exact committed bytes of record ``interval`` (for duplicate checks)."""
+    payload = store.records_path.read_bytes()
+    lines = payload[: payload.rfind(b"\n") + 1].split(b"\n")
+    return lines[interval] + b"\n"
+
+
 class StagingArea:
     """Per-interval staged records under ``<run_dir>/dispatch/staging``.
 
@@ -136,6 +161,16 @@ class StagingArea:
         anything else is a :class:`DispatchError`, never a silent overwrite.
         """
         line = (stable_json(dict(record)) + "\n").encode("utf-8")
+        return self.stage_line(interval, line, worker)
+
+    def stage_line(self, interval: int, line: bytes, worker: str) -> bool:
+        """Stage one record's exact line bytes (see :meth:`stage`).
+
+        The byte-level entry point exists for the HTTP transport: an
+        uploaded record is staged exactly as received (after its digest
+        verified), never re-serialized, so the duplicate byte-assert compares
+        what workers actually produced.
+        """
         path = self.path(interval)
         existing = self._read(path)
         if existing is not None:
@@ -189,15 +224,59 @@ def default_worker_id() -> str:
     return f"{socket.gethostname()}-{os.getpid()}"
 
 
-class DispatchWorker:
-    """One claim/compute/stage loop over a shared run directory.
+class DispatchTransport(abc.ABC):
+    """Everything a :class:`DispatchWorker` needs from the outside world.
 
-    Run it in-process (tests, embedding) or as a ``repro dispatch
-    --worker-only`` subprocess (the coordinator's local pool, or a remote
-    host pointed at the shared store root).  The worker only ever *reads*
-    the store — committed progress is the newline count of ``records.jsonl``
-    — and hands finished records to the coordinator through the staging
-    directory.
+    A transport answers four questions — what is pending, may I compute
+    interval *i* (lease acquire/renew/release), and how do I deliver the
+    finished record — without the worker knowing whether the other side is a
+    shared filesystem (:class:`FilesystemTransport`) or a coordinator
+    reached over HTTP (:class:`~repro.dist.net.HTTPTransport`).  Instances
+    expose ``spec``, ``policy``, ``worker_id`` and ``lease`` attributes; the
+    policy always comes *through* the transport so every worker in a pool
+    computes under the coordinator's exact execution policy.
+    """
+
+    spec: CampaignSpec
+    policy: ExecutionPolicy
+    worker_id: str
+    lease: float
+
+    @abc.abstractmethod
+    def pending(self) -> list[int]:
+        """Intervals not yet committed and not yet staged, lowest first."""
+
+    @abc.abstractmethod
+    def try_claim(self, interval: int) -> bool:
+        """Acquire the lease on ``interval``; True when this worker owns it."""
+
+    @abc.abstractmethod
+    def renew(self, interval: int) -> None:
+        """Heartbeat the lease on ``interval`` (best-effort, never raises)."""
+
+    @abc.abstractmethod
+    def release(self, interval: int) -> None:
+        """Drop the lease on ``interval`` (after delivering its record)."""
+
+    @abc.abstractmethod
+    def deliver(self, interval: int, record: Mapping[str, Any]) -> bool:
+        """Hand the finished record to the coordinator; False on duplicate.
+
+        Delivery must be idempotent and byte-asserted: re-delivering the
+        same interval is legal only when the bytes are identical, and a
+        divergent duplicate raises :class:`DispatchError`.
+        """
+
+    def close(self) -> None:
+        """Release any transport resources (optional)."""
+
+
+class FilesystemTransport(DispatchTransport):
+    """The shared-mount transport: lease files plus atomic staged files.
+
+    Requires every worker (and the coordinator) to mount the run directory.
+    Lease expiry compares wall clocks across hosts — see
+    :mod:`repro.dist.claims` for the skew caveat the HTTP transport removes.
     """
 
     def __init__(
@@ -206,19 +285,17 @@ class DispatchWorker:
         policy: ExecutionPolicy | None = None,
         worker_id: str | None = None,
         lease: float = DEFAULT_LEASE,
-        poll: float = 0.05,
     ) -> None:
         self.store = RunStore.open(run_dir)
         self.spec = self.store.spec()
         self.policy = validate_dispatch_policy(self.spec, policy)
         self.worker_id = worker_id if worker_id is not None else default_worker_id()
-        self.poll = poll
+        self.lease = lease
         dispatch_dir = Path(self.store.path) / DISPATCH_DIR
         self.claims = ClaimBoard(dispatch_dir, worker=self.worker_id, lease=lease)
         self.staging = StagingArea(dispatch_dir)
 
-    def _pending(self) -> list[int]:
-        """Intervals not yet committed and not yet staged, lowest first."""
+    def pending(self) -> list[int]:
         committed = _committed_count(self.store)
         if committed >= self.spec.intervals:
             return []
@@ -229,6 +306,67 @@ class DispatchWorker:
             if interval not in staged
         ]
 
+    def try_claim(self, interval: int) -> bool:
+        return self.claims.try_claim(interval)
+
+    def renew(self, interval: int) -> None:
+        try:
+            self.claims.renew(interval)
+        except OSError:
+            # A vanished claims dir means the coordinator finished cleanup
+            # around us; the computed result still lands via staging.
+            pass
+
+    def release(self, interval: int) -> None:
+        self.claims.release(interval)
+
+    def deliver(self, interval: int, record: Mapping[str, Any]) -> bool:
+        return self.staging.stage(interval, record, worker=self.worker_id)
+
+
+class DispatchWorker:
+    """One claim/compute/deliver loop over a :class:`DispatchTransport`.
+
+    Run it in-process (tests, embedding) or as a ``repro dispatch
+    --worker-only`` subprocess — either against a shared run directory
+    (filesystem transport) or against a coordinator URL (HTTP transport,
+    no filesystem sharing at all).  The worker never writes the store;
+    committed progress and staged results are whatever the transport
+    reports, and finished records travel back through the transport.
+    """
+
+    def __init__(
+        self,
+        target: DispatchTransport | Path | str,
+        policy: ExecutionPolicy | None = None,
+        worker_id: str | None = None,
+        lease: float = DEFAULT_LEASE,
+        poll: float = 0.05,
+    ) -> None:
+        if isinstance(target, DispatchTransport):
+            if policy is not None:
+                raise ValueError(
+                    "policy travels through the transport; construct the "
+                    "transport with it instead of passing both"
+                )
+            self.transport = target
+        else:
+            self.transport = FilesystemTransport(
+                target, policy=policy, worker_id=worker_id, lease=lease
+            )
+        self.spec = self.transport.spec
+        self.policy = self.transport.policy
+        self.worker_id = self.transport.worker_id
+        self.poll = poll
+        # Filesystem-transport internals, surfaced for tests and embedders
+        # (None under transports that have no local store access).
+        self.store = getattr(self.transport, "store", None)
+        self.claims = getattr(self.transport, "claims", None)
+        self.staging = getattr(self.transport, "staging", None)
+
+    def _pending(self) -> list[int]:
+        return self.transport.pending()
+
     def run_one(self) -> int | None:
         """Claim and compute one interval; its index, or None when idle.
 
@@ -238,15 +376,16 @@ class DispatchWorker:
         a straggler's lease to lapse).
         """
         for interval in self._pending():
-            if not self.claims.try_claim(interval):
+            if not self.transport.try_claim(interval):
                 continue
-            with LeaseRenewer(self.claims, interval):
+            with LeaseRenewer(self.transport, interval):
                 record = interval_record(self.spec, interval, policy=self.policy)
-            self.staging.stage(interval, record, worker=self.worker_id)
-            self.claims.release(interval)
+            self.transport.deliver(interval, record)
+            self.transport.release(interval)
             if self.policy.throttle > 0:
-                # The staged record is durable; the pause gives chaos
-                # harnesses a deterministic kill window per interval.
+                # The delivered record is durable on the coordinator side;
+                # the pause gives chaos harnesses a deterministic kill
+                # window per interval.
                 time.sleep(self.policy.throttle)
             return interval
         return None
@@ -284,7 +423,17 @@ class DispatchCoordinator:
     ``workers=0`` runs commit-only: the coordinator folds whatever remote
     (or pre-staged) workers deliver, which is the multi-host topology — one
     ``repro dispatch <dir> --workers 0`` next to the store, any number of
-    ``repro dispatch <dir> --worker-only`` processes on other hosts.
+    ``repro dispatch <dir> --worker-only`` processes on other hosts (a
+    shared mount under ``transport="fs"``, or ``--transport http
+    --coordinator URL`` with no shared filesystem at all).
+
+    Under ``transport="http"`` the coordinator embeds a service app serving
+    the ``/api/v1/dispatch/…`` endpoints for this run (``http_host`` /
+    ``http_port``; port 0 binds an ephemeral port, the bound URL lands in
+    ``self.http_url``).  Leases then live on a coordinator-monotonic
+    :class:`~repro.dist.net.NetworkClaimBoard` instead of claim files, and
+    local worker subprocesses connect over loopback HTTP exactly as remote
+    ones would.
     """
 
     def __init__(
@@ -296,9 +445,14 @@ class DispatchCoordinator:
         poll: float = 0.05,
         chaos: ChaosSchedule | None = None,
         on_event: Callable[[CampaignEvent], None] | None = None,
+        transport: str = "fs",
+        http_host: str = "127.0.0.1",
+        http_port: int = 0,
     ) -> None:
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers}")
+        if transport not in ("fs", "http"):
+            raise ValueError(f"transport must be 'fs' or 'http', got {transport!r}")
         self.store = store
         self.spec = store.spec()
         self.policy = validate_dispatch_policy(self.spec, policy)
@@ -307,11 +461,65 @@ class DispatchCoordinator:
         self.poll = poll
         self.chaos = chaos
         self.on_event = on_event
+        self.transport = transport
         self.dispatch_dir = Path(store.path) / DISPATCH_DIR
         self.staging = StagingArea(self.dispatch_dir)
-        self.claims = ClaimBoard(self.dispatch_dir, worker="coordinator", lease=lease)
+        self.run_id = Path(store.path).resolve().name
+        self.http_url: str | None = None
+        self._http_server: Any = None
+        self._http_thread: threading.Thread | None = None
+        if transport == "http":
+            self._start_http_server(http_host, http_port)
+        else:
+            self.claims = ClaimBoard(
+                self.dispatch_dir, worker="coordinator", lease=lease
+            )
         self._children: dict[str, subprocess.Popen] = {}
         self._spawned = 0
+
+    # -- HTTP transport ----------------------------------------------------------------
+
+    def _start_http_server(self, host: str, port: int) -> None:
+        """Serve this run's ``/api/v1/dispatch/…`` endpoints in-process.
+
+        Imported lazily: the filesystem transport must keep working in
+        environments that never load the service layer.
+        """
+        from repro.dist.net import DispatchHub, NetworkClaimBoard
+        from repro.service.app import ServiceApp, make_service_server
+        from repro.service.dispatchapi import DispatchRegistry
+
+        self.claims = NetworkClaimBoard(lease=self.lease)
+        hub = DispatchHub(
+            store=self.store,
+            policy=self.policy,
+            claims=self.claims,
+            staging=self.staging,
+        )
+        registry = DispatchRegistry()
+        registry.register(self.run_id, hub)
+        app = ServiceApp(Path(self.store.path).parent, dispatch=registry)
+        self._http_server = make_service_server(host, port, app)
+        bound_host, bound_port = self._http_server.server_address[:2]
+        self.http_url = f"http://{bound_host}:{bound_port}"
+        self._http_thread = threading.Thread(
+            target=self._http_server.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name=f"repro-dispatch-http-{self.run_id}",
+            daemon=True,
+        )
+        self._http_thread.start()
+
+    def close(self) -> None:
+        """Shut down the embedded HTTP server (idempotent; fs mode is a no-op)."""
+        server, self._http_server = self._http_server, None
+        if server is None:
+            return
+        server.shutdown()
+        server.server_close()
+        if self._http_thread is not None:
+            self._http_thread.join(timeout=5.0)
+            self._http_thread = None
 
     # -- events ------------------------------------------------------------------------
 
@@ -322,6 +530,26 @@ class DispatchCoordinator:
     # -- worker subprocesses -----------------------------------------------------------
 
     def _worker_argv(self, worker_id: str) -> list[str]:
+        if self.transport == "http":
+            # No run directory, no policy flags: the worker learns the spec,
+            # policy and lease from the coordinator's config endpoint, which
+            # is exactly what a remote worker with no mount would do.
+            return [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "dispatch",
+                "--worker-only",
+                "--transport",
+                "http",
+                "--coordinator",
+                self.http_url,
+                "--run-id",
+                self.run_id,
+                "--worker-id",
+                worker_id,
+                "--quiet",
+            ]
         argv = [
             sys.executable,
             "-m",
@@ -427,12 +655,6 @@ class DispatchCoordinator:
 
     # -- committing --------------------------------------------------------------------
 
-    def _committed_line(self, interval: int) -> bytes:
-        """The exact committed bytes of record ``interval`` (for duplicate checks)."""
-        payload = self.store.records_path.read_bytes()
-        lines = payload[: payload.rfind(b"\n") + 1].split(b"\n")
-        return lines[interval] + b"\n"
-
     def _commit_ready(self, accumulator: CampaignAccumulator) -> int:
         """Fold every commit-ready staged record into the store, in order."""
         staged = self.staging.staged()
@@ -445,7 +667,7 @@ class DispatchCoordinator:
             if interval >= next_interval:
                 break
             _, line = self.staging.load(interval)
-            if line != self._committed_line(interval):
+            if line != committed_line(self.store, interval):
                 raise DispatchError(
                     f"re-executed interval {interval} disagrees with its "
                     f"committed record; the store or a worker is corrupt"
@@ -512,6 +734,7 @@ class DispatchCoordinator:
             self._emit(RunComplete(intervals=self.spec.intervals, summary=summary))
         finally:
             self._terminate_workers()
+            self.close()
         self._cleanup()
         return CampaignRunOutcome(
             completed=True,
@@ -530,12 +753,17 @@ def dispatch_campaign(
     poll: float = 0.05,
     chaos: ChaosSchedule | None = None,
     on_event: Callable[[CampaignEvent], None] | None = None,
+    transport: str = "fs",
+    http_host: str = "127.0.0.1",
+    http_port: int = 0,
 ) -> CampaignRunOutcome:
     """Run one campaign to completion across ``workers`` local processes.
 
     With ``spec`` given, a fresh store is created at ``run_dir`` (or, when a
     store already exists there, the spec is validated against it — the
-    resume-a-killed-dispatch path).  The finished store is byte-identical to
+    resume-a-killed-dispatch path).  ``transport="http"`` serves the run's
+    dispatch endpoints and routes the local pool through them (see
+    :class:`DispatchCoordinator`).  The finished store is byte-identical to
     a single-host ``repro run`` of the same spec.
     """
     run_dir = Path(run_dir)
@@ -557,5 +785,8 @@ def dispatch_campaign(
         poll=poll,
         chaos=chaos,
         on_event=on_event,
+        transport=transport,
+        http_host=http_host,
+        http_port=http_port,
     )
     return coordinator.run()

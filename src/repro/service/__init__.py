@@ -20,12 +20,15 @@ into a system users hit:
   serialization shared by ``repro report --json``, the API, and the dashboard.
 """
 
-from repro.service.app import HTTPError, ServiceApp, make_service_server, serve
+from repro.service.app import ServiceApp, make_service_server, serve
+from repro.service.dispatchapi import DispatchRegistry
+from repro.service.errors import HTTPError
 from repro.service.index import RunEntry, RunIndex, validate_run_id
 from repro.service.jobs import Job, JobQueue, JobRejected
 from repro.service.report import REPORT_VERSION, compare_runs, run_report
 
 __all__ = [
+    "DispatchRegistry",
     "HTTPError",
     "Job",
     "JobQueue",

@@ -6,26 +6,49 @@
 WSGI server pointed at an app instance — the service deliberately adds **no**
 dependency beyond the standard library.
 
+The API is versioned under ``/api/v1/``.  The original unversioned ``/api/…``
+paths survive as **deprecated aliases**: they serve the same handlers but
+every response carries a ``Deprecation: true`` header and a ``Link:
+</api/v1/…>; rel="successor-version"`` pointer.  The dispatch endpoints are
+v1-only — no legacy alias exists for them.
+
 Endpoints (all JSON, byte-stable serialization):
 
-=======  =============================  ==================================================
-Method   Path                           Meaning
-=======  =============================  ==================================================
-GET      ``/``                          the single-file browser dashboard
-GET      ``/api/health``                liveness + queue/store statistics
-GET      ``/api/runs``                  list/filter runs (``name``/``complete``/``sla``/``spec_hash``)
-GET      ``/api/runs/<id>``             one run's entry + persisted summary + latest job
-GET      ``/api/runs/<id>/records``     committed interval records; ``?since=N`` cursor,
-                                        ``?wait=S`` long-poll, ``?full=true`` for raw samples
-GET      ``/api/runs/<id>/report``      the machine-readable report (= ``repro report --json``)
-GET      ``/api/runs/<id>/spec``        the run's frozen spec payload
-GET      ``/api/compare?runs=a,b``      per-domain side-by-side campaign summaries
-POST     ``/api/jobs``                  submit ``{"spec": …, "policy"?: …, "run_id"?: …,
-                                        "resume"?: bool}`` → 202 with the accepted job
-GET      ``/api/jobs``                  every job the queue has accepted
-GET      ``/api/jobs/<id>``             one job's state/attempts/events
-POST     ``/api/jobs/<id>/kill``        SIGINT a running subprocess attempt (chaos hook)
-=======  =============================  ==================================================
+=======  ===================================  ==========================================
+Method   Path                                 Meaning
+=======  ===================================  ==========================================
+GET      ``/``                                the single-file browser dashboard
+GET      ``/api/v1/health``                   liveness + queue/store statistics
+GET      ``/api/v1/runs``                     list/filter runs (``name``/``complete``/
+                                              ``sla``/``spec_hash``); paginated via
+                                              ``limit``/``cursor``
+GET      ``/api/v1/runs/<id>``                one run's entry + summary + latest job
+GET      ``/api/v1/runs/<id>/records``        committed records; ``?since=N`` cursor,
+                                              ``?wait=S`` long-poll, ``?full=true``
+GET      ``/api/v1/runs/<id>/report``         the machine-readable report
+GET      ``/api/v1/runs/<id>/spec``           the run's frozen spec payload
+GET      ``/api/v1/compare?runs=a,b``         per-domain side-by-side summaries
+POST     ``/api/v1/jobs``                     submit ``{"spec": …, "policy"?: …,
+                                              "run_id"?: …, "resume"?: bool}`` → 202
+GET      ``/api/v1/jobs``                     accepted jobs; paginated via
+                                              ``limit``/``cursor``
+GET      ``/api/v1/jobs/<id>``                one job's state/attempts/events
+POST     ``/api/v1/jobs/<id>/kill``           SIGINT a running attempt (chaos hook)
+GET      ``/api/v1/dispatch/<run_id>``        dispatch status (``?config=true`` for
+                                              spec/policy/lease)
+POST     ``/api/v1/dispatch/…/claims/<i>``    acquire an interval lease
+POST     ``/api/v1/dispatch/…/claims/<i>/renew``  heartbeat the lease
+DELETE   ``/api/v1/dispatch/…/claims/<i>``    release the lease
+PUT      ``/api/v1/dispatch/…/records/<i>``   upload a digest-checked record line
+=======  ===================================  ==========================================
+
+Every error — any route, any status — is one JSON envelope::
+
+    {"error": {"code": "<machine-readable>", "message": "…", "detail"?: {…}}}
+
+Pagination is cursor-based: pass ``limit=N`` to cap a listing, and feed the
+response's ``next_cursor`` back as ``cursor`` to continue; ``next_cursor``
+is ``null`` on the last page.
 
 Progress polling reads committed records straight off the store (the same
 bytes a crash would preserve), submission validates the spec with the spec
@@ -48,6 +71,8 @@ from socketserver import ThreadingMixIn
 
 from repro.api.spec import CampaignSpec, ExecutionPolicy
 from repro.service.dashboard import DASHBOARD_HTML
+from repro.service.dispatchapi import DispatchRegistry, handle_dispatch
+from repro.service.errors import STATUS_TEXT, HTTPError, error_body
 from repro.service.index import RunIndex
 from repro.service.jobs import JobQueue, JobRejected
 from repro.service.report import compare_runs, run_report
@@ -61,26 +86,8 @@ MAX_BODY_BYTES = 16 * 1024 * 1024
 #: Upper bound on one long-poll hold (clients re-issue to wait longer).
 MAX_WAIT_SECONDS = 25.0
 
-_STATUS_TEXT = {
-    200: "200 OK",
-    202: "202 Accepted",
-    400: "400 Bad Request",
-    404: "404 Not Found",
-    405: "405 Method Not Allowed",
-    409: "409 Conflict",
-    413: "413 Payload Too Large",
-    500: "500 Internal Server Error",
-    503: "503 Service Unavailable",
-}
-
-
-class HTTPError(Exception):
-    """An HTTP-visible failure; ``message`` is sent to the client verbatim."""
-
-    def __init__(self, status: int, message: str) -> None:
-        super().__init__(message)
-        self.status = status
-        self.message = message
+#: The current API version segment.
+API_VERSION = "v1"
 
 
 def _bool_param(params: dict[str, list[str]], key: str) -> bool | None:
@@ -92,7 +99,12 @@ def _bool_param(params: dict[str, list[str]], key: str) -> bool | None:
         return True
     if value in ("0", "false", "no"):
         return False
-    raise HTTPError(400, f"query parameter {key!r} must be a boolean, got {value!r}")
+    raise HTTPError(
+        400,
+        f"query parameter {key!r} must be a boolean, got {value!r}",
+        code="bad_parameter",
+        detail={"parameter": key},
+    )
 
 
 def _int_param(params: dict[str, list[str]], key: str, default: int) -> int:
@@ -103,10 +115,18 @@ def _int_param(params: dict[str, list[str]], key: str, default: int) -> int:
         value = int(values[-1])
     except ValueError:
         raise HTTPError(
-            400, f"query parameter {key!r} must be an integer, got {values[-1]!r}"
+            400,
+            f"query parameter {key!r} must be an integer, got {values[-1]!r}",
+            code="bad_parameter",
+            detail={"parameter": key},
         ) from None
     if value < 0:
-        raise HTTPError(400, f"query parameter {key!r} must be >= 0, got {value}")
+        raise HTTPError(
+            400,
+            f"query parameter {key!r} must be >= 0, got {value}",
+            code="bad_parameter",
+            detail={"parameter": key},
+        )
     return value
 
 
@@ -118,25 +138,66 @@ def _float_param(params: dict[str, list[str]], key: str, default: float) -> floa
         value = float(values[-1])
     except ValueError:
         raise HTTPError(
-            400, f"query parameter {key!r} must be a number, got {values[-1]!r}"
+            400,
+            f"query parameter {key!r} must be a number, got {values[-1]!r}",
+            code="bad_parameter",
+            detail={"parameter": key},
         ) from None
     if value < 0:
-        raise HTTPError(400, f"query parameter {key!r} must be >= 0, got {value}")
+        raise HTTPError(
+            400,
+            f"query parameter {key!r} must be >= 0, got {value}",
+            code="bad_parameter",
+            detail={"parameter": key},
+        )
+    return value
+
+
+def _limit_param(params: dict[str, list[str]]) -> int | None:
+    """The ``limit`` pagination parameter: a positive int, or None (no cap)."""
+    values = params.get("limit")
+    if not values:
+        return None
+    try:
+        value = int(values[-1])
+    except ValueError:
+        raise HTTPError(
+            400,
+            f"query parameter 'limit' must be an integer, got {values[-1]!r}",
+            code="bad_parameter",
+            detail={"parameter": "limit"},
+        ) from None
+    if value < 1:
+        raise HTTPError(
+            400,
+            f"query parameter 'limit' must be >= 1, got {value}",
+            code="bad_parameter",
+            detail={"parameter": "limit"},
+        )
     return value
 
 
 class ServiceApp:
-    """WSGI application over one store root (and optionally a job queue)."""
+    """WSGI application over one store root (and optionally a job queue).
+
+    ``dispatch`` is an optional
+    :class:`~repro.service.dispatchapi.DispatchRegistry` exposing live
+    dispatch coordinations under ``/api/v1/dispatch/…`` — the HTTP-transport
+    :class:`~repro.dist.dispatch.DispatchCoordinator` embeds an app with
+    exactly one registered run.
+    """
 
     def __init__(
         self,
         store_root: Path | str,
         queue: JobQueue | None = None,
         index: RunIndex | None = None,
+        dispatch: DispatchRegistry | None = None,
     ) -> None:
         self.store_root = Path(store_root)
         self.index = index if index is not None else RunIndex(self.store_root)
         self.queue = queue
+        self.dispatch = dispatch
 
     # -- WSGI entry point --------------------------------------------------------------
 
@@ -145,27 +206,42 @@ class ServiceApp:
         environ: dict[str, Any],
         start_response: Callable[..., Any],
     ) -> Iterable[bytes]:
+        path = environ.get("PATH_INFO", "/") or "/"
         try:
             status, content_type, body = self._dispatch(environ)
         except HTTPError as exc:
             status = exc.status
             content_type = "application/json"
-            body = (stable_json({"error": exc.message}) + "\n").encode("utf-8")
+            body = (
+                stable_json(error_body(exc.code, exc.message, exc.detail)) + "\n"
+            ).encode("utf-8")
         except Exception as exc:  # a handler bug must not kill the server
             status = 500
             content_type = "application/json"
             body = (
-                stable_json({"error": f"{type(exc).__name__}: {exc}"}) + "\n"
+                stable_json(error_body("internal", f"{type(exc).__name__}: {exc}"))
+                + "\n"
             ).encode("utf-8")
-        start_response(
-            _STATUS_TEXT[status],
-            [
-                ("Content-Type", f"{content_type}; charset=utf-8"),
-                ("Content-Length", str(len(body))),
-                ("Cache-Control", "no-store"),
-            ],
-        )
+        headers = [
+            ("Content-Type", f"{content_type}; charset=utf-8"),
+            ("Content-Length", str(len(body))),
+            ("Cache-Control", "no-store"),
+        ]
+        if self._is_legacy(path):
+            successor = f"/api/{API_VERSION}" + path[len("/api") :]
+            headers.append(("Deprecation", "true"))
+            headers.append(("Link", f'<{successor}>; rel="successor-version"'))
+        start_response(STATUS_TEXT[status], headers)
         return [body]
+
+    @staticmethod
+    def _is_legacy(path: str) -> bool:
+        """Whether ``path`` is an unversioned ``/api/…`` alias."""
+        if path != "/api" and not path.startswith("/api/"):
+            return False
+        tail = path[len("/api") :].lstrip("/")
+        first = tail.split("/", 1)[0]
+        return first != API_VERSION
 
     # -- routing -----------------------------------------------------------------------
 
@@ -181,6 +257,26 @@ class ServiceApp:
         if segments[0] != "api":
             raise HTTPError(404, f"no such path: {path}")
         route = segments[1:]
+        versioned = bool(route) and route[0] == API_VERSION
+        if versioned:
+            route = route[1:]
+
+        if route[:1] == ["dispatch"]:
+            if not versioned:
+                # Dispatch was born versioned; no legacy alias to honor.
+                raise HTTPError(
+                    404, f"dispatch endpoints live under /api/{API_VERSION}/ only"
+                )
+            if self.dispatch is None:
+                raise HTTPError(
+                    503,
+                    "this service instance hosts no dispatch coordination",
+                    code="no_dispatch",
+                )
+            status, payload = handle_dispatch(
+                self.dispatch, route[1:], method, environ, params
+            )
+            return self._json(status, payload)
 
         if route == ["health"]:
             self._require(method, "GET", path)
@@ -211,7 +307,7 @@ class ServiceApp:
             if method == "POST":
                 return self._json(202, {"job": self._submit(environ)})
             self._require(method, "GET", path)
-            return self._json(200, {"jobs": self._require_queue().snapshots()})
+            return self._json(200, self._list_jobs(params))
         if len(route) == 2 and route[0] == "jobs":
             self._require(method, "GET", path)
             queue = self._require_queue()
@@ -251,6 +347,9 @@ class ServiceApp:
             "store_root": str(self.store_root),
             "runs": len(self.index.entries()),
             "queue": self.queue.stats() if self.queue is not None else None,
+            "dispatching": (
+                self.dispatch.run_ids() if self.dispatch is not None else []
+            ),
         }
 
     def _list_runs(self, params: dict[str, list[str]]) -> dict[str, Any]:
@@ -264,6 +363,8 @@ class ServiceApp:
                     400,
                     f"query parameter 'sla' must be 'compliant' or 'violated', "
                     f"got {sla!r}",
+                    code="bad_parameter",
+                    detail={"parameter": "sla"},
                 ) from None
         entries = self.index.entries(
             name=params.get("name", [None])[-1],
@@ -271,7 +372,20 @@ class ServiceApp:
             sla_compliant=sla_filter,
             spec_hash=params.get("spec_hash", [None])[-1],
         )
-        return {"runs": [entry.to_dict() for entry in entries]}
+        limit = _limit_param(params)
+        cursor = params.get("cursor", [None])[-1]
+        if cursor is not None:
+            # Entries are sorted by run id, so the cursor (the last id of the
+            # previous page) is a simple strict lower bound.
+            entries = [entry for entry in entries if entry.run_id > cursor]
+        next_cursor = None
+        if limit is not None and len(entries) > limit:
+            entries = entries[:limit]
+            next_cursor = entries[-1].run_id
+        return {
+            "runs": [entry.to_dict() for entry in entries],
+            "next_cursor": next_cursor,
+        }
 
     def _run_detail(self, run_id: str) -> dict[str, Any]:
         try:
@@ -350,6 +464,32 @@ class ServiceApp:
             raise HTTPError(404, f"no job {job_id!r}")
         return job
 
+    def _list_jobs(self, params: dict[str, list[str]]) -> dict[str, Any]:
+        snapshots = self._require_queue().snapshots()
+        limit = _limit_param(params)
+        cursor = params.get("cursor", [None])[-1]
+        if cursor is not None:
+            # Jobs list in submission order (ids are not sorted), so the
+            # cursor is located by identity rather than comparison.
+            positions = [
+                index
+                for index, snapshot in enumerate(snapshots)
+                if snapshot.get("id") == cursor
+            ]
+            if not positions:
+                raise HTTPError(
+                    400,
+                    f"unknown jobs cursor {cursor!r}",
+                    code="invalid_cursor",
+                    detail={"parameter": "cursor"},
+                )
+            snapshots = snapshots[positions[0] + 1 :]
+        next_cursor = None
+        if limit is not None and len(snapshots) > limit:
+            snapshots = snapshots[:limit]
+            next_cursor = snapshots[-1].get("id")
+        return {"jobs": snapshots, "next_cursor": next_cursor}
+
     def _kill(self, job_id: str) -> dict[str, Any]:
         queue = self._require_queue()
         job = self._job(job_id)
@@ -412,6 +552,11 @@ class _ThreadingWSGIServer(ThreadingMixIn, WSGIServer):
 
     daemon_threads = True
 
+    def handle_error(self, request: Any, client_address: Any) -> None:
+        # A worker SIGKILLed mid-request (the chaos schedule) tears its
+        # socket; the default handler would dump that traceback to stderr.
+        pass
+
 
 class _QuietHandler(WSGIRequestHandler):
     def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
@@ -457,7 +602,8 @@ def serve(
         print(
             f"repro service: store root {Path(store_root).resolve()} — "
             f"dashboard http://{bound_host}:{bound_port}/ "
-            f"(API under /api, {workers} worker(s), {execution} execution)",
+            f"(API under /api/{API_VERSION}, {workers} worker(s), "
+            f"{execution} execution)",
             flush=True,
         )
     try:

@@ -5,7 +5,7 @@ zipapp — always carries it; the WSGI app serves it verbatim at ``/``.  It is
 plain HTML + vanilla JS over the JSON API: a stat-tile row, the run table
 with per-run progress meters, SLA/receipt verdict badges (icon + label, never
 color alone), a per-interval estimate table and the campaign summary for the
-selected run, and a submit form that POSTs a spec to ``/api/jobs``.
+selected run, and a submit form that POSTs a spec to ``/api/v1/jobs``.
 
 Styling follows the repo-neutral dataviz conventions: roles are CSS custom
 properties with light and dark values both selected (OS preference via
@@ -240,14 +240,14 @@ async function getJSON(url) {
 }
 
 async function refreshHealth() {
-  const health = await getJSON("/api/health");
+  const health = await getJSON("/api/v1/health");
   $("store-root").textContent = health.store_root;
   const active = health.queue ? health.queue.queued + health.queue.running : 0;
   $("tile-active").textContent = health.queue ? active : "off";
 }
 
 async function refreshRuns() {
-  const payload = await getJSON("/api/runs");
+  const payload = await getJSON("/api/v1/runs");
   const runs = payload.runs;
   $("tile-runs").textContent = runs.length;
   $("tile-complete").textContent = runs.filter((r) => r.intervals.complete).length;
@@ -274,7 +274,7 @@ async function refreshRuns() {
 async function refreshDetail() {
   if (!selectedRun) { $("detail-card").hidden = true; return; }
   let report;
-  try { report = await getJSON(`/api/runs/${encodeURIComponent(selectedRun)}/report`); }
+  try { report = await getJSON(`/api/v1/runs/${encodeURIComponent(selectedRun)}/report`); }
   catch (err) { $("detail-card").hidden = true; selectedRun = null; return; }
   $("detail-card").hidden = false;
   $("detail-title").textContent = `Run ${report.run}`;
@@ -316,7 +316,7 @@ async function refreshDetail() {
 
 async function refreshJobs() {
   let payload;
-  try { payload = await getJSON("/api/jobs"); }
+  try { payload = await getJSON("/api/v1/jobs"); }
   catch (err) { $("jobs-empty").hidden = false; return; }
   $("jobs-empty").hidden = payload.jobs.length > 0;
   $("jobs-body").innerHTML = payload.jobs.map((job) => `<tr>
@@ -339,7 +339,7 @@ $("submit-form").addEventListener("submit", async (event) => {
     if (policyText) body.policy = JSON.parse(policyText);
     const runId = $("runid-input").value.trim();
     if (runId) body.run_id = runId;
-    const response = await fetch("/api/jobs", {
+    const response = await fetch("/api/v1/jobs", {
       method: "POST",
       headers: { "Content-Type": "application/json" },
       body: JSON.stringify(body),

@@ -100,7 +100,7 @@ def _wait_complete(service, run_id, timeout=240.0):
     collected = []
     while time.monotonic() < deadline:
         status, page = _request(
-            service["base"], f"/api/runs/{run_id}/records?since={cursor}&wait=2"
+            service["base"], f"/api/v1/runs/{run_id}/records?since={cursor}&wait=2"
         )
         assert status == 200, page
         assert page["since"] == cursor
@@ -114,7 +114,7 @@ def _wait_complete(service, run_id, timeout=240.0):
 def _wait_job(service, job_id, timeout=240.0):
     deadline = time.monotonic() + timeout
     while time.monotonic() < deadline:
-        status, payload = _request(service["base"], f"/api/jobs/{job_id}")
+        status, payload = _request(service["base"], f"/api/v1/jobs/{job_id}")
         assert status == 200, payload
         if payload["job"]["state"] in ("completed", "failed"):
             return payload["job"]
@@ -138,7 +138,7 @@ def test_dashboard_and_health(service):
         page = response.read().decode("utf-8")
     assert "<html" in page and "repro measurement service" in page
 
-    status, health = _request(service["base"], "/api/health")
+    status, health = _request(service["base"], "/api/v1/health")
     assert status == 200
     assert health["status"] == "ok"
     assert health["queue"]["workers"] == 2
@@ -148,7 +148,7 @@ def test_submit_poll_report_round_trip(service, tmp_path):
     spec = _spec("roundtrip", intervals=2)
     status, accepted = _request(
         service["base"],
-        "/api/jobs",
+        "/api/v1/jobs",
         method="POST",
         body={"spec": spec.to_dict(), "run_id": "roundtrip-run"},
     )
@@ -161,22 +161,22 @@ def test_submit_poll_report_round_trip(service, tmp_path):
     assert all("delay_samples" not in record for record in records)
     assert _wait_job(service, job["id"])["state"] == "completed"
 
-    status, report = _request(service["base"], "/api/runs/roundtrip-run/report")
+    status, report = _request(service["base"], "/api/v1/runs/roundtrip-run/report")
     assert status == 200
     assert report["intervals"]["complete"] is True
     assert report["summary_matches_store"] is True
     assert report["spec_hash"] == spec.spec_hash()
 
-    status, detail = _request(service["base"], "/api/runs/roundtrip-run")
+    status, detail = _request(service["base"], "/api/v1/runs/roundtrip-run")
     assert status == 200
     assert detail["intervals"]["complete"] is True and detail["summary"] is not None
     assert detail["job"]["id"] == job["id"]
 
-    status, listing = _request(service["base"], "/api/runs?name=roundtrip")
+    status, listing = _request(service["base"], "/api/v1/runs?name=roundtrip")
     assert status == 200
     assert [entry["run"] for entry in listing["runs"]] == ["roundtrip-run"]
 
-    status, frozen = _request(service["base"], "/api/runs/roundtrip-run/spec")
+    status, frozen = _request(service["base"], "/api/v1/runs/roundtrip-run/spec")
     assert status == 200
     assert frozen["spec"] == spec.to_dict()
 
@@ -193,25 +193,121 @@ def test_invalid_spec_carries_validator_message(service):
     payload = _spec("invalid").to_dict()
     payload["intervals"] = 0
     status, body = _request(
-        service["base"], "/api/jobs", method="POST", body={"spec": payload}
+        service["base"], "/api/v1/jobs", method="POST", body={"spec": payload}
     )
     assert status == 400
-    assert body["error"].startswith("invalid campaign spec: ")
-    assert "intervals must be > 0" in body["error"]
+    assert body["error"]["message"].startswith("invalid campaign spec: ")
+    assert "intervals must be > 0" in body["error"]["message"]
+    assert body["error"]["code"] == "bad_request"
 
 
 def test_malformed_requests(service):
-    assert _request(service["base"], "/api/nowhere")[0] == 404
-    assert _request(service["base"], "/api/runs/absent-run/report")[0] == 404
+    assert _request(service["base"], "/api/v1/nowhere")[0] == 404
+    assert _request(service["base"], "/api/v1/runs/absent-run/report")[0] == 404
     # %2e%2e decodes to ".." server-side (the client would normalize a
     # literal ".." away before sending); the run-id guard must reject it.
-    assert _request(service["base"], "/api/runs/%2e%2e/report")[0] == 400
-    status, body = _request(service["base"], "/api/health", method="POST", body={})
+    assert _request(service["base"], "/api/v1/runs/%2e%2e/report")[0] == 400
+    status, body = _request(service["base"], "/api/v1/health", method="POST", body={})
     assert status == 405
-    status, body = _request(service["base"], "/api/jobs", method="POST", body={})
-    assert status == 400 and "'spec'" in body["error"]
-    status, body = _request(service["base"], "/api/compare?runs=just-one")
-    assert status == 400 and "at least two" in body["error"]
+    assert body["error"]["code"] == "method_not_allowed"
+    status, body = _request(service["base"], "/api/v1/jobs", method="POST", body={})
+    assert status == 400 and "'spec'" in body["error"]["message"]
+    status, body = _request(service["base"], "/api/v1/compare?runs=just-one")
+    assert status == 400 and "at least two" in body["error"]["message"]
+
+
+def _raw_get(base, path, method="GET"):
+    """(status, headers, parsed-JSON) for one call, headers included."""
+    request = urllib.request.Request(base + path, method=method)
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, dict(response.headers), json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers), json.loads(exc.read())
+
+
+def test_legacy_paths_alias_v1_with_deprecation(service):
+    status, headers, legacy = _raw_get(service["base"], "/api/health")
+    assert status == 200
+    assert headers.get("Deprecation") == "true"
+    assert headers.get("Link") == '</api/v1/health>; rel="successor-version"'
+    v1_status, v1_headers, v1 = _raw_get(service["base"], "/api/v1/health")
+    assert v1_status == 200
+    assert "Deprecation" not in v1_headers
+    assert legacy == v1
+    # Errors on legacy paths carry the deprecation headers too.
+    status, headers, _ = _raw_get(service["base"], "/api/nowhere")
+    assert status == 404 and headers.get("Deprecation") == "true"
+    # Dispatch endpoints were born versioned: no legacy alias exists.
+    status, _, body = _raw_get(service["base"], "/api/dispatch/some-run")
+    assert status == 404
+    assert "/api/v1" in body["error"]["message"]
+    # ...and this instance hosts no dispatch registry under v1 either.
+    status, _, body = _raw_get(service["base"], "/api/v1/dispatch/some-run")
+    assert status == 503 and body["error"]["code"] == "no_dispatch"
+
+
+def test_error_envelope_names_bad_parameters(service):
+    status, body = _request(service["base"], "/api/v1/runs?limit=zero")
+    assert status == 400
+    assert body["error"]["code"] == "bad_parameter"
+    assert body["error"]["detail"]["parameter"] == "limit"
+    assert "'limit'" in body["error"]["message"]
+    status, body = _request(service["base"], "/api/v1/runs/whatever/records?since=x")
+    assert status == 400
+    assert body["error"]["detail"]["parameter"] == "since"
+    status, body = _request(service["base"], "/api/v1/runs?complete=perhaps")
+    assert status == 400
+    assert body["error"]["detail"]["parameter"] == "complete"
+
+
+def test_runs_pagination(service):
+    spec = _spec("pagination", intervals=1, seed=200)
+    for suffix in ("a", "b", "c"):
+        RunStore.create(service["store_root"] / f"page-run-{suffix}", spec)
+    status, first = _request(service["base"], "/api/v1/runs?name=pagination&limit=2")
+    assert status == 200
+    assert [e["run"] for e in first["runs"]] == ["page-run-a", "page-run-b"]
+    assert first["next_cursor"] == "page-run-b"
+    status, second = _request(
+        service["base"],
+        f"/api/v1/runs?name=pagination&limit=2&cursor={first['next_cursor']}",
+    )
+    assert status == 200
+    assert [e["run"] for e in second["runs"]] == ["page-run-c"]
+    assert second["next_cursor"] is None
+    # No limit = the whole listing, next_cursor null.
+    status, full = _request(service["base"], "/api/v1/runs?name=pagination")
+    assert status == 200
+    assert len(full["runs"]) == 3 and full["next_cursor"] is None
+
+
+def test_jobs_pagination(service):
+    # Guarantee at least one job regardless of which tests ran before.
+    status, accepted = _request(
+        service["base"],
+        "/api/v1/jobs",
+        method="POST",
+        body={"spec": _spec("page-job", intervals=1, seed=210).to_dict()},
+    )
+    assert status == 202, accepted
+    status, full = _request(service["base"], "/api/v1/jobs")
+    assert status == 200 and full["next_cursor"] is None
+    all_ids = [job["id"] for job in full["jobs"]]
+    assert all_ids
+    paged, cursor = [], None
+    while True:
+        path = "/api/v1/jobs?limit=1" + (f"&cursor={cursor}" if cursor else "")
+        status, page = _request(service["base"], path)
+        assert status == 200 and len(page["jobs"]) <= 1
+        paged.extend(job["id"] for job in page["jobs"])
+        cursor = page["next_cursor"]
+        if cursor is None:
+            break
+    assert paged == all_ids
+    status, body = _request(service["base"], "/api/v1/jobs?cursor=no-such-job")
+    assert status == 400 and body["error"]["code"] == "invalid_cursor"
+    _wait_job(service, accepted["job"]["id"])
 
 
 def test_concurrent_submissions(service):
@@ -221,7 +317,7 @@ def test_concurrent_submissions(service):
     def submit(i):
         results[i] = _request(
             service["base"],
-            "/api/jobs",
+            "/api/v1/jobs",
             method="POST",
             body={"spec": specs[i].to_dict(), "run_id": f"burst-run-{i}"},
         )
@@ -241,24 +337,24 @@ def test_concurrent_submissions(service):
         assert _wait_job(service, accepted["job"]["id"])["state"] == "completed"
     for i in range(len(specs)):
         _wait_complete(service, f"burst-run-{i}")
-        status, report = _request(service["base"], f"/api/runs/burst-run-{i}/report")
+        status, report = _request(service["base"], f"/api/v1/runs/burst-run-{i}/report")
         assert status == 200 and report["intervals"]["complete"] is True
 
     # A duplicate of an already-finished run is rejected with a conflict.
     status, body = _request(
         service["base"],
-        "/api/jobs",
+        "/api/v1/jobs",
         method="POST",
         body={"spec": specs[0].to_dict(), "run_id": "burst-run-0"},
     )
-    assert status == 409 and "already holds a store" in body["error"]
+    assert status == 409 and "already holds a store" in body["error"]["message"]
 
 
 def test_compare_across_runs(service):
     for run_id in ("burst-run-0", "burst-run-1"):
         _wait_complete(service, run_id)
     status, body = _request(
-        service["base"], "/api/compare?runs=burst-run-0,burst-run-1"
+        service["base"], "/api/v1/compare?runs=burst-run-0,burst-run-1"
     )
     assert status == 200
     assert [run["run"] for run in body["runs"]] == ["burst-run-0", "burst-run-1"]
@@ -291,7 +387,7 @@ def test_job_endpoints_hammered_while_events_stream(tmp_path):
         for i, spec in enumerate(specs):
             status, accepted = _request(
                 base,
-                "/api/jobs",
+                "/api/v1/jobs",
                 method="POST",
                 body={"spec": spec.to_dict(), "run_id": f"hammer-run-{i}"},
             )
@@ -303,7 +399,7 @@ def test_job_endpoints_hammered_while_events_stream(tmp_path):
 
         def hammer():
             while not stop.is_set():
-                for path in ("/api/jobs", f"/api/jobs/{job_ids[0]}"):
+                for path in ("/api/v1/jobs", f"/api/v1/jobs/{job_ids[0]}"):
                     status, payload = _request(base, path, timeout=30.0)
                     if status != 200:
                         failures.append((path, status, payload))
@@ -322,7 +418,7 @@ def test_job_endpoints_hammered_while_events_stream(tmp_path):
             for job_id in job_ids:
                 deadline = time.monotonic() + 240.0
                 while time.monotonic() < deadline:
-                    status, payload = _request(base, f"/api/jobs/{job_id}")
+                    status, payload = _request(base, f"/api/v1/jobs/{job_id}")
                     assert status == 200, payload
                     if payload["job"]["state"] in ("completed", "failed"):
                         break
@@ -334,7 +430,7 @@ def test_job_endpoints_hammered_while_events_stream(tmp_path):
                 worker.join(timeout=30.0)
         assert failures == []
         # Every job's final event stream is exactly the campaign's commits.
-        status, payload = _request(base, "/api/jobs")
+        status, payload = _request(base, "/api/v1/jobs")
         assert status == 200
         for job in payload["jobs"]:
             kinds = [event["kind"] for event in job["events"]]
@@ -353,7 +449,7 @@ def test_killed_worker_resumes_to_byte_identical_store(service, tmp_path):
     # The throttle opens a deterministic kill window after each interval.
     status, accepted = _request(
         service["base"],
-        "/api/jobs",
+        "/api/v1/jobs",
         method="POST",
         body={
             "spec": spec.to_dict(),
@@ -368,7 +464,7 @@ def test_killed_worker_resumes_to_byte_identical_store(service, tmp_path):
     deadline = time.monotonic() + 120.0
     while time.monotonic() < deadline:
         status, page = _request(
-            service["base"], "/api/runs/chaos-run/records?since=0&wait=2"
+            service["base"], "/api/v1/runs/chaos-run/records?since=0&wait=2"
         )
         assert status == 200, page
         if page["next"] >= 1:
@@ -377,7 +473,7 @@ def test_killed_worker_resumes_to_byte_identical_store(service, tmp_path):
     assert not page["complete"], "campaign finished before the kill window"
 
     status, killed = _request(
-        service["base"], f"/api/jobs/{job_id}/kill", method="POST", body={}
+        service["base"], f"/api/v1/jobs/{job_id}/kill", method="POST", body={}
     )
     assert status == 200
     assert killed["killed"] is True, killed
